@@ -1,0 +1,251 @@
+//! The Buriol et al. one-pass adjacency-stream estimator (PODS 2006), as
+//! re-implemented for the paper's baseline study (§4.2).
+//!
+//! Each estimator samples one edge `{a, b}` uniformly from the stream and
+//! one vertex `v` uniformly from the vertex set, and then waits for *both*
+//! closing edges `{a, v}` and `{b, v}` to arrive later in the stream. A
+//! given triangle is caught exactly when the sampled edge is its first edge
+//! in stream order and the sampled vertex is its third vertex — probability
+//! `1/(m(n−2))` — so the success indicator scaled by `m·(n − 2)` is an
+//! unbiased estimate of τ(G). Because the third vertex is chosen blindly
+//! from the whole vertex set (instead of from the sampled edge's
+//! neighborhood, as in neighborhood sampling), the success probability is
+//! tiny on large sparse graphs: the estimator almost never finds a
+//! triangle, which is exactly what the paper observes and why it reports no
+//! further Buriol numbers.
+//!
+//! **Adaptation note:** the original algorithm assumes the vertex set is
+//! known in advance. In the adjacency-stream setting of this reproduction,
+//! vertices are discovered as edges arrive, so the third vertex is
+//! maintained as a uniform reservoir sample over the vertices *discovered so
+//! far*. This preserves the algorithm's character (blind third vertex) and
+//! its failure mode; the deviation is recorded in DESIGN.md.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use tristream_graph::{Edge, VertexId};
+use tristream_sample::mean;
+
+/// One Buriol et al. estimator.
+#[derive(Debug, Clone, Default)]
+struct BuriolEstimator {
+    sampled_edge: Option<Edge>,
+    /// Position at which the sampled edge arrived (closing edges must come
+    /// later).
+    sampled_at: u64,
+    sampled_vertex: Option<VertexId>,
+    saw_first_closer: bool,
+    saw_second_closer: bool,
+}
+
+impl BuriolEstimator {
+    fn reset_progress(&mut self) {
+        self.saw_first_closer = false;
+        self.saw_second_closer = false;
+    }
+
+    fn process_edge(
+        &mut self,
+        rng: &mut SmallRng,
+        edge: Edge,
+        position: u64,
+        vertices_seen: u64,
+        newly_discovered: &[VertexId],
+    ) {
+        // Maintain the uniform vertex sample over discovered vertices.
+        for (offset, &v) in newly_discovered.iter().enumerate() {
+            let index = vertices_seen - newly_discovered.len() as u64 + offset as u64 + 1;
+            if index == 1 || rng.gen_range(0..index) == 0 {
+                self.sampled_vertex = Some(v);
+                self.reset_progress();
+            }
+        }
+        // Edge reservoir.
+        if position == 1 || rng.gen_range(0..position) == 0 {
+            self.sampled_edge = Some(edge);
+            self.sampled_at = position;
+            self.reset_progress();
+            return;
+        }
+        let (sample, v) = match (self.sampled_edge, self.sampled_vertex) {
+            (Some(s), Some(v)) => (s, v),
+            _ => return,
+        };
+        if sample.contains(v) {
+            return; // degenerate choice, can never close a triangle
+        }
+        let (a, b) = sample.endpoints();
+        if edge == Edge::new(a, v) {
+            self.saw_first_closer = true;
+        } else if edge == Edge::new(b, v) {
+            self.saw_second_closer = true;
+        }
+    }
+
+    fn found_triangle(&self) -> bool {
+        self.saw_first_closer && self.saw_second_closer
+    }
+
+    fn estimate(&self, m: u64, n: u64) -> f64 {
+        if self.found_triangle() && n > 2 {
+            m as f64 * (n as f64 - 2.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The Buriol et al. streaming triangle counter with `r` estimators.
+#[derive(Debug, Clone)]
+pub struct BuriolCounter {
+    estimators: Vec<BuriolEstimator>,
+    edges_seen: u64,
+    vertices: HashSet<VertexId>,
+    rng: SmallRng,
+}
+
+impl BuriolCounter {
+    /// Creates a counter with `r` estimators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero.
+    pub fn new(r: usize, seed: u64) -> Self {
+        assert!(r > 0, "at least one estimator is required");
+        Self {
+            estimators: vec![BuriolEstimator::default(); r],
+            edges_seen: 0,
+            vertices: HashSet::new(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of estimators.
+    pub fn num_estimators(&self) -> usize {
+        self.estimators.len()
+    }
+
+    /// Number of edges observed so far.
+    pub fn edges_seen(&self) -> u64 {
+        self.edges_seen
+    }
+
+    /// Processes the next edge through every estimator.
+    pub fn process_edge(&mut self, edge: Edge) {
+        self.edges_seen += 1;
+        let position = self.edges_seen;
+        let mut newly_discovered = Vec::with_capacity(2);
+        for v in [edge.u(), edge.v()] {
+            if self.vertices.insert(v) {
+                newly_discovered.push(v);
+            }
+        }
+        let vertices_seen = self.vertices.len() as u64;
+        for est in &mut self.estimators {
+            est.process_edge(&mut self.rng, edge, position, vertices_seen, &newly_discovered);
+        }
+    }
+
+    /// Processes a whole slice of edges in order.
+    pub fn process_edges(&mut self, edges: &[Edge]) {
+        for &e in edges {
+            self.process_edge(e);
+        }
+    }
+
+    /// The averaged triangle-count estimate.
+    pub fn estimate(&self) -> f64 {
+        let m = self.edges_seen;
+        let n = self.vertices.len() as u64;
+        mean(&self.estimators.iter().map(|e| e.estimate(m, n)).collect::<Vec<_>>())
+    }
+
+    /// How many estimators have found a triangle — the quantity the paper
+    /// observes to be near zero for this baseline on large sparse graphs.
+    pub fn estimators_with_triangle(&self) -> usize {
+        self.estimators.iter().filter(|e| e.found_triangle()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k_n_edges(n: u64) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                edges.push(Edge::new(i, j));
+            }
+        }
+        edges
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_estimators_panics() {
+        let _ = BuriolCounter::new(0, 1);
+    }
+
+    #[test]
+    fn triangle_free_stream_estimates_zero() {
+        let mut c = BuriolCounter::new(256, 1);
+        for i in 0..50u64 {
+            c.process_edge(Edge::new(i, i + 1));
+        }
+        assert_eq!(c.estimate(), 0.0);
+        assert_eq!(c.estimators_with_triangle(), 0);
+    }
+
+    #[test]
+    fn dense_cliques_are_eventually_found() {
+        // On a small dense clique the success probability is non-trivial, so
+        // a big pool should land in the right ballpark. (The
+        // discovered-vertex adaptation makes the estimator slightly
+        // conservative while vertices are still being discovered, so the
+        // tolerance here is loose; the point is that triangles ARE found and
+        // the scale of the estimate is right.)
+        let edges = k_n_edges(10); // 120 triangles
+        let mut c = BuriolCounter::new(60_000, 3);
+        c.process_edges(&edges);
+        let est = c.estimate();
+        assert!(c.estimators_with_triangle() > 0);
+        assert!(
+            est > 0.3 * 120.0 && est < 2.0 * 120.0,
+            "estimate {est} should be the right order of magnitude on a dense clique"
+        );
+    }
+
+    #[test]
+    fn rarely_finds_triangles_on_sparse_graphs() {
+        // The paper's observation: on sparse graphs with a blind third
+        // vertex, almost no estimator completes a triangle — far fewer than
+        // neighborhood sampling achieves with the same pool size.
+        let stream = tristream_gen::planted_triangles(50, 400, 7);
+        let mut buriol = BuriolCounter::new(2_000, 5);
+        buriol.process_edges(stream.edges());
+
+        let mut nsamp = tristream_core::counter::TriangleCounter::new(2_000, 5);
+        nsamp.process_edges(stream.edges());
+        let nsamp_hits =
+            nsamp.estimators().iter().filter(|e| e.has_triangle()).count();
+
+        assert!(
+            buriol.estimators_with_triangle() * 4 < nsamp_hits.max(1),
+            "Buriol hits {} should be far below neighborhood sampling hits {}",
+            buriol.estimators_with_triangle(),
+            nsamp_hits
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let edges = k_n_edges(8);
+        let mut a = BuriolCounter::new(500, 4);
+        let mut b = BuriolCounter::new(500, 4);
+        a.process_edges(&edges);
+        b.process_edges(&edges);
+        assert_eq!(a.estimate(), b.estimate());
+    }
+}

@@ -1,0 +1,29 @@
+//! Prior-work baselines re-implemented from their published descriptions,
+//! used by the paper's baseline study (§4.2) and by this reproduction's
+//! benchmark harness.
+//!
+//! * [`exact_stream`] — an exact streaming counter that keeps the full
+//!   adjacency structure. Not space-efficient, but it is the ground truth
+//!   every approximate estimate is scored against and a useful speed
+//!   reference.
+//! * [`buriol`] — the one-pass adjacency-stream estimator of Buriol et al.
+//!   (PODS 2006): sample a random edge and a random *vertex*, wait for the
+//!   two closing edges. The paper reports (and our experiments confirm) that
+//!   it almost never completes a triangle on large sparse graphs.
+//! * [`jowhari_ghodsi`] — the one-pass estimator of Jowhari & Ghodsi
+//!   (COCOON 2005): sample a random edge and keep its entire later
+//!   neighborhood, `O(Δ)` space per estimator and `O(m·r)` total time.
+//! * [`pagh_tsourakakis`] — the colorful triangle counting scheme of Pagh &
+//!   Tsourakakis (IPL 2012), adapted to the adjacency-stream setting: color
+//!   vertices randomly, keep monochromatic edges, count exactly on the
+//!   sparsified graph and rescale.
+
+pub mod buriol;
+pub mod exact_stream;
+pub mod jowhari_ghodsi;
+pub mod pagh_tsourakakis;
+
+pub use buriol::BuriolCounter;
+pub use exact_stream::ExactStreamingCounter;
+pub use jowhari_ghodsi::JowhariGhodsiCounter;
+pub use pagh_tsourakakis::ColorfulTriangleCounter;

@@ -1,0 +1,202 @@
+//! Colorful triangle counting (Pagh & Tsourakakis, IPL 2012), adapted to the
+//! adjacency-stream setting.
+//!
+//! Every vertex is assigned one of `N` colors by a pairwise-independent hash
+//! function; only *monochromatic* edges (both endpoints the same color) are
+//! kept. A triangle survives iff all three vertices share a color, which
+//! happens with probability `1/N²`, so counting the triangles of the
+//! sparsified graph exactly and multiplying by `N²` gives an unbiased
+//! estimate. The expected number of kept edges is `m/N`, so `N` directly
+//! trades memory for variance — the knob the paper contrasts with its own
+//! `mΔ/τ`-driven space bound (§1.2).
+
+use std::collections::{HashMap, HashSet};
+use tristream_graph::{Edge, VertexId};
+
+/// Streaming colorful triangle counter.
+#[derive(Debug, Clone)]
+pub struct ColorfulTriangleCounter {
+    colors: u64,
+    seed: u64,
+    /// Adjacency of the monochromatic subgraph.
+    adjacency: HashMap<VertexId, HashSet<VertexId>>,
+    kept_edges: u64,
+    edges_seen: u64,
+    /// Exact triangle count of the monochromatic subgraph, maintained
+    /// incrementally.
+    sparsified_triangles: u64,
+}
+
+impl ColorfulTriangleCounter {
+    /// Creates a counter with `colors` colors (`N ≥ 1`). `N = 1` keeps every
+    /// edge and degenerates to exact counting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `colors` is zero.
+    pub fn new(colors: u64, seed: u64) -> Self {
+        assert!(colors >= 1, "at least one color is required");
+        Self {
+            colors,
+            seed,
+            adjacency: HashMap::new(),
+            kept_edges: 0,
+            edges_seen: 0,
+            sparsified_triangles: 0,
+        }
+    }
+
+    /// The number of colors `N`.
+    pub fn colors(&self) -> u64 {
+        self.colors
+    }
+
+    /// Number of edges observed so far (kept or not).
+    pub fn edges_seen(&self) -> u64 {
+        self.edges_seen
+    }
+
+    /// Number of monochromatic edges kept so far (the memory footprint).
+    pub fn kept_edges(&self) -> u64 {
+        self.kept_edges
+    }
+
+    /// The color assigned to a vertex: a seeded multiply-shift hash, stable
+    /// across the stream.
+    fn color(&self, v: VertexId) -> u64 {
+        // SplitMix64-style mixing of (seed, vertex id); good enough to act as
+        // a pairwise-independent-ish hash for the sparsification.
+        let mut x = v.raw().wrapping_add(self.seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        x % self.colors
+    }
+
+    /// Processes the next edge.
+    pub fn process_edge(&mut self, edge: Edge) {
+        self.edges_seen += 1;
+        let (u, v) = edge.endpoints();
+        if self.color(u) != self.color(v) {
+            return;
+        }
+        if self.adjacency.get(&u).is_some_and(|n| n.contains(&v)) {
+            return; // duplicate monochromatic edge
+        }
+        // Triangles closed inside the sparsified graph.
+        let common = match (self.adjacency.get(&u), self.adjacency.get(&v)) {
+            (Some(nu), Some(nv)) => {
+                let (small, large) = if nu.len() <= nv.len() { (nu, nv) } else { (nv, nu) };
+                small.iter().filter(|w| large.contains(w)).count() as u64
+            }
+            _ => 0,
+        };
+        self.sparsified_triangles += common;
+        self.adjacency.entry(u).or_default().insert(v);
+        self.adjacency.entry(v).or_default().insert(u);
+        self.kept_edges += 1;
+    }
+
+    /// Processes a whole slice of edges in order.
+    pub fn process_edges(&mut self, edges: &[Edge]) {
+        for &e in edges {
+            self.process_edge(e);
+        }
+    }
+
+    /// The triangle-count estimate: exact count on the monochromatic
+    /// subgraph, rescaled by `N²`.
+    pub fn estimate(&self) -> f64 {
+        self.sparsified_triangles as f64 * (self.colors as f64) * (self.colors as f64)
+    }
+
+    /// The exact triangle count of the sparsified (monochromatic) subgraph.
+    pub fn sparsified_triangles(&self) -> u64 {
+        self.sparsified_triangles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tristream_graph::exact::count_triangles;
+    use tristream_graph::Adjacency;
+    use tristream_sample::mean;
+
+    #[test]
+    #[should_panic]
+    fn zero_colors_panics() {
+        let _ = ColorfulTriangleCounter::new(0, 1);
+    }
+
+    #[test]
+    fn one_color_is_exact() {
+        let stream = tristream_gen::holme_kim(300, 3, 0.6, 3);
+        let truth = count_triangles(&Adjacency::from_stream(&stream));
+        let mut c = ColorfulTriangleCounter::new(1, 7);
+        c.process_edges(stream.edges());
+        assert_eq!(c.sparsified_triangles(), truth);
+        assert_eq!(c.estimate(), truth as f64);
+        assert_eq!(c.kept_edges(), stream.len() as u64);
+    }
+
+    #[test]
+    fn sparsification_reduces_kept_edges_roughly_by_n() {
+        let stream = tristream_gen::gnm(2_000, 20_000, 5);
+        let n_colors = 8u64;
+        let mut c = ColorfulTriangleCounter::new(n_colors, 11);
+        c.process_edges(stream.edges());
+        let expected = stream.len() as f64 / n_colors as f64;
+        let got = c.kept_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.4 * expected,
+            "kept {got}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn estimate_is_unbiased_over_seeds() {
+        // Average the colorful estimate over many hash seeds; it must
+        // converge to the exact count.
+        let stream = tristream_gen::watts_strogatz(400, 4, 0.1, 9);
+        let truth = count_triangles(&Adjacency::from_stream(&stream)) as f64;
+        let estimates: Vec<f64> = (0..600u64)
+            .map(|seed| {
+                let mut c = ColorfulTriangleCounter::new(3, seed);
+                c.process_edges(stream.edges());
+                c.estimate()
+            })
+            .collect();
+        let avg = mean(&estimates);
+        assert!(
+            (avg - truth).abs() < 0.15 * truth,
+            "mean colorful estimate {avg}, truth {truth}"
+        );
+    }
+
+    #[test]
+    fn triangle_free_graph_estimates_zero() {
+        let mut c = ColorfulTriangleCounter::new(4, 3);
+        c.process_edges(tristream_gen::complete_bipartite(10, 10).edges());
+        assert_eq!(c.estimate(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut c = ColorfulTriangleCounter::new(1, 3);
+        c.process_edge(Edge::new(1u64, 2u64));
+        c.process_edge(Edge::new(2u64, 1u64));
+        assert_eq!(c.kept_edges(), 1);
+        assert_eq!(c.edges_seen(), 2);
+    }
+
+    #[test]
+    fn color_assignment_is_stable_and_in_range() {
+        let c = ColorfulTriangleCounter::new(5, 42);
+        for v in 0..1_000u64 {
+            let col = c.color(VertexId(v));
+            assert!(col < 5);
+            assert_eq!(col, c.color(VertexId(v)), "colors must be stable");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Ours vs. the prior-work baselines on the same workload (the
+//! micro-benchmark counterpart of Tables 1 and 2).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tristream_baselines::{
+    BuriolCounter, ColorfulTriangleCounter, ExactStreamingCounter, JowhariGhodsiCounter,
+};
+use tristream_core::BulkTriangleCounter;
+use tristream_gen::random_regular;
+
+fn bench_baselines(c: &mut Criterion) {
+    // The Table 1 workload: a 3-regular graph with 2,000 nodes.
+    let stream = random_regular(2_000, 3, 7);
+    let edges = stream.edges();
+    let r = 4_096usize;
+    let mut group = c.benchmark_group("baselines_syn3reg");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges.len() as u64));
+
+    group.bench_function("ours_bulk", |b| {
+        b.iter(|| {
+            let mut counter = BulkTriangleCounter::new(r, 3);
+            counter.process_stream(edges, 8 * r);
+            counter.estimate()
+        });
+    });
+    group.bench_function("jowhari_ghodsi", |b| {
+        b.iter(|| {
+            let mut counter = JowhariGhodsiCounter::new(r, 3);
+            counter.process_edges(edges);
+            counter.estimate()
+        });
+    });
+    group.bench_function("buriol", |b| {
+        b.iter(|| {
+            let mut counter = BuriolCounter::new(r, 3);
+            counter.process_edges(edges);
+            counter.estimate()
+        });
+    });
+    group.bench_function("pagh_tsourakakis_colorful", |b| {
+        b.iter(|| {
+            let mut counter = ColorfulTriangleCounter::new(4, 3);
+            counter.process_edges(edges);
+            counter.estimate()
+        });
+    });
+    group.bench_function("exact_streaming", |b| {
+        b.iter(|| {
+            let mut counter = ExactStreamingCounter::new();
+            counter.process_edges(edges);
+            counter.triangles()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Cost of 4-clique counting (Type I + Type II pools, §5.1) and of the
+//! transitivity-coefficient estimator (§3.5).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tristream_core::{FourCliqueCounter, TransitivityEstimator};
+use tristream_gen::holme_kim;
+
+fn bench_four_cliques(c: &mut Criterion) {
+    let stream = holme_kim(2_000, 5, 0.6, 3);
+    let edges = stream.edges();
+    let mut group = c.benchmark_group("four_clique_counter");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("r=512", |b| {
+        b.iter(|| {
+            let mut counter = FourCliqueCounter::new(512, 5);
+            counter.process_edges(edges);
+            counter.estimate()
+        });
+    });
+    group.finish();
+}
+
+fn bench_transitivity(c: &mut Criterion) {
+    let stream = holme_kim(2_000, 5, 0.6, 5);
+    let edges = stream.edges();
+    let mut group = c.benchmark_group("transitivity_estimator");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("r=1024", |b| {
+        b.iter(|| {
+            let mut est = TransitivityEstimator::new(1_024, 7);
+            est.process_edges(edges);
+            est.estimate()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_four_cliques, bench_transitivity);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Cost of the individual estimator state machines: the per-edge update of
+//! Algorithm 1, the triangle sampler's rejection step, and the
+//! sliding-window variant.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tristream_core::{SlidingWindowTriangleCounter, TriangleCounter, TriangleSampler};
+use tristream_gen::holme_kim;
+
+fn bench_single_edge_counter(c: &mut Criterion) {
+    let stream = holme_kim(5_000, 4, 0.5, 3);
+    let edges = stream.edges();
+    let mut group = c.benchmark_group("single_edge_counter");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("r=1024", |b| {
+        b.iter(|| {
+            let mut counter = TriangleCounter::new(1_024, 5);
+            counter.process_edges(edges);
+            counter.estimate()
+        });
+    });
+    group.finish();
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let stream = holme_kim(5_000, 4, 0.5, 5);
+    let edges = stream.edges();
+    let mut group = c.benchmark_group("triangle_sampler");
+    group.sample_size(10);
+    group.bench_function("process_and_sample_r=1024", |b| {
+        b.iter(|| {
+            let mut sampler = TriangleSampler::new(1_024, 7);
+            sampler.process_edges(edges);
+            sampler.sample_one()
+        });
+    });
+    group.finish();
+}
+
+fn bench_sliding_window(c: &mut Criterion) {
+    let stream = holme_kim(5_000, 4, 0.5, 9);
+    let edges = stream.edges();
+    let mut group = c.benchmark_group("sliding_window");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("r=256_w=4096", |b| {
+        b.iter(|| {
+            let mut counter = SlidingWindowTriangleCounter::new(256, 4_096, 11);
+            counter.process_edges(edges);
+            counter.estimate()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_edge_counter, bench_sampler, bench_sliding_window);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Per-edge / per-batch processing cost of the bulk algorithm (the
+//! micro-benchmark counterpart of Figure 4 and Figure 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tristream_core::BulkTriangleCounter;
+use tristream_gen::holme_kim;
+
+fn bench_bulk_throughput(c: &mut Criterion) {
+    let stream = holme_kim(20_000, 5, 0.4, 7);
+    let edges = stream.edges();
+    let mut group = c.benchmark_group("bulk_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    for &r in &[1_024usize, 8_192, 32_768] {
+        group.bench_with_input(BenchmarkId::new("estimators", r), &r, |b, &r| {
+            b.iter(|| {
+                let mut counter = BulkTriangleCounter::new(r, 3);
+                counter.process_stream(edges, 8 * r);
+                counter.estimate()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_size(c: &mut Criterion) {
+    let stream = holme_kim(20_000, 5, 0.4, 9);
+    let edges = stream.edges();
+    let r = 8_192usize;
+    let mut group = c.benchmark_group("batch_size");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    for &factor in &[1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("w_over_r", factor), &factor, |b, &factor| {
+            b.iter(|| {
+                let mut counter = BulkTriangleCounter::new(r, 3);
+                counter.process_stream(edges, r * factor);
+                counter.estimate()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulk_throughput, bench_batch_size);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Regenerates Figure 4 of the paper: average throughput (million edges per
+//! second) of the bulk algorithm on every dataset stand-in as the number of
+//! estimators varies.
+
+use tristream_bench::experiments::figure4;
+use tristream_bench::write_csv;
+
+fn main() {
+    let table = figure4();
+    println!("{}", table.render());
+    let path = write_csv(&table, "figure4");
+    println!("CSV written to {}", path.display());
+}

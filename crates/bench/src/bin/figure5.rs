@@ -1,0 +1,13 @@
+//! Regenerates Figure 5 of the paper: running time, throughput and relative
+//! error as the number of estimators sweeps geometrically on the Youtube and
+//! LiveJournal stand-ins, alongside the Theorem 3.3 error bound.
+
+use tristream_bench::experiments::figure5;
+use tristream_bench::write_csv;
+
+fn main() {
+    let table = figure5();
+    println!("{}", table.render());
+    let path = write_csv(&table, "figure5");
+    println!("CSV written to {}", path.display());
+}

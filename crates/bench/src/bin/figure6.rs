@@ -1,0 +1,12 @@
+//! Regenerates Figure 6 of the paper: throughput of the bulk algorithm as
+//! the batch size varies on the LiveJournal stand-in.
+
+use tristream_bench::experiments::figure6;
+use tristream_bench::write_csv;
+
+fn main() {
+    let table = figure6();
+    println!("{}", table.render());
+    let path = write_csv(&table, "figure6");
+    println!("CSV written to {}", path.display());
+}

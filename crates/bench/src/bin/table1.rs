@@ -1,0 +1,14 @@
+//! Regenerates Table 1 of the paper: Jowhari–Ghodsi vs. our bulk algorithm
+//! on the synthetic 3-regular graph (n = 2,000, m = 3,000, τ = 1,000) as the
+//! number of estimators varies over {1K, 10K, 100K}.
+
+use tristream_bench::experiments::baseline_study;
+use tristream_bench::write_csv;
+use tristream_gen::DatasetKind;
+
+fn main() {
+    let table = baseline_study(DatasetKind::Syn3Regular);
+    println!("{}", table.render());
+    let path = write_csv(&table, "table1");
+    println!("CSV written to {}", path.display());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 2 of the paper: Jowhari–Ghodsi vs. our bulk algorithm
+//! on the Hep-Th collaboration-network stand-in as the number of estimators
+//! varies over {1K, 10K, 100K}.
+
+use tristream_bench::experiments::baseline_study;
+use tristream_bench::write_csv;
+use tristream_gen::DatasetKind;
+
+fn main() {
+    let table = baseline_study(DatasetKind::HepTh);
+    println!("{}", table.render());
+    let path = write_csv(&table, "table2");
+    println!("CSV written to {}", path.display());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table 3 of the paper: min/mean/max relative deviation, median
+//! runtime and I/O time of the bulk algorithm across all Figure 3 dataset
+//! stand-ins and three estimator-pool sizes.
+
+use tristream_bench::experiments::table3;
+use tristream_bench::write_csv;
+
+fn main() {
+    let table = table3();
+    println!("{}", table.render());
+    let path = write_csv(&table, "table3");
+    println!("CSV written to {}", path.display());
+}

@@ -1,0 +1,167 @@
+//! Rendering experiment results: fixed-width tables on stdout and CSV files
+//! under `target/experiments/`.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A simple column-aligned table: a header row plus data rows, rendered to
+/// stdout by the experiment binaries and to CSV for EXPERIMENTS.md.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one data row. The number of cells should match the header;
+    /// short rows are padded with empty cells when rendering.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as an aligned text block.
+    pub fn render(&self) -> String {
+        let columns = self.header.len().max(
+            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
+        );
+        let mut widths = vec![0usize; columns];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+
+        let render_row = |row: &[String], widths: &[usize]| -> String {
+            let mut out = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                out.push_str(&format!("{cell:<width$}  "));
+            }
+            out.trim_end().to_string()
+        };
+
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + rows, comma-separated, quotes
+    /// around cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Writes a table's CSV rendering to `target/experiments/<name>.csv` and
+/// returns the path written (best effort: falls back to a temp directory if
+/// `target/` is not writable).
+pub fn write_csv(table: &ExperimentTable, name: &str) -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    let dir = if fs::create_dir_all(&dir).is_ok() { dir } else { std::env::temp_dir() };
+    let path = dir.join(format!("{name}.csv"));
+    if let Ok(mut file) = fs::File::create(&path) {
+        let _ = file.write_all(table.to_csv().as_bytes());
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> ExperimentTable {
+        let mut t = ExperimentTable::new("Demo", &["dataset", "r", "error %"]);
+        t.push_row(vec!["amazon".into(), "1024".into(), "6.28".into()]);
+        t.push_row(vec!["orkut, scaled".into(), "1048576".into(), "3.55".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns_and_includes_everything() {
+        let text = sample_table().render();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("dataset"));
+        assert!(text.contains("amazon"));
+        assert!(text.contains("3.55"));
+        // All rows rendered.
+        assert_eq!(text.lines().count(), 2 /* title+header */ + 1 /* rule */ + 2);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let csv = sample_table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "dataset,r,error %");
+        assert!(lines[2].starts_with("\"orkut, scaled\""));
+    }
+
+    #[test]
+    fn write_csv_creates_a_file() {
+        let path = write_csv(&sample_table(), "unit-test-table");
+        assert!(path.exists());
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.contains("amazon"));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_table_is_well_formed() {
+        let t = ExperimentTable::new("Empty", &["a", "b"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.render().contains("Empty"));
+        assert_eq!(t.to_csv(), "a,b\n");
+    }
+}

@@ -1,0 +1,381 @@
+//! Hand-rolled argument parsing for the `tristream-cli` binary.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors produced while parsing the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// The subcommand is not one of the known ones.
+    UnknownCommand(String),
+    /// A required positional argument is missing.
+    MissingArgument(&'static str),
+    /// A flag that needs a value did not get one, or the value failed to
+    /// parse.
+    BadFlagValue(String),
+    /// An unrecognised flag was supplied.
+    UnknownFlag(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingCommand => write!(f, "no command given; try `tristream-cli help`"),
+            CliError::UnknownCommand(c) => write!(f, "unknown command {c:?}; try `tristream-cli help`"),
+            CliError::MissingArgument(what) => write!(f, "missing required argument: {what}"),
+            CliError::BadFlagValue(flag) => write!(f, "flag {flag} needs a valid value"),
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag {flag}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// A fully parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print the help text.
+    Help,
+    /// Exact structural summary of an edge-list file.
+    Summary {
+        /// Path to the edge-list file.
+        input: PathBuf,
+    },
+    /// Streaming (or exact) triangle count of an edge-list file.
+    Count {
+        /// Path to the edge-list file.
+        input: PathBuf,
+        /// Number of estimators.
+        estimators: usize,
+        /// Batch size (defaults to 8 × estimators when `None`).
+        batch: Option<usize>,
+        /// RNG seed.
+        seed: u64,
+        /// Use the exact streaming counter instead of estimation.
+        exact: bool,
+    },
+    /// Streaming transitivity-coefficient estimate.
+    Transitivity {
+        /// Path to the edge-list file.
+        input: PathBuf,
+        /// Number of estimators (per pool).
+        estimators: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Uniformly sample `k` triangles.
+    Sample {
+        /// Path to the edge-list file.
+        input: PathBuf,
+        /// Number of triangles to sample.
+        k: usize,
+        /// Number of estimators.
+        estimators: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Generate a dataset stand-in and write it as an edge list.
+    Generate {
+        /// Dataset slug (e.g. `orkut`, `dblp`, `syn-3-reg`).
+        dataset: String,
+        /// Extra scale-down denominator.
+        scale: u64,
+        /// RNG seed.
+        seed: u64,
+        /// Output path.
+        output: PathBuf,
+    },
+}
+
+/// The help text printed by `tristream-cli help` (and on parse errors).
+pub const HELP: &str = "\
+tristream-cli — streaming triangle counting and sampling (Pavan et al., VLDB 2013)
+
+USAGE:
+  tristream-cli summary      <EDGE_LIST>
+  tristream-cli count        <EDGE_LIST> [--estimators N] [--batch W] [--seed S] [--exact]
+  tristream-cli transitivity <EDGE_LIST> [--estimators N] [--seed S]
+  tristream-cli sample       <EDGE_LIST> [-k K] [--estimators N] [--seed S]
+  tristream-cli generate     <DATASET>   [--scale D] [--seed S] --output FILE
+  tristream-cli help
+
+Edge lists are SNAP-style text files: one `u v` pair per line, `#` comments.
+Datasets for `generate`: amazon, dblp, youtube, livejournal, orkut,
+syn-d-regular, hep-th, syn-3-reg.
+";
+
+fn parse_flag_value<T: std::str::FromStr>(
+    flag: &str,
+    value: Option<&String>,
+) -> Result<T, CliError> {
+    value
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CliError::BadFlagValue(flag.to_string()))
+}
+
+/// Parses the command line (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let command = it.next().ok_or(CliError::MissingCommand)?;
+    let rest: Vec<String> = it.cloned().collect();
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "summary" => {
+            let input = positional(&rest, 0, "edge-list path")?;
+            reject_unknown_flags(&rest[1..], &[])?;
+            Ok(Command::Summary { input: PathBuf::from(input) })
+        }
+        "count" => {
+            let input = positional(&rest, 0, "edge-list path")?;
+            let mut estimators = 100_000usize;
+            let mut batch = None;
+            let mut seed = 1u64;
+            let mut exact = false;
+            let mut i = 1;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--estimators" | "-r" => {
+                        estimators = parse_flag_value("--estimators", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    "--batch" | "-w" => {
+                        batch = Some(parse_flag_value("--batch", rest.get(i + 1))?);
+                        i += 2;
+                    }
+                    "--seed" => {
+                        seed = parse_flag_value("--seed", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    "--exact" => {
+                        exact = true;
+                        i += 1;
+                    }
+                    other => return Err(CliError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Count { input: PathBuf::from(input), estimators, batch, seed, exact })
+        }
+        "transitivity" => {
+            let input = positional(&rest, 0, "edge-list path")?;
+            let mut estimators = 100_000usize;
+            let mut seed = 1u64;
+            let mut i = 1;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--estimators" | "-r" => {
+                        estimators = parse_flag_value("--estimators", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        seed = parse_flag_value("--seed", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    other => return Err(CliError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Transitivity { input: PathBuf::from(input), estimators, seed })
+        }
+        "sample" => {
+            let input = positional(&rest, 0, "edge-list path")?;
+            let mut k = 1usize;
+            let mut estimators = 50_000usize;
+            let mut seed = 1u64;
+            let mut i = 1;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "-k" | "--samples" => {
+                        k = parse_flag_value("-k", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    "--estimators" | "-r" => {
+                        estimators = parse_flag_value("--estimators", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        seed = parse_flag_value("--seed", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    other => return Err(CliError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Sample { input: PathBuf::from(input), k, estimators, seed })
+        }
+        "generate" => {
+            let dataset = positional(&rest, 0, "dataset name")?;
+            let mut scale = 1u64;
+            let mut seed = 1u64;
+            let mut output: Option<PathBuf> = None;
+            let mut i = 1;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--scale" => {
+                        scale = parse_flag_value("--scale", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        seed = parse_flag_value("--seed", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    "--output" | "-o" => {
+                        output = Some(PathBuf::from(
+                            rest.get(i + 1).ok_or_else(|| CliError::BadFlagValue("--output".into()))?,
+                        ));
+                        i += 2;
+                    }
+                    other => return Err(CliError::UnknownFlag(other.to_string())),
+                }
+            }
+            let output = output.ok_or(CliError::MissingArgument("--output FILE"))?;
+            Ok(Command::Generate { dataset, scale, seed, output })
+        }
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn positional(rest: &[String], index: usize, what: &'static str) -> Result<String, CliError> {
+    rest.get(index)
+        .filter(|v| !v.starts_with('-'))
+        .cloned()
+        .ok_or(CliError::MissingArgument(what))
+}
+
+fn reject_unknown_flags(rest: &[String], allowed: &[&str]) -> Result<(), CliError> {
+    for arg in rest {
+        if arg.starts_with('-') && !allowed.contains(&arg.as_str()) {
+            return Err(CliError::UnknownFlag(arg.clone()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_variants_parse() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(parse_args(&args(&[h])).unwrap(), Command::Help);
+        }
+    }
+
+    #[test]
+    fn missing_and_unknown_commands_error() {
+        assert_eq!(parse_args(&[]).unwrap_err(), CliError::MissingCommand);
+        assert!(matches!(
+            parse_args(&args(&["frobnicate"])).unwrap_err(),
+            CliError::UnknownCommand(_)
+        ));
+    }
+
+    #[test]
+    fn summary_requires_an_input() {
+        assert!(matches!(
+            parse_args(&args(&["summary"])).unwrap_err(),
+            CliError::MissingArgument(_)
+        ));
+        assert_eq!(
+            parse_args(&args(&["summary", "g.txt"])).unwrap(),
+            Command::Summary { input: PathBuf::from("g.txt") }
+        );
+    }
+
+    #[test]
+    fn count_defaults_and_flags() {
+        let c = parse_args(&args(&["count", "g.txt"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Count {
+                input: PathBuf::from("g.txt"),
+                estimators: 100_000,
+                batch: None,
+                seed: 1,
+                exact: false
+            }
+        );
+        let c = parse_args(&args(&[
+            "count", "g.txt", "-r", "5000", "--batch", "4096", "--seed", "9", "--exact",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Count {
+                input: PathBuf::from("g.txt"),
+                estimators: 5_000,
+                batch: Some(4_096),
+                seed: 9,
+                exact: true
+            }
+        );
+    }
+
+    #[test]
+    fn count_rejects_bad_values_and_unknown_flags() {
+        assert!(matches!(
+            parse_args(&args(&["count", "g.txt", "--estimators", "lots"])).unwrap_err(),
+            CliError::BadFlagValue(_)
+        ));
+        assert!(matches!(
+            parse_args(&args(&["count", "g.txt", "--bogus"])).unwrap_err(),
+            CliError::UnknownFlag(_)
+        ));
+        assert!(matches!(
+            parse_args(&args(&["count", "g.txt", "--estimators"])).unwrap_err(),
+            CliError::BadFlagValue(_)
+        ));
+    }
+
+    #[test]
+    fn sample_and_transitivity_parse() {
+        let s = parse_args(&args(&["sample", "g.txt", "-k", "7", "--estimators", "1000"])).unwrap();
+        assert_eq!(
+            s,
+            Command::Sample {
+                input: PathBuf::from("g.txt"),
+                k: 7,
+                estimators: 1_000,
+                seed: 1
+            }
+        );
+        let t = parse_args(&args(&["transitivity", "g.txt", "--seed", "3"])).unwrap();
+        assert_eq!(
+            t,
+            Command::Transitivity { input: PathBuf::from("g.txt"), estimators: 100_000, seed: 3 }
+        );
+    }
+
+    #[test]
+    fn generate_requires_output() {
+        assert!(matches!(
+            parse_args(&args(&["generate", "orkut"])).unwrap_err(),
+            CliError::MissingArgument(_)
+        ));
+        let g = parse_args(&args(&[
+            "generate", "orkut", "--scale", "64", "--seed", "2", "--output", "o.txt",
+        ]))
+        .unwrap();
+        assert_eq!(
+            g,
+            Command::Generate {
+                dataset: "orkut".into(),
+                scale: 64,
+                seed: 2,
+                output: PathBuf::from("o.txt")
+            }
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(CliError::MissingCommand.to_string().contains("help"));
+        assert!(CliError::UnknownCommand("x".into()).to_string().contains('x'));
+        assert!(CliError::BadFlagValue("--seed".into()).to_string().contains("--seed"));
+        assert!(!HELP.is_empty());
+    }
+}

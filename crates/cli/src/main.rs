@@ -1,0 +1,31 @@
+//! Binary entry point for `tristream-cli`. All logic lives in the library
+//! (`tristream_cli::args` and `tristream_cli::commands`) so it can be unit
+//! tested; this file only wires stdin/stdout/exit codes.
+
+use std::process::ExitCode;
+use tristream_cli::{parse_args, run, CliError};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&args) {
+        Ok(command) => command,
+        Err(err) => {
+            eprintln!("error: {err}");
+            if !matches!(err, CliError::MissingCommand) {
+                eprintln!();
+            }
+            eprintln!("{}", tristream_cli::args::HELP);
+            return ExitCode::from(2);
+        }
+    };
+    match run(command) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! Bulk (batched) processing of the edge stream — §3.3 of the paper,
+//! Theorem 3.5.
+//!
+//! Processing each edge through all `r` estimators costs `O(m·r)` total
+//! time. The bulk algorithm instead ingests a *batch* of `w` edges and
+//! advances all estimators to the state they would reach after observing the
+//! batch one edge at a time, in only `O(r + w)` time and `O(r + w)` working
+//! space:
+//!
+//! 1. **Level-1 resampling** — one reservoir draw per estimator over
+//!    "old stream vs. this batch".
+//! 2. **Level-2 candidate tracking** — the candidate set `N(r₁) ∩ B` is
+//!    characterised implicitly by vertex degrees within the batch
+//!    (Observation 3.6). A first pass of the degree-keeping edge iterator
+//!    (`edgeIter`, Algorithm 2) records, for each estimator, the batch
+//!    degrees of `r₁`'s endpoints at the moment `r₁` arrived (β values) and
+//!    at the end of the batch; a single `randInt` per estimator then decides
+//!    whether to keep the current `r₂` or subscribe to the EVENT_B that will
+//!    produce the new one (Algorithm 3), and a second pass resolves those
+//!    subscriptions to concrete edges.
+//! 3. **Wedge closing** — a hash table keyed by the (unique) edge that would
+//!    close each estimator's wedge is consulted while scanning the batch.
+//!
+//! The result is *distributionally identical* to one-at-a-time processing:
+//! every estimator ends the batch with `r₁` uniform over the whole stream,
+//! `r₂` uniform over `N(r₁)`, `c = |N(r₁)|`, and the closing edge found iff
+//! one arrived after `r₂` — the property the accuracy theorems rely on and
+//! the property the test suite checks explicitly.
+
+use crate::counter::Aggregation;
+use crate::estimator::{EstimatorState, PositionedEdge};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use tristream_graph::{Edge, VertexId};
+use tristream_sample::{mean, median_of_means, GeometricSkip};
+
+/// How Step 1 (level-1 resampling) walks over the estimator pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Level1Strategy {
+    /// One reservoir draw per estimator per batch — the straightforward
+    /// `O(r)` implementation of the conceptual algorithm.
+    #[default]
+    PerEstimator,
+    /// The §4 optimisation: as the stream grows, the per-estimator
+    /// replacement probability `w/(m+w)` shrinks, so instead of touching all
+    /// `r` estimators the implementation draws geometric gaps between the
+    /// estimators that actually replace their level-1 edge and skips the
+    /// rest. Expected work per batch is `O(r·w/(m+w) + w)`.
+    GeometricSkip,
+}
+
+/// Streaming triangle counter that ingests edges in batches in
+/// `O(r + w)` time per batch (Theorem 3.5).
+#[derive(Debug, Clone)]
+pub struct BulkTriangleCounter {
+    estimators: Vec<EstimatorState>,
+    edges_seen: u64,
+    rng: SmallRng,
+    aggregation: Aggregation,
+    level1_strategy: Level1Strategy,
+}
+
+impl BulkTriangleCounter {
+    /// Creates a bulk counter with `r` estimators and plain-mean aggregation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero.
+    pub fn new(r: usize, seed: u64) -> Self {
+        Self::with_aggregation(r, seed, Aggregation::Mean)
+    }
+
+    /// Creates a bulk counter with an explicit aggregation strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero, or if a median-of-means aggregation requests
+    /// zero groups.
+    pub fn with_aggregation(r: usize, seed: u64, aggregation: Aggregation) -> Self {
+        assert!(r > 0, "at least one estimator is required");
+        if let Aggregation::MedianOfMeans { groups } = aggregation {
+            assert!(groups > 0, "median-of-means needs at least one group");
+        }
+        Self {
+            estimators: vec![EstimatorState::new(); r],
+            edges_seen: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            aggregation,
+            level1_strategy: Level1Strategy::default(),
+        }
+    }
+
+    /// Selects how level-1 resampling iterates over the pool (see
+    /// [`Level1Strategy`]); returns `self` for builder-style chaining.
+    pub fn with_level1_strategy(mut self, strategy: Level1Strategy) -> Self {
+        self.level1_strategy = strategy;
+        self
+    }
+
+    /// The level-1 resampling strategy in use.
+    pub fn level1_strategy(&self) -> Level1Strategy {
+        self.level1_strategy
+    }
+
+    /// Approximate resident memory of the estimator pool in bytes — the
+    /// quantity the paper reports as "36 bytes per estimator" for its C++
+    /// implementation (our states are larger because they keep full edges
+    /// and positions for the sampler and the test invariants).
+    pub fn estimator_memory_bytes(&self) -> usize {
+        self.estimators.len() * std::mem::size_of::<EstimatorState>()
+    }
+
+    /// Number of estimators `r`.
+    pub fn num_estimators(&self) -> usize {
+        self.estimators.len()
+    }
+
+    /// Number of edges observed so far (`m`).
+    pub fn edges_seen(&self) -> u64 {
+        self.edges_seen
+    }
+
+    /// Read-only view of the estimator states.
+    pub fn estimators(&self) -> &[EstimatorState] {
+        &self.estimators
+    }
+
+    /// Processes a whole stream by cutting it into batches of `batch_size`
+    /// edges. A batch size of `Θ(r)` (the paper suggests `w = 8r` in the
+    /// experiments) gives `O(m + r)` total time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn process_stream(&mut self, edges: &[Edge], batch_size: usize) {
+        assert!(batch_size > 0, "batch size must be positive");
+        for chunk in edges.chunks(batch_size) {
+            self.process_batch(chunk);
+        }
+    }
+
+    /// Ingests one batch of edges, advancing every estimator as if the edges
+    /// had been processed one at a time in order.
+    pub fn process_batch(&mut self, batch: &[Edge]) {
+        let w = batch.len();
+        if w == 0 {
+            return;
+        }
+        let m = self.edges_seen;
+        let r = self.estimators.len();
+
+        // ---- Step 1: level-1 reservoir over (old stream) ++ (batch). ------
+        // `replaced_at[i]` holds the batch index the i-th estimator's new
+        // level-1 edge came from, if it was replaced this batch.
+        let mut replaced_at: Vec<Option<usize>> = vec![None; r];
+        match self.level1_strategy {
+            Level1Strategy::PerEstimator => {
+                for (idx, est) in self.estimators.iter_mut().enumerate() {
+                    let total = m + w as u64;
+                    let draw = self.rng.gen_range(0..total);
+                    if draw >= m {
+                        let k = (draw - m) as usize;
+                        est.r1 = Some(PositionedEdge::new(batch[k], m + k as u64 + 1));
+                        est.r2 = None;
+                        est.c = 0;
+                        est.closer = None;
+                        replaced_at[idx] = Some(k);
+                    }
+                }
+            }
+            Level1Strategy::GeometricSkip => {
+                // Each estimator replaces independently with probability
+                // w/(m+w); enumerate only the successes via geometric gaps
+                // (the §4 optimisation). Which batch edge is taken is a
+                // second, uniform draw, exactly as in the per-estimator path.
+                let p = w as f64 / (m + w as u64) as f64;
+                let mut skip = GeometricSkip::new(p);
+                for idx in skip.successes_up_to(&mut self.rng, r as u64) {
+                    let idx = (idx - 1) as usize;
+                    let k = self.rng.gen_range(0..w);
+                    let est = &mut self.estimators[idx];
+                    est.r1 = Some(PositionedEdge::new(batch[k], m + k as u64 + 1));
+                    est.r2 = None;
+                    est.c = 0;
+                    est.closer = None;
+                    replaced_at[idx] = Some(k);
+                }
+            }
+        }
+
+        // ---- Step 2a: first edgeIter pass — record β values and degB. -----
+        // L maps a batch index to the estimators whose level-1 edge is that
+        // batch edge (the "inverted index" of the paper).
+        let mut level1_at_index: Vec<Vec<u32>> = vec![Vec::new(); w];
+        for (idx, &at) in replaced_at.iter().enumerate() {
+            if let Some(k) = at {
+                level1_at_index[k].push(idx as u32);
+            }
+        }
+        // β values per estimator, in the (u, v) order of the level-1 edge.
+        let mut beta: Vec<(u64, u64)> = vec![(0, 0); r];
+        let mut deg: HashMap<VertexId, u64> = HashMap::with_capacity(2 * w);
+        for (i, e) in batch.iter().enumerate() {
+            *deg.entry(e.u()).or_insert(0) += 1;
+            *deg.entry(e.v()).or_insert(0) += 1;
+            for &est_idx in &level1_at_index[i] {
+                let r1_edge = self.estimators[est_idx as usize]
+                    .r1
+                    .expect("estimator replaced this batch has a level-1 edge")
+                    .edge;
+                debug_assert_eq!(r1_edge, *e);
+                beta[est_idx as usize] = (deg[&r1_edge.u()], deg[&r1_edge.v()]);
+            }
+        }
+        let final_deg = deg;
+
+        // ---- Step 2b: one randInt per estimator; subscribe to EVENT_B. ----
+        // P maps (vertex, degree-after-update) to the estimators whose new
+        // level-2 edge is the batch edge generating that event.
+        let mut subscriptions: HashMap<(VertexId, u64), Vec<u32>> = HashMap::new();
+        for (idx, est) in self.estimators.iter_mut().enumerate() {
+            let r1 = match est.r1 {
+                Some(r1) => r1,
+                None => continue,
+            };
+            let (x, y) = r1.edge.endpoints();
+            let (beta_x, beta_y) = beta[idx];
+            let deg_x = final_deg.get(&x).copied().unwrap_or(0);
+            let deg_y = final_deg.get(&y).copied().unwrap_or(0);
+            let a = deg_x - beta_x;
+            let b = deg_y - beta_y;
+            let c_minus = est.c;
+            let c_plus = a + b;
+            if c_plus == 0 {
+                continue; // nothing new adjacent to r1 in this batch
+            }
+            let total = c_minus + c_plus;
+            let phi = self.rng.gen_range(1..=total);
+            est.c = total;
+            if phi <= c_minus {
+                // Keep the existing level-2 edge (and any closed triangle).
+                continue;
+            }
+            // A new level-2 edge will come from this batch; the triangle (if
+            // any) is no longer valid.
+            est.r2 = None;
+            est.closer = None;
+            let (vertex, target_degree) = if phi <= c_minus + a {
+                (x, beta_x + (phi - c_minus))
+            } else {
+                (y, beta_y + (phi - c_minus - a))
+            };
+            subscriptions.entry((vertex, target_degree)).or_default().push(idx as u32);
+        }
+
+        // ---- Step 2c: second edgeIter pass — resolve events to edges. -----
+        if !subscriptions.is_empty() {
+            let mut deg: HashMap<VertexId, u64> = HashMap::with_capacity(2 * w);
+            for (i, e) in batch.iter().enumerate() {
+                let position = m + i as u64 + 1;
+                for vertex in [e.u(), e.v()] {
+                    let d = {
+                        let entry = deg.entry(vertex).or_insert(0);
+                        *entry += 1;
+                        *entry
+                    };
+                    if let Some(list) = subscriptions.remove(&(vertex, d)) {
+                        for est_idx in list {
+                            let est = &mut self.estimators[est_idx as usize];
+                            est.r2 = Some(PositionedEdge::new(*e, position));
+                            est.closer = None;
+                        }
+                    }
+                }
+                if subscriptions.is_empty() {
+                    break;
+                }
+            }
+            debug_assert!(
+                subscriptions.is_empty(),
+                "every EVENT_B subscription must resolve within the batch"
+            );
+        }
+
+        // ---- Step 3: find wedge-closing edges within the batch. -----------
+        // Q maps the unique edge that would close each estimator's wedge to
+        // the estimators waiting for it.
+        let mut waiting: HashMap<Edge, Vec<u32>> = HashMap::new();
+        for (idx, est) in self.estimators.iter().enumerate() {
+            if est.closer.is_some() {
+                continue;
+            }
+            let (r1, r2) = match (est.r1, est.r2) {
+                (Some(r1), Some(r2)) => (r1, r2),
+                _ => continue,
+            };
+            if let Some(shared) = r1.edge.shared_vertex(&r2.edge) {
+                let p = r1.edge.other_endpoint(shared).expect("edge has two endpoints");
+                let q = r2.edge.other_endpoint(shared).expect("edge has two endpoints");
+                if p != q {
+                    waiting.entry(Edge::new(p, q)).or_default().push(idx as u32);
+                }
+            }
+        }
+        if !waiting.is_empty() {
+            for (i, e) in batch.iter().enumerate() {
+                let position = m + i as u64 + 1;
+                if let Some(list) = waiting.get(e) {
+                    for &est_idx in list {
+                        let est = &mut self.estimators[est_idx as usize];
+                        let r2 = est.r2.expect("waiting estimators have a level-2 edge");
+                        if est.closer.is_none() && position > r2.position {
+                            est.closer = Some(PositionedEdge::new(*e, position));
+                        }
+                    }
+                }
+            }
+        }
+
+        self.edges_seen += w as u64;
+    }
+
+    /// Per-estimator unbiased triangle estimates (Lemma 3.2).
+    pub fn raw_estimates(&self) -> Vec<f64> {
+        self.estimators.iter().map(|e| e.triangle_estimate(self.edges_seen)).collect()
+    }
+
+    /// The aggregated triangle-count estimate.
+    pub fn estimate(&self) -> f64 {
+        let raw = self.raw_estimates();
+        match self.aggregation {
+            Aggregation::Mean => mean(&raw),
+            Aggregation::MedianOfMeans { groups } => median_of_means(&raw, groups),
+        }
+    }
+
+    /// Number of estimators currently holding a triangle.
+    pub fn estimators_with_triangle(&self) -> usize {
+        self.estimators.iter().filter(|e| e.has_triangle()).count()
+    }
+
+    /// The aggregated estimate under an explicit aggregation (ablations).
+    pub fn estimate_with(&self, aggregation: Aggregation) -> f64 {
+        let raw = self.raw_estimates();
+        match aggregation {
+            Aggregation::Mean => mean(&raw),
+            Aggregation::MedianOfMeans { groups } => median_of_means(&raw, groups),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as StdHashMap;
+    use tristream_graph::exact::{count_triangles, edge_neighborhood_sizes};
+    use tristream_graph::{Adjacency, EdgeStream};
+
+    fn k_n_edges(n: u64) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                edges.push(Edge::new(i, j));
+            }
+        }
+        edges
+    }
+
+    /// Checks the paper's state invariants for every estimator against the
+    /// exact stream: c = |N(r1)|, r2 ∈ N(r1), positions consistent, closer
+    /// really closes the wedge after r2.
+    fn assert_invariants(counter: &BulkTriangleCounter, stream: &EdgeStream) {
+        let exact_c = edge_neighborhood_sizes(stream);
+        let positions: StdHashMap<Edge, u64> =
+            stream.iter_positioned().map(|(p, e)| (e, p)).collect();
+        for (i, est) in counter.estimators().iter().enumerate() {
+            let r1 = est.r1.expect("non-empty stream yields a level-1 edge");
+            assert_eq!(positions[&r1.edge], r1.position, "estimator {i}: r1 position");
+            assert_eq!(
+                est.c, exact_c[&r1.edge],
+                "estimator {i}: c must equal |N(r1)| for r1 {:?}",
+                r1.edge
+            );
+            if let Some(r2) = est.r2 {
+                assert_eq!(positions[&r2.edge], r2.position, "estimator {i}: r2 position");
+                assert!(r2.position > r1.position, "estimator {i}: r2 arrives after r1");
+                assert!(r2.edge.is_adjacent(&r1.edge), "estimator {i}: r2 adjacent to r1");
+            } else {
+                assert_eq!(est.c, 0, "estimator {i}: empty neighborhood iff no r2");
+            }
+            if let Some(closer) = est.closer {
+                let r2 = est.r2.expect("closer requires r2");
+                assert!(closer.position > r2.position, "estimator {i}: closer after r2");
+                assert!(
+                    closer.edge.closes_wedge(&r1.edge, &r2.edge),
+                    "estimator {i}: closer must close the wedge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_estimators_panics() {
+        let _ = BulkTriangleCounter::new(0, 1);
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let mut c = BulkTriangleCounter::new(8, 1);
+        c.process_batch(&[]);
+        assert_eq!(c.edges_seen(), 0);
+        assert_eq!(c.estimate(), 0.0);
+    }
+
+    #[test]
+    fn invariants_hold_for_various_batch_sizes() {
+        let stream = tristream_gen::planted_triangles(25, 60, 5);
+        for &batch_size in &[1usize, 2, 3, 7, 16, 64, 1024] {
+            let mut counter = BulkTriangleCounter::new(64, 99);
+            counter.process_stream(stream.edges(), batch_size);
+            assert_eq!(counter.edges_seen(), stream.len() as u64);
+            assert_invariants(&counter, &stream);
+        }
+    }
+
+    #[test]
+    fn invariants_hold_on_hub_heavy_graphs() {
+        let stream = tristream_gen::barabasi_albert_shuffled(400, 3, 12);
+        let mut counter = BulkTriangleCounter::new(128, 3);
+        counter.process_stream(stream.edges(), 37);
+        assert_invariants(&counter, &stream);
+    }
+
+    #[test]
+    fn counts_k8_accurately() {
+        let edges = k_n_edges(8);
+        let truth = 56.0;
+        let mut c = BulkTriangleCounter::new(4_000, 21);
+        c.process_stream(&edges, 5);
+        let est = c.estimate();
+        assert!((est - truth).abs() < 0.15 * truth, "estimate {est}");
+    }
+
+    #[test]
+    fn batch_size_does_not_change_the_distribution() {
+        // The estimate averaged over seeds must be unbiased regardless of the
+        // batch size, and roughly equal across batch sizes.
+        let stream = tristream_gen::planted_triangles(30, 90, 8);
+        let truth = 30.0;
+        let mut means = Vec::new();
+        for &batch_size in &[1usize, 8, 97, 4096] {
+            let mut sum = 0.0;
+            let runs = 40u64;
+            for seed in 0..runs {
+                let mut c = BulkTriangleCounter::new(256, seed);
+                c.process_stream(stream.edges(), batch_size);
+                sum += c.estimate();
+            }
+            means.push(sum / runs as f64);
+        }
+        for (i, m) in means.iter().enumerate() {
+            assert!(
+                (m - truth).abs() < 0.25 * truth,
+                "batch-size case {i}: mean {m}, truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_matches_one_at_a_time_statistically() {
+        // Same number of estimators, same stream: the two implementations
+        // must produce estimates with the same expectation.
+        use crate::counter::TriangleCounter;
+        let stream = tristream_gen::holme_kim(300, 3, 0.6, 9);
+        let truth = count_triangles(&Adjacency::from_stream(&stream)) as f64;
+        let runs = 30u64;
+        let (mut bulk_sum, mut single_sum) = (0.0, 0.0);
+        for seed in 0..runs {
+            let mut bulk = BulkTriangleCounter::new(512, seed);
+            bulk.process_stream(stream.edges(), 128);
+            bulk_sum += bulk.estimate();
+            let mut single = TriangleCounter::new(512, seed);
+            single.process_edges(stream.edges());
+            single_sum += single.estimate();
+        }
+        let bulk_mean = bulk_sum / runs as f64;
+        let single_mean = single_sum / runs as f64;
+        assert!(
+            (bulk_mean - truth).abs() < 0.3 * truth,
+            "bulk mean {bulk_mean}, truth {truth}"
+        );
+        assert!(
+            (single_mean - truth).abs() < 0.3 * truth,
+            "single mean {single_mean}, truth {truth}"
+        );
+    }
+
+    #[test]
+    fn triangle_free_stream_estimates_zero() {
+        let stream = tristream_gen::complete_bipartite(20, 20);
+        let mut c = BulkTriangleCounter::new(512, 4);
+        c.process_stream(stream.edges(), 64);
+        assert_eq!(c.estimate(), 0.0);
+        assert_eq!(c.estimators_with_triangle(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let edges = k_n_edges(10);
+        let mut a = BulkTriangleCounter::new(200, 5);
+        let mut b = BulkTriangleCounter::new(200, 5);
+        a.process_stream(&edges, 7);
+        b.process_stream(&edges, 7);
+        assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn geometric_skip_strategy_preserves_invariants_and_accuracy() {
+        let stream = tristream_gen::planted_triangles(30, 80, 13);
+        for &batch_size in &[3usize, 17, 256] {
+            let mut counter = BulkTriangleCounter::new(96, 7)
+                .with_level1_strategy(Level1Strategy::GeometricSkip);
+            assert_eq!(counter.level1_strategy(), Level1Strategy::GeometricSkip);
+            counter.process_stream(stream.edges(), batch_size);
+            assert_invariants(&counter, &stream);
+        }
+        // Accuracy: average over seeds stays near the truth.
+        let truth = 30.0;
+        let runs = 40u64;
+        let mut sum = 0.0;
+        for seed in 0..runs {
+            let mut counter = BulkTriangleCounter::new(256, seed)
+                .with_level1_strategy(Level1Strategy::GeometricSkip);
+            counter.process_stream(stream.edges(), 64);
+            sum += counter.estimate();
+        }
+        let mean_est = sum / runs as f64;
+        assert!(
+            (mean_est - truth).abs() < 0.25 * truth,
+            "geometric-skip mean {mean_est}, truth {truth}"
+        );
+    }
+
+    #[test]
+    fn memory_accounting_scales_with_the_pool() {
+        let small = BulkTriangleCounter::new(10, 1);
+        let large = BulkTriangleCounter::new(1_000, 1);
+        assert_eq!(large.estimator_memory_bytes(), 100 * small.estimator_memory_bytes());
+        assert!(small.estimator_memory_bytes() > 0);
+    }
+
+    #[test]
+    fn median_of_means_aggregation_is_available() {
+        let edges = k_n_edges(9);
+        let mut c = BulkTriangleCounter::with_aggregation(
+            2_000,
+            3,
+            Aggregation::MedianOfMeans { groups: 8 },
+        );
+        c.process_stream(&edges, 50);
+        let truth = 84.0;
+        assert!((c.estimate() - truth).abs() < 0.3 * truth);
+        assert!((c.estimate_with(Aggregation::Mean) - truth).abs() < 0.3 * truth);
+    }
+}

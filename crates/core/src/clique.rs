@@ -1,0 +1,477 @@
+//! Streaming 4-clique counting — §5.1 of the paper.
+//!
+//! Extending neighborhood sampling to `K₄` needs care because the first two
+//! edges of a 4-clique (in stream order) may or may not share a vertex. The
+//! paper therefore splits the cliques by arrival pattern:
+//!
+//! * **Type I** — the first two edges share a vertex. Three levels of
+//!   sampling (Algorithm 4): a uniform level-1 edge `r₁`, a uniform level-2
+//!   edge `r₂ ∈ N(r₁)`, and a uniform level-3 edge `r₃ ∈ N(r₁, r₂)`, where
+//!   `N(r₁, r₂)` contains the edges arriving after `r₂` that touch `r₁` or
+//!   `r₂` but do not close the wedge `r₁r₂` (the wedge-closing edge is
+//!   collected directly, it is part of the clique already determined by
+//!   `r₁r₂`). A Type I clique `κ*` is held with probability
+//!   `1/(m·c(f₁)·c(f₁,f₂))` (Lemma 5.1), so `X = m·c₁·c₂` on a held clique
+//!   is an unbiased estimate of the number of Type I cliques (Lemma 5.3).
+//! * **Type II** — the first two edges are vertex-disjoint. Two independent
+//!   uniform level-1 edges; a Type II clique is held iff they are exactly
+//!   its first two edges, probability `1/m²` (Lemma 5.2), so `Y = m²` on a
+//!   held clique is unbiased for the number of Type II cliques (Lemma 5.4).
+//!
+//! [`FourCliqueCounter`] runs `r` estimators of each type and reports the
+//! sum of the two pools' averages (Theorem 5.5).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tristream_graph::{Edge, VertexId};
+use tristream_sample::mean;
+
+/// Collects the vertex set spanned by up to three sampled edges.
+fn span(edges: &[Edge]) -> Vec<VertexId> {
+    let mut v: Vec<VertexId> = edges.iter().flat_map(|e| [e.u(), e.v()]).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Whether `collected` contains every edge of the complete graph on
+/// `vertices` (which must have exactly four elements for a 4-clique).
+fn covers_k4(vertices: &[VertexId], collected: &[Edge]) -> bool {
+    if vertices.len() != 4 {
+        return false;
+    }
+    for (i, &a) in vertices.iter().enumerate() {
+        for &b in &vertices[i + 1..] {
+            let needed = Edge::new(a, b);
+            if !collected.contains(&needed) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// One Type I estimator (Algorithm 4).
+#[derive(Debug, Clone, Default)]
+struct TypeOneEstimator {
+    r1: Option<(Edge, u64)>,
+    r2: Option<(Edge, u64)>,
+    r3: Option<(Edge, u64)>,
+    /// `c₁ = |N(r₁)|`.
+    c1: u64,
+    /// `c₂ = |N(r₁, r₂)|`.
+    c2: u64,
+    /// The edge closing the wedge `r₁r₂` (the third edge on the three
+    /// vertices spanned by `r₁, r₂`), if it has arrived after `r₂`.
+    wedge_closer: Option<Edge>,
+    /// Clique edges incident to the fourth vertex collected since `r₃` was
+    /// set (at most three in a simple graph: `r₃` itself plus the two other
+    /// edges joining the fourth vertex to the wedge).
+    d_edges: Vec<Edge>,
+}
+
+impl TypeOneEstimator {
+    fn reset_from_level1(&mut self, edge: Edge, position: u64) {
+        self.r1 = Some((edge, position));
+        self.r2 = None;
+        self.r3 = None;
+        self.c1 = 0;
+        self.c2 = 0;
+        self.wedge_closer = None;
+        self.d_edges.clear();
+    }
+
+    fn reset_from_level2(&mut self, edge: Edge, position: u64) {
+        self.r2 = Some((edge, position));
+        self.r3 = None;
+        self.c2 = 0;
+        self.wedge_closer = None;
+        self.d_edges.clear();
+    }
+
+    fn reset_from_level3(&mut self, edge: Edge, position: u64) {
+        self.r3 = Some((edge, position));
+        self.d_edges.clear();
+        self.d_edges.push(edge);
+    }
+
+    fn process_edge(&mut self, rng: &mut SmallRng, edge: Edge, position: u64) {
+        // Level-1 reservoir over the whole stream.
+        if position == 1 || rng.gen_range(0..position) == 0 {
+            self.reset_from_level1(edge, position);
+            return;
+        }
+        let (r1, _) = match self.r1 {
+            Some(r1) => r1,
+            None => return,
+        };
+        let adjacent_to_r1 = edge.is_adjacent(&(r1));
+        // Level-2 reservoir over N(r1).
+        if adjacent_to_r1 {
+            self.c1 += 1;
+            if rng.gen_range(0..self.c1) == 0 {
+                self.reset_from_level2(edge, position);
+                return;
+            }
+        }
+        let (r2, _) = match self.r2 {
+            Some(r2) => r2,
+            None => return,
+        };
+        // The wedge-closing edge (the triangle on the three vertices spanned
+        // by r1, r2) is collected directly and excluded from N(r1, r2).
+        if edge.closes_wedge(&r1, &r2) {
+            if self.wedge_closer.is_none() {
+                self.wedge_closer = Some(edge);
+            }
+            return;
+        }
+        // Level-3 reservoir over N(r1, r2): edges after r2 adjacent to r1 or
+        // r2 (the wedge-closer was handled above).
+        let adjacent_to_r2 = edge.is_adjacent(&r2);
+        if adjacent_to_r1 || adjacent_to_r2 {
+            self.c2 += 1;
+            if rng.gen_range(0..self.c2) == 0 {
+                self.reset_from_level3(edge, position);
+                return;
+            }
+        }
+        // Not sampled — but it may still be one of the remaining clique
+        // edges: collect it if both endpoints lie in the current span.
+        if let Some((r3, _)) = self.r3 {
+            let current_span = span(&[r1, r2, r3]);
+            if current_span.contains(&edge.u()) && current_span.contains(&edge.v()) {
+                self.d_edges.push(edge);
+            }
+        }
+    }
+
+    /// Lemma 5.3: `X = m·c₁·c₂` if the held edges form a 4-clique, else 0.
+    fn estimate(&self, m: u64) -> f64 {
+        let (r1, r2, r3) = match (self.r1, self.r2, self.r3) {
+            (Some(a), Some(b), Some(c)) => (a.0, b.0, c.0),
+            _ => return 0.0,
+        };
+        let closer = match self.wedge_closer {
+            Some(c) => c,
+            None => return 0.0,
+        };
+        let vertices = span(&[r1, r2, r3]);
+        let mut collected = vec![r1, r2, closer];
+        collected.extend(self.d_edges.iter().copied());
+        if covers_k4(&vertices, &collected) {
+            m as f64 * self.c1 as f64 * self.c2 as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One Type II estimator: two independent uniform edges plus collection of
+/// the cross edges once both are fixed.
+#[derive(Debug, Clone, Default)]
+struct TypeTwoEstimator {
+    r1: Option<(Edge, u64)>,
+    r2: Option<(Edge, u64)>,
+    /// Edges collected since the later of r1/r2 was set whose endpoints both
+    /// lie in the span of `r1 ∪ r2`.
+    collected: Vec<Edge>,
+}
+
+impl TypeTwoEstimator {
+    fn reset_collection(&mut self) {
+        self.collected.clear();
+    }
+
+    fn process_edge(&mut self, rng: &mut SmallRng, edge: Edge, position: u64) {
+        // Two independent reservoirs over the whole stream.
+        let take1 = position == 1 || rng.gen_range(0..position) == 0;
+        let take2 = position == 1 || rng.gen_range(0..position) == 0;
+        if take1 {
+            self.r1 = Some((edge, position));
+            self.reset_collection();
+        }
+        if take2 {
+            self.r2 = Some((edge, position));
+            self.reset_collection();
+        }
+        if take1 || take2 {
+            return;
+        }
+        // Collect candidate clique edges once both samples are fixed and
+        // vertex-disjoint (Type II requires disjointness) with r1 earlier.
+        let ((e1, p1), (e2, p2)) = match (self.r1, self.r2) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return,
+        };
+        if p1 >= p2 || e1.shared_vertex(&e2).is_some() || e1 == e2 {
+            return;
+        }
+        let current_span = span(&[e1, e2]);
+        if current_span.contains(&edge.u()) && current_span.contains(&edge.v()) {
+            self.collected.push(edge);
+        }
+    }
+
+    /// Lemma 5.4: `Y = m²` if the held edges form a 4-clique, else 0.
+    fn estimate(&self, m: u64) -> f64 {
+        let ((e1, p1), (e2, p2)) = match (self.r1, self.r2) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return 0.0,
+        };
+        if p1 >= p2 || e1.shared_vertex(&e2).is_some() || e1 == e2 {
+            return 0.0;
+        }
+        let vertices = span(&[e1, e2]);
+        let mut collected = vec![e1, e2];
+        collected.extend(self.collected.iter().copied());
+        if covers_k4(&vertices, &collected) {
+            (m as f64) * (m as f64)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Streaming 4-clique counter: `r` Type I estimators plus `r` Type II
+/// estimators; the estimate is the sum of the two pools' means
+/// (Theorem 5.5).
+#[derive(Debug, Clone)]
+pub struct FourCliqueCounter {
+    type1: Vec<TypeOneEstimator>,
+    type2: Vec<TypeTwoEstimator>,
+    edges_seen: u64,
+    rng: SmallRng,
+}
+
+impl FourCliqueCounter {
+    /// Creates a counter with `r` estimators of each type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero.
+    pub fn new(r: usize, seed: u64) -> Self {
+        assert!(r > 0, "at least one estimator is required");
+        Self {
+            type1: vec![TypeOneEstimator::default(); r],
+            type2: vec![TypeTwoEstimator::default(); r],
+            edges_seen: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of estimators per type.
+    pub fn num_estimators(&self) -> usize {
+        self.type1.len()
+    }
+
+    /// Number of edges observed so far.
+    pub fn edges_seen(&self) -> u64 {
+        self.edges_seen
+    }
+
+    /// Processes the next edge of the stream through every estimator.
+    pub fn process_edge(&mut self, edge: Edge) {
+        self.edges_seen += 1;
+        let position = self.edges_seen;
+        for est in &mut self.type1 {
+            est.process_edge(&mut self.rng, edge, position);
+        }
+        for est in &mut self.type2 {
+            est.process_edge(&mut self.rng, edge, position);
+        }
+    }
+
+    /// Processes a whole slice of edges in order.
+    pub fn process_edges(&mut self, edges: &[Edge]) {
+        for &e in edges {
+            self.process_edge(e);
+        }
+    }
+
+    /// The estimated number of Type I 4-cliques (first two edges adjacent).
+    pub fn type1_estimate(&self) -> f64 {
+        let m = self.edges_seen;
+        mean(&self.type1.iter().map(|e| e.estimate(m)).collect::<Vec<_>>())
+    }
+
+    /// The estimated number of Type II 4-cliques (first two edges disjoint).
+    pub fn type2_estimate(&self) -> f64 {
+        let m = self.edges_seen;
+        mean(&self.type2.iter().map(|e| e.estimate(m)).collect::<Vec<_>>())
+    }
+
+    /// The estimated total number of 4-cliques: Type I + Type II.
+    pub fn estimate(&self) -> f64 {
+        self.type1_estimate() + self.type2_estimate()
+    }
+
+    /// Number of estimators (of either type) currently holding a complete
+    /// 4-clique.
+    pub fn estimators_with_clique(&self) -> usize {
+        let m = self.edges_seen;
+        self.type1.iter().filter(|e| e.estimate(m) > 0.0).count()
+            + self.type2.iter().filter(|e| e.estimate(m) > 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tristream_graph::exact::count_four_cliques;
+    use tristream_graph::{Adjacency, EdgeStream, StreamOrder};
+
+    fn k_n_edges(n: u64) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                edges.push(Edge::new(i, j));
+            }
+        }
+        edges
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_estimators_panics() {
+        let _ = FourCliqueCounter::new(0, 1);
+    }
+
+    #[test]
+    fn empty_and_clique_free_streams_estimate_zero() {
+        let c = FourCliqueCounter::new(16, 1);
+        assert_eq!(c.estimate(), 0.0);
+
+        let mut c = FourCliqueCounter::new(256, 2);
+        // A triangle has no 4-clique.
+        c.process_edges(&[Edge::new(1u64, 2u64), Edge::new(2u64, 3u64), Edge::new(1u64, 3u64)]);
+        assert_eq!(c.estimate(), 0.0);
+        assert_eq!(c.estimators_with_clique(), 0);
+    }
+
+    #[test]
+    fn single_k4_natural_order_is_detected() {
+        // K4 in lexicographic order: the first two edges (0,1), (0,2) share
+        // vertex 0, so this is a Type I arrival pattern.
+        let edges = k_n_edges(4);
+        let truth = 1.0;
+        let runs = 400u64;
+        let mut sum = 0.0;
+        for seed in 0..runs {
+            let mut c = FourCliqueCounter::new(64, seed);
+            c.process_edges(&edges);
+            sum += c.estimate();
+        }
+        let mean_est = sum / runs as f64;
+        assert!(
+            (mean_est - truth).abs() < 0.25 * truth,
+            "mean estimate {mean_est}, truth {truth}"
+        );
+    }
+
+    #[test]
+    fn type_two_arrival_pattern_is_detected() {
+        // Order the K4's edges so the first two are vertex-disjoint:
+        // (0,1), (2,3), then the four cross edges.
+        let edges = vec![
+            Edge::new(0u64, 1u64),
+            Edge::new(2u64, 3u64),
+            Edge::new(0u64, 2u64),
+            Edge::new(0u64, 3u64),
+            Edge::new(1u64, 2u64),
+            Edge::new(1u64, 3u64),
+        ];
+        let runs = 400u64;
+        let (mut sum, mut type2_sum) = (0.0, 0.0);
+        for seed in 0..runs {
+            let mut c = FourCliqueCounter::new(64, seed);
+            c.process_edges(&edges);
+            sum += c.estimate();
+            type2_sum += c.type2_estimate();
+        }
+        let mean_est = sum / runs as f64;
+        assert!((mean_est - 1.0).abs() < 0.3, "mean estimate {mean_est}");
+        assert!(type2_sum > 0.0, "the Type II pool must contribute for this ordering");
+    }
+
+    #[test]
+    fn unbiased_on_k6_across_orderings() {
+        // K6 has C(6,4) = 15 4-cliques; check the estimator mean over many
+        // seeds for a couple of different stream orders.
+        let base = EdgeStream::new(k_n_edges(6));
+        for order in [StreamOrder::Natural, StreamOrder::Shuffled(3)] {
+            let stream = base.reordered(order);
+            let truth =
+                count_four_cliques(&Adjacency::from_stream(&stream)) as f64;
+            assert_eq!(truth, 15.0);
+            let runs = 250u64;
+            let mut sum = 0.0;
+            for seed in 0..runs {
+                let mut c = FourCliqueCounter::new(128, seed);
+                c.process_edges(stream.edges());
+                sum += c.estimate();
+            }
+            let mean_est = sum / runs as f64;
+            assert!(
+                (mean_est - truth).abs() < 0.3 * truth,
+                "order {order:?}: mean estimate {mean_est}, truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_overlapping_k4s_with_noise() {
+        // K4 on {0,1,2,3} and K4 on {2,3,4,5} sharing an edge, plus pendant
+        // noise; τ₄ = 2.
+        let mut edges = vec![
+            Edge::new(0u64, 1u64),
+            Edge::new(0u64, 2u64),
+            Edge::new(0u64, 3u64),
+            Edge::new(1u64, 2u64),
+            Edge::new(1u64, 3u64),
+            Edge::new(2u64, 3u64),
+            Edge::new(2u64, 4u64),
+            Edge::new(2u64, 5u64),
+            Edge::new(3u64, 4u64),
+            Edge::new(3u64, 5u64),
+            Edge::new(4u64, 5u64),
+            Edge::new(5u64, 9u64),
+            Edge::new(9u64, 10u64),
+        ];
+        let stream = EdgeStream::new(std::mem::take(&mut edges));
+        let truth = count_four_cliques(&Adjacency::from_stream(&stream)) as f64;
+        assert_eq!(truth, 2.0);
+        let runs = 300u64;
+        let mut sum = 0.0;
+        for seed in 0..runs {
+            let mut c = FourCliqueCounter::new(96, seed);
+            c.process_edges(stream.edges());
+            sum += c.estimate();
+        }
+        let mean_est = sum / runs as f64;
+        assert!(
+            (mean_est - truth).abs() < 0.35 * truth,
+            "mean estimate {mean_est}, truth {truth}"
+        );
+    }
+
+    #[test]
+    fn larger_pool_is_accurate_in_a_single_run() {
+        let edges = k_n_edges(7); // C(7,4) = 35 4-cliques
+        let mut c = FourCliqueCounter::new(20_000, 9);
+        c.process_edges(&edges);
+        let est = c.estimate();
+        assert!((est - 35.0).abs() < 0.3 * 35.0, "estimate {est}");
+        assert!(c.estimators_with_clique() > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let edges = k_n_edges(5);
+        let mut a = FourCliqueCounter::new(200, 4);
+        let mut b = FourCliqueCounter::new(200, 4);
+        a.process_edges(&edges);
+        b.process_edges(&edges);
+        assert_eq!(a.estimate(), b.estimate());
+    }
+}

@@ -1,0 +1,201 @@
+//! Multi-core bulk triangle counting.
+//!
+//! The paper's conclusion (§6) observes that maintaining the estimate is
+//! CPU-bound even when streaming from disk, and points to follow-up work on
+//! a parallel, cache-efficient variant of neighborhood sampling. This module
+//! provides the natural shared-nothing parallelisation: the estimator pool
+//! is partitioned into independent shards, each shard advances over the same
+//! batch on its own OS thread (scoped threads, no extra dependencies), and
+//! queries aggregate across shards. Because estimators never interact, the
+//! sharded counter computes exactly the same *distribution* of estimates as
+//! the sequential one — each shard is simply a smaller, independent
+//! [`BulkTriangleCounter`].
+
+use crate::bulk::{BulkTriangleCounter, Level1Strategy};
+use crate::counter::Aggregation;
+use tristream_graph::Edge;
+use tristream_sample::{mean, median_of_means};
+
+/// A bulk triangle counter whose estimator pool is sharded across threads.
+#[derive(Debug, Clone)]
+pub struct ParallelBulkTriangleCounter {
+    shards: Vec<BulkTriangleCounter>,
+    aggregation: Aggregation,
+    edges_seen: u64,
+}
+
+impl ParallelBulkTriangleCounter {
+    /// Creates a counter with (at least) `r` estimators split evenly across
+    /// `shards` shards. Each shard gets `ceil(r / shards)` estimators, so
+    /// the effective pool can be slightly larger than requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `shards` is zero.
+    pub fn new(r: usize, shards: usize, seed: u64) -> Self {
+        Self::with_aggregation(r, shards, seed, Aggregation::Mean)
+    }
+
+    /// Creates a counter with an explicit aggregation strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `shards` is zero, or a median-of-means aggregation
+    /// requests zero groups.
+    pub fn with_aggregation(r: usize, shards: usize, seed: u64, aggregation: Aggregation) -> Self {
+        assert!(r > 0, "at least one estimator is required");
+        assert!(shards > 0, "at least one shard is required");
+        if let Aggregation::MedianOfMeans { groups } = aggregation {
+            assert!(groups > 0, "median-of-means needs at least one group");
+        }
+        let per_shard = r.div_ceil(shards);
+        let shards = (0..shards)
+            .map(|i| {
+                BulkTriangleCounter::new(per_shard, seed.wrapping_add(i as u64 * 0x9E37_79B9))
+                    .with_level1_strategy(Level1Strategy::GeometricSkip)
+            })
+            .collect();
+        Self { shards, aggregation, edges_seen: 0 }
+    }
+
+    /// Number of shards (worker threads used per batch).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of estimators across shards.
+    pub fn num_estimators(&self) -> usize {
+        self.shards.iter().map(|s| s.num_estimators()).sum()
+    }
+
+    /// Number of edges observed so far.
+    pub fn edges_seen(&self) -> u64 {
+        self.edges_seen
+    }
+
+    /// Ingests one batch of edges: every shard advances over the batch on
+    /// its own thread.
+    pub fn process_batch(&mut self, batch: &[Edge]) {
+        if batch.is_empty() {
+            return;
+        }
+        if self.shards.len() == 1 {
+            self.shards[0].process_batch(batch);
+        } else {
+            std::thread::scope(|scope| {
+                for shard in &mut self.shards {
+                    scope.spawn(|| shard.process_batch(batch));
+                }
+            });
+        }
+        self.edges_seen += batch.len() as u64;
+    }
+
+    /// Processes a whole stream in batches of `batch_size` edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn process_stream(&mut self, edges: &[Edge], batch_size: usize) {
+        assert!(batch_size > 0, "batch size must be positive");
+        for chunk in edges.chunks(batch_size) {
+            self.process_batch(chunk);
+        }
+    }
+
+    /// Per-estimator raw estimates across all shards.
+    pub fn raw_estimates(&self) -> Vec<f64> {
+        self.shards.iter().flat_map(|s| s.raw_estimates()).collect()
+    }
+
+    /// The aggregated triangle-count estimate over all shards.
+    pub fn estimate(&self) -> f64 {
+        let raw = self.raw_estimates();
+        match self.aggregation {
+            Aggregation::Mean => mean(&raw),
+            Aggregation::MedianOfMeans { groups } => median_of_means(&raw, groups),
+        }
+    }
+
+    /// Number of estimators (across all shards) currently holding a triangle.
+    pub fn estimators_with_triangle(&self) -> usize {
+        self.shards.iter().map(|s| s.estimators_with_triangle()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tristream_graph::exact::count_triangles;
+    use tristream_graph::Adjacency;
+
+    #[test]
+    #[should_panic]
+    fn zero_shards_panics() {
+        let _ = ParallelBulkTriangleCounter::new(10, 0, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_estimators_panics() {
+        let _ = ParallelBulkTriangleCounter::new(0, 2, 1);
+    }
+
+    #[test]
+    fn pool_is_split_across_shards() {
+        let c = ParallelBulkTriangleCounter::new(1_000, 4, 1);
+        assert_eq!(c.num_shards(), 4);
+        assert_eq!(c.num_estimators(), 1_000);
+        // Uneven splits round up.
+        let c = ParallelBulkTriangleCounter::new(10, 3, 1);
+        assert_eq!(c.num_estimators(), 12);
+    }
+
+    #[test]
+    fn parallel_estimate_matches_truth_on_a_clustered_graph() {
+        let stream = tristream_gen::holme_kim(400, 4, 0.6, 3);
+        let truth = count_triangles(&Adjacency::from_stream(&stream)) as f64;
+        let mut c = ParallelBulkTriangleCounter::new(24_000, 6, 5);
+        c.process_stream(stream.edges(), 8_192);
+        let est = c.estimate();
+        assert_eq!(c.edges_seen(), stream.len() as u64);
+        assert!(
+            (est - truth).abs() < 0.2 * truth,
+            "parallel estimate {est} vs truth {truth}"
+        );
+        assert!(c.estimators_with_triangle() > 0);
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_the_sequential_counter() {
+        let stream = tristream_gen::planted_triangles(25, 50, 9);
+        let mut parallel = ParallelBulkTriangleCounter::new(512, 1, 7);
+        parallel.process_stream(stream.edges(), 64);
+        let mut sequential = BulkTriangleCounter::new(512, 7)
+            .with_level1_strategy(Level1Strategy::GeometricSkip);
+        sequential.process_stream(stream.edges(), 64);
+        assert_eq!(parallel.estimate(), sequential.estimate());
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let mut c = ParallelBulkTriangleCounter::new(64, 4, 3);
+        c.process_batch(&[]);
+        assert_eq!(c.edges_seen(), 0);
+        assert_eq!(c.estimate(), 0.0);
+    }
+
+    #[test]
+    fn median_of_means_aggregation_is_supported() {
+        let stream = tristream_gen::planted_triangles(60, 120, 5);
+        let mut c = ParallelBulkTriangleCounter::with_aggregation(
+            8_000,
+            4,
+            3,
+            Aggregation::MedianOfMeans { groups: 8 },
+        );
+        c.process_stream(stream.edges(), 2_048);
+        let est = c.estimate();
+        assert!((est - 60.0).abs() < 0.35 * 60.0, "estimate {est}");
+    }
+}

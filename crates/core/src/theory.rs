@@ -1,0 +1,185 @@
+//! The paper's sufficient-space formulas, exposed so applications (and the
+//! experiment harness) can size their estimator pools and so Figure 5's
+//! theoretical-bound curve can be regenerated.
+
+/// The paper's shorthand `s(ε, δ) = (1/ε²)·ln(1/δ)`.
+pub fn s_eps_delta(epsilon: f64, delta: f64) -> f64 {
+    assert!(epsilon > 0.0 && epsilon <= 1.0, "epsilon must be in (0, 1]");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    (1.0 / (epsilon * epsilon)) * (1.0 / delta).ln()
+}
+
+/// Theorem 3.3: number of estimators sufficient for an (ε, δ)-approximation
+/// of the triangle count with plain averaging:
+/// `r ≥ (6/ε²)·(mΔ/τ)·ln(2/δ)`.
+///
+/// Returns `f64::INFINITY` when the graph has no triangles (no finite number
+/// of estimators can achieve a relative-error guarantee).
+pub fn sufficient_estimators_mean(
+    epsilon: f64,
+    delta: f64,
+    edges: u64,
+    max_degree: u64,
+    triangles: u64,
+) -> f64 {
+    assert!(epsilon > 0.0 && epsilon <= 1.0, "epsilon must be in (0, 1]");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    if triangles == 0 {
+        return f64::INFINITY;
+    }
+    (6.0 / (epsilon * epsilon))
+        * (edges as f64 * max_degree as f64 / triangles as f64)
+        * (2.0 / delta).ln()
+}
+
+/// Theorem 3.4: number of estimators sufficient with the tangle-coefficient
+/// (median-of-means) aggregation: `r ≥ (48/ε²)·(m·γ/τ)·ln(1/δ)`.
+pub fn sufficient_estimators_tangle(
+    epsilon: f64,
+    delta: f64,
+    edges: u64,
+    tangle_coefficient: f64,
+    triangles: u64,
+) -> f64 {
+    assert!(epsilon > 0.0 && epsilon <= 1.0, "epsilon must be in (0, 1]");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    if triangles == 0 {
+        return f64::INFINITY;
+    }
+    (48.0 / (epsilon * epsilon))
+        * (edges as f64 * tangle_coefficient / triangles as f64)
+        * (1.0 / delta).ln()
+}
+
+/// Theorem 3.3 inverted: the relative-error guarantee ε implied by a given
+/// number of estimators `r` (with failure probability `delta`). This is the
+/// curve plotted in Figure 5 (right) as the "bound" series.
+///
+/// Returns `f64::INFINITY` when no guarantee follows (τ = 0 or r = 0).
+pub fn error_bound_for_estimators(
+    r: u64,
+    delta: f64,
+    edges: u64,
+    max_degree: u64,
+    triangles: u64,
+) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    if triangles == 0 || r == 0 {
+        return f64::INFINITY;
+    }
+    let eps_sq = 6.0 * (edges as f64 * max_degree as f64 / triangles as f64) * (2.0 / delta).ln()
+        / r as f64;
+    eps_sq.sqrt()
+}
+
+/// Theorem 3.8: number of `unifTri` copies sufficient to output `k` uniform
+/// triangles with probability ≥ 1 − δ: `r ≥ 4·m·k·Δ·ln(e/δ)/τ`.
+pub fn sufficient_sampler_copies(
+    k: u64,
+    delta: f64,
+    edges: u64,
+    max_degree: u64,
+    triangles: u64,
+) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    if triangles == 0 {
+        return f64::INFINITY;
+    }
+    4.0 * edges as f64 * k as f64 * max_degree as f64
+        * (std::f64::consts::E / delta).ln()
+        / triangles as f64
+}
+
+/// Theorem 5.5: estimators sufficient for (ε, δ)-approximate 4-clique
+/// counting, up to the constant K: `r ≥ K·s(ε,δ)·η/τ₄` where
+/// `η = max(mΔ², m²)`. The constant is reported as 1 here; callers compare
+/// *shapes* rather than absolute values.
+pub fn sufficient_estimators_four_clique(
+    epsilon: f64,
+    delta: f64,
+    edges: u64,
+    max_degree: u64,
+    four_cliques: u64,
+) -> f64 {
+    if four_cliques == 0 {
+        return f64::INFINITY;
+    }
+    let m = edges as f64;
+    let d = max_degree as f64;
+    let eta = (m * d * d).max(m * m);
+    s_eps_delta(epsilon, delta) * eta / four_cliques as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s_eps_delta_matches_formula() {
+        let v = s_eps_delta(0.1, 0.05);
+        assert!((v - 100.0 * (20.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn s_eps_delta_rejects_zero_epsilon() {
+        let _ = s_eps_delta(0.0, 0.1);
+    }
+
+    #[test]
+    fn mean_bound_scales_as_expected() {
+        // Paper example (§4.3): Orkut with ε = 0.0355 needs ≥ 4.89M
+        // estimators by the formula (using δ = 1/5 as in Figure 5).
+        let r = sufficient_estimators_mean(0.0355, 0.2, 117_200_000, 33_313, 633_319_568);
+        assert!(r > 4.0e6, "r = {r}");
+        // Halving epsilon quadruples the requirement.
+        let r2 = sufficient_estimators_mean(0.1, 0.2, 1_000, 10, 100);
+        let r3 = sufficient_estimators_mean(0.05, 0.2, 1_000, 10, 100);
+        assert!((r3 / r2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tangle_bound_is_smaller_when_gamma_is_small() {
+        // γ ≤ 2Δ always; when γ ≪ Δ the tangle bound (even with its larger
+        // constant) eventually wins.
+        let mean = sufficient_estimators_mean(0.1, 0.1, 1_000_000, 10_000, 1_000_000);
+        let tangle = sufficient_estimators_tangle(0.1, 0.1, 1_000_000, 20.0, 1_000_000);
+        assert!(tangle < mean);
+    }
+
+    #[test]
+    fn zero_triangles_give_infinite_requirements() {
+        assert!(sufficient_estimators_mean(0.1, 0.1, 100, 10, 0).is_infinite());
+        assert!(sufficient_estimators_tangle(0.1, 0.1, 100, 5.0, 0).is_infinite());
+        assert!(sufficient_sampler_copies(1, 0.1, 100, 10, 0).is_infinite());
+        assert!(sufficient_estimators_four_clique(0.1, 0.1, 100, 10, 0).is_infinite());
+        assert!(error_bound_for_estimators(100, 0.1, 100, 10, 0).is_infinite());
+    }
+
+    #[test]
+    fn error_bound_is_the_inverse_of_the_mean_bound() {
+        let (m, d, tau, delta) = (10_000u64, 50u64, 2_000u64, 0.2);
+        let eps = 0.08;
+        let r = sufficient_estimators_mean(eps, delta, m, d, tau).ceil() as u64;
+        let implied = error_bound_for_estimators(r, delta, m, d, tau);
+        assert!(implied <= eps * 1.01, "implied {implied} vs requested {eps}");
+        // And fewer estimators imply a weaker (larger) bound.
+        assert!(error_bound_for_estimators(r / 4, delta, m, d, tau) > implied);
+    }
+
+    #[test]
+    fn sampler_copies_grow_linearly_in_k() {
+        let one = sufficient_sampler_copies(1, 0.1, 10_000, 100, 5_000);
+        let five = sufficient_sampler_copies(5, 0.1, 10_000, 100, 5_000);
+        assert!((five / one - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn four_clique_bound_uses_the_eta_maximum() {
+        // When Δ² > m the mΔ² term dominates; when m > Δ² the m² term does.
+        let dense_hub = sufficient_estimators_four_clique(0.1, 0.1, 1_000, 1_000, 10);
+        let flat = sufficient_estimators_four_clique(0.1, 0.1, 1_000_000, 10, 10);
+        assert!(dense_hub > 0.0 && flat > 0.0);
+        assert!(flat > dense_hub, "m² term should dominate for the flat graph");
+    }
+}

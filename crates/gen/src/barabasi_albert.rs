@@ -1,0 +1,276 @@
+//! Barabási–Albert preferential-attachment graphs.
+//!
+//! The SNAP social graphs the paper evaluates on are power-law graphs: a few
+//! hub vertices reach degrees in the tens of thousands while most vertices
+//! have small degree. Preferential attachment reproduces exactly that shape,
+//! which is why the dataset stand-ins (`crate::datasets`) are built on this
+//! generator. Attaching each new vertex to `m_attach ≥ 2` existing vertices
+//! also creates an abundance of triangles among the hubs, giving the
+//! heavy-tailed per-edge triangle counts the tangle-coefficient discussion
+//! (§3.2.1) relies on.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use tristream_graph::{Edge, EdgeStream};
+
+/// Generates a Barabási–Albert graph: starts from a small seed clique and
+/// adds vertices one at a time, each connecting to `m_attach` distinct
+/// existing vertices chosen with probability proportional to their current
+/// degree.
+///
+/// The returned stream is in *attachment order* (seed clique first, then the
+/// edges of each new vertex), which resembles how a crawl of a growing
+/// social network would arrive; reshuffle with
+/// [`tristream_graph::StreamOrder::Shuffled`] for an adversarial order.
+///
+/// # Panics
+///
+/// Panics if `m_attach == 0` or `n` is smaller than the seed clique size
+/// (`m_attach + 1`).
+pub fn barabasi_albert(n: u64, m_attach: u64, seed: u64) -> EdgeStream {
+    assert!(m_attach >= 1, "each new vertex must attach to at least one existing vertex");
+    let seed_size = m_attach + 1;
+    assert!(
+        n >= seed_size,
+        "n (= {n}) must be at least the seed clique size (= {seed_size})"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let mut edges: Vec<Edge> = Vec::with_capacity((n * m_attach) as usize);
+    // `targets` holds one entry per edge endpoint, so sampling uniformly from
+    // it is sampling proportionally to degree.
+    let mut endpoint_pool: Vec<u64> = Vec::with_capacity(2 * (n * m_attach) as usize);
+
+    // Seed: a clique on the first `m_attach + 1` vertices.
+    for i in 0..seed_size {
+        for j in (i + 1)..seed_size {
+            edges.push(Edge::new(i, j));
+            endpoint_pool.push(i);
+            endpoint_pool.push(j);
+        }
+    }
+
+    let mut chosen: HashSet<u64> = HashSet::with_capacity(m_attach as usize);
+    for v in seed_size..n {
+        chosen.clear();
+        // Draw until we have m_attach distinct targets. The pool only grows,
+        // so this terminates quickly in practice.
+        while (chosen.len() as u64) < m_attach {
+            let t = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+            chosen.insert(t);
+        }
+        // HashSet iteration order is not deterministic across processes, so
+        // sort the chosen targets before materialising edges: determinism per
+        // seed is part of this generator's contract.
+        let mut targets: Vec<u64> = chosen.iter().copied().collect();
+        targets.sort_unstable();
+        for t in targets {
+            edges.push(Edge::new(v, t));
+            endpoint_pool.push(v);
+            endpoint_pool.push(t);
+        }
+    }
+    EdgeStream::new(edges)
+}
+
+/// Generates a Barabási–Albert graph and then shuffles the arrival order
+/// uniformly (convenience for workloads that want an arbitrary-order stream
+/// directly).
+pub fn barabasi_albert_shuffled(n: u64, m_attach: u64, seed: u64) -> EdgeStream {
+    let stream = barabasi_albert(n, m_attach, seed);
+    let mut edges = stream.into_edges();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5A5A_5A5A_5A5A_5A5A);
+    edges.shuffle(&mut rng);
+    EdgeStream::new(edges)
+}
+
+/// Holme–Kim "preferential attachment with triad formation": like
+/// [`barabasi_albert`], but after every preferential attachment the new
+/// vertex also connects, with probability `triad_prob`, to a random neighbor
+/// of the vertex it just attached to — deliberately closing a triangle.
+///
+/// `triad_prob` tunes the clustering of the generated graph independently of
+/// its degree distribution, which is exactly the knob the dataset stand-ins
+/// need: Amazon/DBLP-like graphs are highly clustered (small `mΔ/τ`), while
+/// Youtube-like graphs have huge hubs and comparatively few triangles.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`barabasi_albert`], or if
+/// `triad_prob` is outside `[0, 1]`.
+pub fn holme_kim(n: u64, m_attach: u64, triad_prob: f64, seed: u64) -> EdgeStream {
+    assert!(m_attach >= 1, "each new vertex must attach to at least one existing vertex");
+    assert!((0.0..=1.0).contains(&triad_prob), "triad_prob must lie in [0, 1]");
+    let seed_size = m_attach + 1;
+    assert!(
+        n >= seed_size,
+        "n (= {n}) must be at least the seed clique size (= {seed_size})"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let mut edges: Vec<Edge> = Vec::with_capacity((n * m_attach) as usize);
+    let mut edge_set: HashSet<Edge> = HashSet::with_capacity((n * m_attach) as usize);
+    let mut endpoint_pool: Vec<u64> = Vec::with_capacity(2 * (n * m_attach) as usize);
+    // Per-vertex neighbor lists, needed to pick the triad-closing endpoint.
+    let mut neighbors: Vec<Vec<u64>> = vec![Vec::new(); n as usize];
+
+    let push_edge = |a: u64,
+                         b: u64,
+                         edges: &mut Vec<Edge>,
+                         edge_set: &mut HashSet<Edge>,
+                         endpoint_pool: &mut Vec<u64>,
+                         neighbors: &mut Vec<Vec<u64>>|
+     -> bool {
+        let e = Edge::new(a, b);
+        if edge_set.insert(e) {
+            edges.push(e);
+            endpoint_pool.push(a);
+            endpoint_pool.push(b);
+            neighbors[a as usize].push(b);
+            neighbors[b as usize].push(a);
+            true
+        } else {
+            false
+        }
+    };
+
+    for i in 0..seed_size {
+        for j in (i + 1)..seed_size {
+            push_edge(i, j, &mut edges, &mut edge_set, &mut endpoint_pool, &mut neighbors);
+        }
+    }
+
+    for v in seed_size..n {
+        let mut attached: Vec<u64> = Vec::with_capacity(m_attach as usize);
+        let mut links = 0u64;
+        let mut guard = 0u32;
+        while links < m_attach && guard < 10_000 {
+            guard += 1;
+            // Triad step: with probability triad_prob, and if we already
+            // attached somewhere, close a triangle through a neighbor of the
+            // previous target.
+            let target = if !attached.is_empty() && rng.gen::<f64>() < triad_prob {
+                let prev = attached[rng.gen_range(0..attached.len())];
+                let nbrs = &neighbors[prev as usize];
+                nbrs[rng.gen_range(0..nbrs.len())]
+            } else {
+                endpoint_pool[rng.gen_range(0..endpoint_pool.len())]
+            };
+            if target == v {
+                continue;
+            }
+            if push_edge(v, target, &mut edges, &mut edge_set, &mut endpoint_pool, &mut neighbors)
+            {
+                attached.push(target);
+                links += 1;
+            }
+        }
+    }
+    EdgeStream::new(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tristream_graph::exact::count_triangles;
+    use tristream_graph::{Adjacency, DegreeHistogram, DegreeTable};
+
+    #[test]
+    fn edge_count_is_seed_plus_attachments() {
+        let n = 500u64;
+        let m_attach = 3u64;
+        let s = barabasi_albert(n, m_attach, 1);
+        let seed_edges = (m_attach + 1) * m_attach / 2;
+        assert_eq!(s.len() as u64, seed_edges + (n - m_attach - 1) * m_attach);
+        assert!(s.validate_simple().is_ok());
+    }
+
+    #[test]
+    fn produces_a_heavy_tailed_degree_distribution() {
+        let s = barabasi_albert(3_000, 3, 5);
+        let table = DegreeTable::from_stream(&s);
+        let hist = DegreeHistogram::from_table(&table);
+        // Hubs exist: max degree far above the attachment parameter...
+        assert!(table.max_degree() > 30, "max degree {}", table.max_degree());
+        // ...while the vast majority of vertices have small degree.
+        assert!(hist.fraction_at_or_below(10) > 0.8);
+    }
+
+    #[test]
+    fn contains_triangles_when_attaching_to_two_or_more() {
+        let s = barabasi_albert(1_000, 3, 11);
+        let tau = count_triangles(&Adjacency::from_stream(&s));
+        assert!(tau > 50, "expected plenty of triangles, got {tau}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(barabasi_albert(200, 2, 9).edges(), barabasi_albert(200, 2, 9).edges());
+        assert_ne!(barabasi_albert(200, 2, 9).edges(), barabasi_albert(200, 2, 10).edges());
+    }
+
+    #[test]
+    fn shuffled_variant_preserves_the_edge_set() {
+        let a = barabasi_albert(300, 2, 4);
+        let b = barabasi_albert_shuffled(300, 2, 4);
+        let mut ae = a.edges().to_vec();
+        let mut be = b.edges().to_vec();
+        ae.sort_unstable();
+        be.sort_unstable();
+        assert_eq!(ae, be);
+        assert_ne!(a.edges(), b.edges(), "order should differ");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_attachment_panics() {
+        let _ = barabasi_albert(10, 0, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_vertices_panics() {
+        let _ = barabasi_albert(2, 3, 1);
+    }
+
+    #[test]
+    fn smallest_valid_instance_is_just_the_seed_clique() {
+        let s = barabasi_albert(3, 2, 1);
+        assert_eq!(s.len(), 3); // K3
+        assert_eq!(count_triangles(&Adjacency::from_stream(&s)), 1);
+    }
+
+    #[test]
+    fn holme_kim_triad_formation_raises_triangle_density() {
+        let plain = holme_kim(2_000, 3, 0.0, 21);
+        let clustered = holme_kim(2_000, 3, 0.9, 21);
+        let tau_plain = count_triangles(&Adjacency::from_stream(&plain));
+        let tau_clustered = count_triangles(&Adjacency::from_stream(&clustered));
+        assert!(
+            tau_clustered > 2 * tau_plain,
+            "triad formation should add triangles: {tau_clustered} vs {tau_plain}"
+        );
+    }
+
+    #[test]
+    fn holme_kim_is_simple_and_deterministic() {
+        let a = holme_kim(500, 4, 0.5, 3);
+        assert!(a.validate_simple().is_ok());
+        assert_eq!(a.edges(), holme_kim(500, 4, 0.5, 3).edges());
+    }
+
+    #[test]
+    fn holme_kim_keeps_a_power_law_like_tail() {
+        let s = holme_kim(3_000, 3, 0.6, 17);
+        let table = DegreeTable::from_stream(&s);
+        assert!(table.max_degree() > 30);
+    }
+
+    #[test]
+    #[should_panic]
+    fn holme_kim_rejects_bad_triad_probability() {
+        let _ = holme_kim(100, 2, 1.2, 1);
+    }
+}

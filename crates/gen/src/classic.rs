@@ -1,0 +1,140 @@
+//! Deterministic classic graph families with closed-form subgraph counts.
+//!
+//! These are used pervasively by the test suites of the streaming
+//! algorithms: `K_n` has `C(n,3)` triangles and `C(n,4)` 4-cliques, cycles
+//! and paths have none, stars have many wedges but no triangles, and
+//! complete bipartite graphs are triangle-free but dense. Having those
+//! counts in closed form makes estimator-accuracy assertions cheap and
+//! unambiguous.
+
+use tristream_graph::{Edge, EdgeStream};
+
+/// Complete graph `K_n` on vertices `0..n`.
+///
+/// Edges are emitted in lexicographic order `(0,1), (0,2), …`.
+pub fn complete_graph(n: u64) -> EdgeStream {
+    let mut edges = Vec::with_capacity((n * n.saturating_sub(1) / 2) as usize);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            edges.push(Edge::new(i, j));
+        }
+    }
+    EdgeStream::new(edges)
+}
+
+/// Cycle graph `C_n` on vertices `0..n` (requires `n ≥ 3`; smaller `n`
+/// degenerates to a path).
+pub fn cycle_graph(n: u64) -> EdgeStream {
+    let mut edges = Vec::new();
+    if n >= 2 {
+        for i in 0..n.saturating_sub(1) {
+            edges.push(Edge::new(i, i + 1));
+        }
+        if n >= 3 {
+            edges.push(Edge::new(0u64, n - 1));
+        }
+    }
+    EdgeStream::new(edges)
+}
+
+/// Path graph `P_n` on vertices `0..n` (`n - 1` edges).
+pub fn path_graph(n: u64) -> EdgeStream {
+    let edges = (0..n.saturating_sub(1)).map(|i| Edge::new(i, i + 1)).collect();
+    EdgeStream::new(edges)
+}
+
+/// Star graph with `leaves` leaves: hub vertex `0` connected to `1..=leaves`.
+pub fn star_graph(leaves: u64) -> EdgeStream {
+    let edges = (1..=leaves).map(|i| Edge::new(0u64, i)).collect();
+    EdgeStream::new(edges)
+}
+
+/// Complete bipartite graph `K_{a,b}`: sides `0..a` and `a..a+b`.
+pub fn complete_bipartite(a: u64, b: u64) -> EdgeStream {
+    let mut edges = Vec::with_capacity((a * b) as usize);
+    for i in 0..a {
+        for j in a..(a + b) {
+            edges.push(Edge::new(i, j));
+        }
+    }
+    EdgeStream::new(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tristream_graph::exact::{count_four_cliques, count_triangles, count_wedges};
+    use tristream_graph::Adjacency;
+
+    fn choose(n: u64, k: u64) -> u64 {
+        if k > n {
+            return 0;
+        }
+        let mut r = 1u64;
+        for i in 0..k {
+            r = r * (n - i) / (i + 1);
+        }
+        r
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        for n in [3u64, 5, 8] {
+            let g = Adjacency::from_stream(&complete_graph(n));
+            assert_eq!(g.num_edges() as u64, choose(n, 2));
+            assert_eq!(count_triangles(&g), choose(n, 3));
+            assert_eq!(count_four_cliques(&g), choose(n, 4));
+        }
+    }
+
+    #[test]
+    fn cycle_and_path_are_triangle_free() {
+        for n in [4u64, 7, 20] {
+            assert_eq!(
+                count_triangles(&Adjacency::from_stream(&cycle_graph(n))),
+                0,
+                "C_{n}"
+            );
+            assert_eq!(
+                count_triangles(&Adjacency::from_stream(&path_graph(n))),
+                0,
+                "P_{n}"
+            );
+        }
+        // C_3 is the triangle.
+        assert_eq!(count_triangles(&Adjacency::from_stream(&cycle_graph(3))), 1);
+    }
+
+    #[test]
+    fn cycle_edge_counts() {
+        assert_eq!(cycle_graph(0).len(), 0);
+        assert_eq!(cycle_graph(1).len(), 0);
+        assert_eq!(cycle_graph(2).len(), 1);
+        assert_eq!(cycle_graph(5).len(), 5);
+        assert_eq!(path_graph(5).len(), 4);
+        assert_eq!(path_graph(0).len(), 0);
+    }
+
+    #[test]
+    fn star_has_choose_two_wedges() {
+        let g = Adjacency::from_stream(&star_graph(9));
+        assert_eq!(count_wedges(&g), choose(9, 2));
+        assert_eq!(count_triangles(&g), 0);
+        assert_eq!(g.max_degree(), 9);
+    }
+
+    #[test]
+    fn complete_bipartite_is_triangle_free_with_ab_edges() {
+        let g = Adjacency::from_stream(&complete_bipartite(4, 6));
+        assert_eq!(g.num_edges(), 24);
+        assert_eq!(count_triangles(&g), 0);
+        assert_eq!(g.max_degree(), 6);
+    }
+
+    #[test]
+    fn streams_are_simple() {
+        for s in [complete_graph(10), cycle_graph(12), star_graph(5), complete_bipartite(3, 3)] {
+            assert!(s.validate_simple().is_ok());
+        }
+    }
+}

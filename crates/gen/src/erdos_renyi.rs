@@ -1,0 +1,173 @@
+//! Erdős–Rényi random graphs `G(n, p)` and `G(n, m)`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use tristream_graph::{Edge, EdgeStream};
+
+/// Samples `G(n, p)`: each of the `C(n, 2)` possible edges is present
+/// independently with probability `p`. Edge arrival order is a uniformly
+/// random permutation of the selected edges.
+///
+/// For sparse graphs (`p` small) the generator skips over absent edges with
+/// geometric jumps, so the running time is proportional to the number of
+/// edges generated rather than to `n²`.
+pub fn gnp(n: u64, p: f64, seed: u64) -> EdgeStream {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let p = p.clamp(0.0, 1.0);
+    let mut edges = Vec::new();
+    if n >= 2 && p > 0.0 {
+        if p >= 1.0 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    edges.push(Edge::new(i, j));
+                }
+            }
+        } else {
+            // Ordinal skip sampling over the C(n,2) possible edges.
+            let total = n * (n - 1) / 2;
+            let mut pos: u64 = 0;
+            let log_q = (1.0 - p).ln();
+            loop {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let gap = (u.ln() / log_q).floor() as u64 + 1;
+                pos = match pos.checked_add(gap) {
+                    Some(p) => p,
+                    None => break,
+                };
+                if pos > total {
+                    break;
+                }
+                edges.push(edge_from_ordinal(n, pos - 1));
+            }
+        }
+    }
+    shuffle(&mut edges, &mut rng);
+    EdgeStream::new(edges)
+}
+
+/// Samples `G(n, m)`: exactly `m` distinct edges chosen uniformly at random
+/// among the `C(n, 2)` possibilities (clamped to that maximum). Arrival order
+/// is a uniformly random permutation.
+pub fn gnm(n: u64, m: u64, seed: u64) -> EdgeStream {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let total = if n < 2 { 0 } else { n * (n - 1) / 2 };
+    let m = m.min(total);
+    let mut chosen: HashSet<u64> = HashSet::with_capacity(m as usize);
+    // Rejection sampling over edge ordinals is fine while m ≤ total/2;
+    // otherwise sample the complement.
+    let sample_complement = m > total / 2;
+    let to_draw = if sample_complement { total - m } else { m };
+    while (chosen.len() as u64) < to_draw {
+        chosen.insert(rng.gen_range(0..total));
+    }
+    let mut edges: Vec<Edge> = if sample_complement {
+        (0..total).filter(|o| !chosen.contains(o)).map(|o| edge_from_ordinal(n, o)).collect()
+    } else {
+        // Sort the ordinals first: HashSet iteration order is not stable
+        // across processes and the generator promises per-seed determinism.
+        let mut ordinals: Vec<u64> = chosen.into_iter().collect();
+        ordinals.sort_unstable();
+        ordinals.into_iter().map(|o| edge_from_ordinal(n, o)).collect()
+    };
+    shuffle(&mut edges, &mut rng);
+    EdgeStream::new(edges)
+}
+
+/// Maps an ordinal in `[0, C(n,2))` to the corresponding edge of the
+/// lexicographic enumeration `(0,1), (0,2), …, (0,n-1), (1,2), …`.
+fn edge_from_ordinal(n: u64, ordinal: u64) -> Edge {
+    // Row i (edges whose smaller endpoint is i) starts at ordinal
+    // start(i) = i*(n-1) - i*(i-1)/2. Solve the quadratic for an initial
+    // guess, then nudge it to absorb floating-point error.
+    let nf = n as f64;
+    let of = ordinal as f64;
+    let mut i = ((2.0 * nf - 1.0 - ((2.0 * nf - 1.0).powi(2) - 8.0 * of).max(0.0).sqrt()) / 2.0)
+        .floor() as u64;
+    let start = |i: u64| i * (n - 1) - i * (i.saturating_sub(1)) / 2;
+    while i > 0 && start(i) > ordinal {
+        i -= 1;
+    }
+    while i + 1 < n && start(i + 1) <= ordinal {
+        i += 1;
+    }
+    let j = i + 1 + (ordinal - start(i));
+    Edge::new(i, j)
+}
+
+fn shuffle(edges: &mut [Edge], rng: &mut SmallRng) {
+    use rand::seq::SliceRandom;
+    edges.shuffle(rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tristream_graph::Adjacency;
+
+    #[test]
+    fn ordinal_mapping_is_a_bijection() {
+        let n = 9u64;
+        let total = n * (n - 1) / 2;
+        let mut seen = std::collections::HashSet::new();
+        for o in 0..total {
+            let e = edge_from_ordinal(n, o);
+            assert!(e.u().raw() < e.v().raw());
+            assert!(e.v().raw() < n);
+            assert!(seen.insert(e), "ordinal {o} duplicated edge {e}");
+        }
+        assert_eq!(seen.len() as u64, total);
+    }
+
+    #[test]
+    fn gnm_produces_exactly_m_distinct_edges() {
+        for &(n, m) in &[(50u64, 10u64), (50, 300), (50, 1225), (10, 45), (10, 100)] {
+            let s = gnm(n, m, 99);
+            let expected = m.min(n * (n - 1) / 2);
+            assert_eq!(s.len() as u64, expected, "n={n} m={m}");
+            assert!(s.validate_simple().is_ok());
+            let adj = Adjacency::from_stream(&s);
+            assert!(adj.num_vertices() as u64 <= n);
+        }
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates_around_expectation() {
+        let n = 200u64;
+        let p = 0.1;
+        let s = gnp(n, p, 7);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = s.len() as f64;
+        assert!(
+            (got - expected).abs() < 0.15 * expected,
+            "got {got}, expected ≈ {expected}"
+        );
+        assert!(s.validate_simple().is_ok());
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(20, 0.0, 1).len(), 0);
+        assert_eq!(gnp(20, 1.0, 1).len(), 190);
+        assert_eq!(gnp(1, 0.5, 1).len(), 0);
+        assert_eq!(gnp(0, 0.5, 1).len(), 0);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(gnm(100, 400, 5).edges(), gnm(100, 400, 5).edges());
+        assert_ne!(gnm(100, 400, 5).edges(), gnm(100, 400, 6).edges());
+        assert_eq!(gnp(100, 0.05, 5).edges(), gnp(100, 0.05, 5).edges());
+    }
+
+    #[test]
+    fn gnm_complement_sampling_path_is_exercised() {
+        // m > total/2 triggers complement sampling.
+        let n = 30u64;
+        let total = n * (n - 1) / 2;
+        let m = total - 10;
+        let s = gnm(n, m, 3);
+        assert_eq!(s.len() as u64, m);
+        assert!(s.validate_simple().is_ok());
+    }
+}

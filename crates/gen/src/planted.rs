@@ -1,0 +1,134 @@
+//! Graphs with a *planted*, exactly-known number of triangles.
+//!
+//! Estimator-correctness tests want graphs where τ(G) is known by
+//! construction rather than recomputed: `planted_triangles` builds a graph
+//! from `t` vertex-disjoint triangles plus `noise` extra edges that are
+//! guaranteed not to create any additional triangle (they connect vertices
+//! of distinct planted triangles that are not already connected and whose
+//! endpoints share no common neighbor). The result is a graph whose exact
+//! triangle count is `t` regardless of seed, which makes unbiasedness tests
+//! sharp.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use tristream_graph::{Adjacency, Edge, EdgeStream};
+
+/// Builds a graph containing exactly `t` triangles (vertex-disjoint) plus
+/// `noise` triangle-free filler edges, then shuffles the arrival order.
+///
+/// Filler edges connect vertices from different planted triangles only if
+/// adding them keeps the graph triangle-free outside the planted ones; the
+/// construction verifies this invariant with an exact check in debug builds.
+///
+/// # Panics
+///
+/// Panics if `t == 0`.
+pub fn planted_triangles(t: u64, noise: u64, seed: u64) -> EdgeStream {
+    assert!(t >= 1, "at least one triangle must be planted");
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let mut edges: Vec<Edge> = Vec::with_capacity((3 * t + noise) as usize);
+    let mut edge_set: HashSet<Edge> = HashSet::new();
+    // Adjacency as sets for the no-new-triangle check.
+    let n = 3 * t;
+    let mut neighbors: Vec<HashSet<u64>> = vec![HashSet::new(); n as usize];
+
+    let add = |a: u64,
+                   b: u64,
+                   edges: &mut Vec<Edge>,
+                   edge_set: &mut HashSet<Edge>,
+                   neighbors: &mut Vec<HashSet<u64>>| {
+        let e = Edge::new(a, b);
+        if edge_set.insert(e) {
+            neighbors[a as usize].insert(b);
+            neighbors[b as usize].insert(a);
+            edges.push(e);
+            true
+        } else {
+            false
+        }
+    };
+
+    // Plant t vertex-disjoint triangles on vertices {3i, 3i+1, 3i+2}.
+    for i in 0..t {
+        let base = 3 * i;
+        add(base, base + 1, &mut edges, &mut edge_set, &mut neighbors);
+        add(base + 1, base + 2, &mut edges, &mut edge_set, &mut neighbors);
+        add(base, base + 2, &mut edges, &mut edge_set, &mut neighbors);
+    }
+
+    // Add noise edges between different triangles that do not close any new
+    // triangle: {a, b} is safe iff a and b have no common neighbor.
+    let mut added = 0u64;
+    let mut attempts = 0u64;
+    let max_attempts = noise.saturating_mul(50).max(1_000);
+    while added < noise && attempts < max_attempts {
+        attempts += 1;
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b || a / 3 == b / 3 {
+            continue; // same planted triangle
+        }
+        if edge_set.contains(&Edge::new(a, b)) {
+            continue;
+        }
+        if neighbors[a as usize].intersection(&neighbors[b as usize]).next().is_some() {
+            continue; // would close a triangle
+        }
+        if add(a, b, &mut edges, &mut edge_set, &mut neighbors) {
+            added += 1;
+        }
+    }
+
+    edges.shuffle(&mut rng);
+    let stream = EdgeStream::new(edges);
+    debug_assert_eq!(
+        tristream_graph::exact::count_triangles(&Adjacency::from_stream(&stream)),
+        t,
+        "planted construction must contain exactly t triangles"
+    );
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tristream_graph::exact::count_triangles;
+
+    #[test]
+    fn exact_triangle_count_matches_the_plant() {
+        for (t, noise, seed) in [(1u64, 0u64, 1u64), (10, 5, 2), (50, 100, 3), (200, 500, 4)] {
+            let s = planted_triangles(t, noise, seed);
+            let tau = count_triangles(&Adjacency::from_stream(&s));
+            assert_eq!(tau, t, "t={t} noise={noise} seed={seed}");
+            assert!(s.validate_simple().is_ok());
+        }
+    }
+
+    #[test]
+    fn noise_edges_are_added_when_space_permits() {
+        let s = planted_triangles(100, 150, 9);
+        assert!(s.len() as u64 >= 3 * 100 + 100, "len={}", s.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(planted_triangles(20, 30, 5).edges(), planted_triangles(20, 30, 5).edges());
+        assert_ne!(planted_triangles(20, 30, 5).edges(), planted_triangles(20, 30, 6).edges());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_triangles_panics() {
+        let _ = planted_triangles(0, 10, 1);
+    }
+
+    #[test]
+    fn single_triangle_no_noise_is_k3() {
+        let s = planted_triangles(1, 0, 7);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.vertex_count(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! R-MAT (recursive matrix) graph generator.
+//!
+//! R-MAT graphs reproduce the skewed, community-structured edge distribution
+//! of large social networks and are a standard stand-in when the original
+//! crawl cannot be redistributed. The dataset stand-ins use R-MAT for the
+//! largest workloads (Orkut- and LiveJournal-scale) because it generates
+//! edges independently — memory stays proportional to the number of edges
+//! kept, and generation parallelises trivially if ever needed.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use tristream_graph::{Edge, EdgeStream};
+
+/// Quadrant probabilities for the recursive matrix subdivision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant (both endpoints in the lower
+    /// half of the id space). Larger `a` → stronger hubs.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability (`1 - a - b - c`; stored explicitly
+    /// so the struct is self-describing).
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The parameters used by the Graph500 benchmark (`a=0.57, b=0.19,
+    /// c=0.19, d=0.05`), a good default for social-network-like graphs.
+    pub const GRAPH500: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+
+    /// Validates that the probabilities are non-negative and sum to ~1.
+    pub fn validate(&self) -> bool {
+        let sum = self.a + self.b + self.c + self.d;
+        self.a >= 0.0
+            && self.b >= 0.0
+            && self.c >= 0.0
+            && self.d >= 0.0
+            && (sum - 1.0).abs() < 1e-6
+    }
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        Self::GRAPH500
+    }
+}
+
+/// Generates an undirected simple R-MAT graph with `2^scale` vertices and
+/// (up to) `edges` distinct edges; duplicate edges and self-loops produced by
+/// the recursive process are discarded, so the realised edge count can be
+/// slightly lower than requested.
+///
+/// The arrival order is the generation order, which is already effectively
+/// random.
+///
+/// # Panics
+///
+/// Panics if `params` does not describe a probability distribution or if
+/// `scale` is 0 or large enough to overflow (`scale >= 32`).
+pub fn rmat(scale: u32, edges: u64, params: RmatParams, seed: u64) -> EdgeStream {
+    assert!(params.validate(), "R-MAT quadrant probabilities must be a distribution");
+    assert!((1..32).contains(&scale), "scale must be in [1, 31]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n: u64 = 1 << scale;
+
+    let mut seen: HashSet<Edge> = HashSet::with_capacity(edges as usize);
+    let mut out: Vec<Edge> = Vec::with_capacity(edges as usize);
+    // Cap the attempts so pathological parameter choices terminate.
+    let max_attempts = edges.saturating_mul(20).max(1_000);
+    let mut attempts = 0u64;
+    while (out.len() as u64) < edges && attempts < max_attempts {
+        attempts += 1;
+        let (u, v) = sample_cell(scale, params, &mut rng);
+        if u == v || u >= n || v >= n {
+            continue;
+        }
+        let e = Edge::new(u, v);
+        if seen.insert(e) {
+            out.push(e);
+        }
+    }
+    out.shuffle(&mut rng);
+    EdgeStream::new(out)
+}
+
+/// Recursively descends the adjacency matrix, picking one quadrant per level.
+fn sample_cell(scale: u32, p: RmatParams, rng: &mut SmallRng) -> (u64, u64) {
+    let mut u = 0u64;
+    let mut v = 0u64;
+    for level in (0..scale).rev() {
+        let bit = 1u64 << level;
+        let r: f64 = rng.gen();
+        // Add a little per-level noise so the degree distribution is not
+        // perfectly self-similar (standard R-MAT smoothing).
+        let noise = 0.9 + 0.2 * rng.gen::<f64>();
+        let a = p.a * noise;
+        let (qa, qb, qc) = (a, p.b, p.c);
+        let total = a + p.b + p.c + p.d;
+        let r = r * total;
+        if r < qa {
+            // top-left: no bits set
+        } else if r < qa + qb {
+            v |= bit;
+        } else if r < qa + qb + qc {
+            u |= bit;
+        } else {
+            u |= bit;
+            v |= bit;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tristream_graph::exact::count_triangles;
+    use tristream_graph::{Adjacency, DegreeHistogram, DegreeTable};
+
+    #[test]
+    fn graph500_params_are_valid() {
+        assert!(RmatParams::GRAPH500.validate());
+        assert!(RmatParams::default().validate());
+        assert!(!RmatParams { a: 0.9, b: 0.3, c: 0.1, d: 0.1 }.validate());
+        assert!(!RmatParams { a: -0.1, b: 0.5, c: 0.3, d: 0.3 }.validate());
+    }
+
+    #[test]
+    fn produces_roughly_the_requested_edges() {
+        let s = rmat(12, 20_000, RmatParams::GRAPH500, 3);
+        assert!(s.len() >= 18_000, "got {}", s.len());
+        assert!(s.len() <= 20_000);
+        assert!(s.validate_simple().is_ok());
+    }
+
+    #[test]
+    fn vertex_ids_stay_below_two_to_scale() {
+        let scale = 8u32;
+        let s = rmat(scale, 2_000, RmatParams::GRAPH500, 5);
+        let max_id = s
+            .vertices()
+            .into_iter()
+            .map(|v| v.raw())
+            .max()
+            .unwrap();
+        assert!(max_id < 1 << scale);
+    }
+
+    #[test]
+    fn skewed_parameters_create_hubs_and_triangles() {
+        let s = rmat(13, 60_000, RmatParams::GRAPH500, 8);
+        let t = DegreeTable::from_stream(&s);
+        let hist = DegreeHistogram::from_table(&t);
+        assert!(t.max_degree() > 100, "max degree {}", t.max_degree());
+        assert!(hist.fraction_at_or_below(30) > 0.7);
+        let tau = count_triangles(&Adjacency::from_stream(&s));
+        assert!(tau > 1_000, "expected many triangles, got {tau}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat(10, 5_000, RmatParams::GRAPH500, 42);
+        let b = rmat(10, 5_000, RmatParams::GRAPH500, 42);
+        assert_eq!(a.edges(), b.edges());
+        let c = rmat(10, 5_000, RmatParams::GRAPH500, 43);
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_params_panic() {
+        let _ = rmat(10, 100, RmatParams { a: 0.9, b: 0.9, c: 0.0, d: 0.0 }, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_scale_panics() {
+        let _ = rmat(0, 100, RmatParams::GRAPH500, 1);
+    }
+
+    #[test]
+    fn uniform_quadrants_resemble_erdos_renyi() {
+        // With equal quadrant probabilities the degree distribution should be
+        // much flatter than with GRAPH500 parameters.
+        let uniform = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+        let s = rmat(12, 20_000, uniform, 6);
+        let t = DegreeTable::from_stream(&s);
+        assert!(t.max_degree() < 50, "max degree {}", t.max_degree());
+    }
+}

@@ -1,0 +1,123 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! The transitivity coefficient the paper estimates (§3.5) was introduced by
+//! Newman, Watts and Strogatz in the context of exactly this model: a ring
+//! lattice has very high clustering, and rewiring a fraction `β` of the
+//! edges lowers it gradually. The transitivity example and several tests use
+//! this generator because its clustering is tunable and well understood.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use tristream_graph::{Edge, EdgeStream};
+
+/// Generates a Watts–Strogatz graph: a ring of `n` vertices where each
+/// vertex is connected to its `k` nearest neighbours on each side
+/// (`2k` total), and every edge is rewired to a uniformly random endpoint
+/// with probability `beta`.
+///
+/// * `beta = 0` → pure ring lattice (high transitivity).
+/// * `beta = 1` → essentially a random graph (low transitivity).
+///
+/// # Panics
+///
+/// Panics if `k == 0`, if `2k ≥ n`, or if `beta` is outside `[0, 1]`.
+pub fn watts_strogatz(n: u64, k: u64, beta: f64, seed: u64) -> EdgeStream {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(2 * k < n, "2k must be smaller than n");
+    assert!((0.0..=1.0).contains(&beta), "beta must lie in [0, 1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let mut seen: HashSet<Edge> = HashSet::new();
+    let mut edges: Vec<Edge> = Vec::with_capacity((n * k) as usize);
+    for u in 0..n {
+        for offset in 1..=k {
+            let v = (u + offset) % n;
+            let edge = if rng.gen::<f64>() < beta {
+                // Rewire: keep u, draw a new endpoint avoiding self-loops and
+                // existing edges (bounded retries; fall back to the lattice
+                // edge if the neighborhood is saturated).
+                let mut rewired = None;
+                for _ in 0..32 {
+                    let w = rng.gen_range(0..n);
+                    if w == u {
+                        continue;
+                    }
+                    let cand = Edge::new(u, w);
+                    if !seen.contains(&cand) {
+                        rewired = Some(cand);
+                        break;
+                    }
+                }
+                rewired.unwrap_or_else(|| Edge::new(u, v))
+            } else {
+                Edge::new(u, v)
+            };
+            if seen.insert(edge) {
+                edges.push(edge);
+            }
+        }
+    }
+    edges.shuffle(&mut rng);
+    EdgeStream::new(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tristream_graph::exact::transitivity_coefficient;
+    use tristream_graph::{Adjacency, DegreeTable};
+
+    #[test]
+    fn ring_lattice_has_expected_size_and_degrees() {
+        let s = watts_strogatz(100, 3, 0.0, 1);
+        assert_eq!(s.len(), 300);
+        let t = DegreeTable::from_stream(&s);
+        assert_eq!(t.min_degree(), 6);
+        assert_eq!(t.max_degree(), 6);
+        assert!(s.validate_simple().is_ok());
+    }
+
+    #[test]
+    fn rewiring_lowers_transitivity() {
+        let lattice = watts_strogatz(500, 4, 0.0, 2);
+        let random = watts_strogatz(500, 4, 1.0, 2);
+        let t_lattice = transitivity_coefficient(&Adjacency::from_stream(&lattice));
+        let t_random = transitivity_coefficient(&Adjacency::from_stream(&random));
+        assert!(t_lattice > 0.4, "lattice transitivity {t_lattice}");
+        assert!(t_random < t_lattice / 2.0, "random transitivity {t_random}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            watts_strogatz(200, 2, 0.3, 7).edges(),
+            watts_strogatz(200, 2, 0.3, 7).edges()
+        );
+        assert_ne!(
+            watts_strogatz(200, 2, 0.3, 7).edges(),
+            watts_strogatz(200, 2, 0.3, 8).edges()
+        );
+    }
+
+    #[test]
+    fn edge_count_is_preserved_under_rewiring() {
+        // Rewiring may occasionally fall back, but the count stays within a
+        // whisker of n*k.
+        let s = watts_strogatz(300, 3, 0.5, 4);
+        assert!(s.len() >= 880 && s.len() <= 900, "len={}", s.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_dense_lattice_panics() {
+        let _ = watts_strogatz(10, 5, 0.1, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_beta_panics() {
+        let _ = watts_strogatz(100, 2, 1.5, 1);
+    }
+}

@@ -1,0 +1,320 @@
+//! Compact adjacency index (CSR) built from an edge stream.
+//!
+//! The streaming algorithms never build this structure — their whole point is
+//! to avoid it — but the exact ground-truth counters ([`crate::exact`]), the
+//! offline baselines, and the experiment harness all need fast neighborhood
+//! queries. Vertex ids are remapped to a dense `0..n` range internally so
+//! sparse id spaces (as in SNAP files) do not blow up memory.
+
+use crate::edge::Edge;
+use crate::stream::EdgeStream;
+use crate::vertex::VertexId;
+use std::collections::HashMap;
+
+/// A compressed-sparse-row adjacency index over an undirected simple graph.
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    /// Sorted original vertex ids; position in this vector is the dense index.
+    vertex_ids: Vec<VertexId>,
+    /// Map from original id to dense index.
+    index_of: HashMap<VertexId, usize>,
+    /// CSR row offsets, length `n + 1`.
+    offsets: Vec<usize>,
+    /// CSR column indices (dense neighbor indices), sorted within each row.
+    neighbors: Vec<u32>,
+    /// Number of undirected edges.
+    num_edges: usize,
+}
+
+impl Adjacency {
+    /// Builds the adjacency index from an edge stream.
+    ///
+    /// Duplicate edges in the stream are counted once (the graph is simple);
+    /// callers that care about duplicates should validate the stream first.
+    pub fn from_stream(stream: &EdgeStream) -> Self {
+        Self::from_edges(stream.edges())
+    }
+
+    /// Builds the adjacency index from a slice of edges.
+    pub fn from_edges(edges: &[Edge]) -> Self {
+        // Dense remapping of vertex ids.
+        let mut vertex_ids: Vec<VertexId> = Vec::new();
+        {
+            let mut seen = HashMap::new();
+            for e in edges {
+                for v in [e.u(), e.v()] {
+                    seen.entry(v).or_insert(());
+                }
+            }
+            vertex_ids.extend(seen.keys().copied());
+        }
+        vertex_ids.sort_unstable();
+        let index_of: HashMap<VertexId, usize> =
+            vertex_ids.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let n = vertex_ids.len();
+
+        // Deduplicate edges (simple graph) in dense index space.
+        let mut dedup: Vec<(u32, u32)> = edges
+            .iter()
+            .map(|e| {
+                let a = index_of[&e.u()] as u32;
+                let b = index_of[&e.v()] as u32;
+                if a < b {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            })
+            .collect();
+        dedup.sort_unstable();
+        dedup.dedup();
+        let num_edges = dedup.len();
+
+        // Degree counting and CSR assembly (each undirected edge contributes
+        // to two rows).
+        let mut degrees = vec![0usize; n];
+        for &(a, b) in &dedup {
+            degrees[a as usize] += 1;
+            degrees[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for d in &degrees {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u32; 2 * num_edges];
+        for &(a, b) in &dedup {
+            neighbors[cursor[a as usize]] = b;
+            cursor[a as usize] += 1;
+            neighbors[cursor[b as usize]] = a;
+            cursor[b as usize] += 1;
+        }
+        for v in 0..n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+
+        Self { vertex_ids, index_of, offsets, neighbors, num_edges }
+    }
+
+    /// Number of vertices `n`.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_ids.len()
+    }
+
+    /// Number of undirected edges `m`.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The original vertex ids, sorted ascending; index into this slice with
+    /// a dense index to translate back.
+    pub fn vertex_ids(&self) -> &[VertexId] {
+        &self.vertex_ids
+    }
+
+    /// Dense index of an original vertex id, if present.
+    pub fn dense_index(&self, v: VertexId) -> Option<usize> {
+        self.index_of.get(&v).copied()
+    }
+
+    /// Original id of a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= n`.
+    pub fn original_id(&self, idx: usize) -> VertexId {
+        self.vertex_ids[idx]
+    }
+
+    /// Degree of a vertex given by original id; 0 for unknown vertices.
+    pub fn degree(&self, v: VertexId) -> usize {
+        match self.dense_index(v) {
+            Some(i) => self.degree_dense(i),
+            None => 0,
+        }
+    }
+
+    /// Degree of a vertex given by dense index.
+    pub fn degree_dense(&self, idx: usize) -> usize {
+        self.offsets[idx + 1] - self.offsets[idx]
+    }
+
+    /// Maximum degree Δ over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices()).map(|i| self.degree_dense(i)).max().unwrap_or(0)
+    }
+
+    /// Neighbors (dense indices, sorted) of the vertex with dense index `idx`.
+    pub fn neighbors_dense(&self, idx: usize) -> &[u32] {
+        &self.neighbors[self.offsets[idx]..self.offsets[idx + 1]]
+    }
+
+    /// Neighbors (original ids) of a vertex given by original id.
+    pub fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        match self.dense_index(v) {
+            None => Vec::new(),
+            Some(i) => {
+                self.neighbors_dense(i).iter().map(|&j| self.vertex_ids[j as usize]).collect()
+            }
+        }
+    }
+
+    /// Whether the edge `{a, b}` exists.
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        match (self.dense_index(a), self.dense_index(b)) {
+            (Some(i), Some(j)) => {
+                // Search from the lower-degree endpoint.
+                let (i, j) = if self.degree_dense(i) <= self.degree_dense(j) { (i, j) } else { (j, i) };
+                self.neighbors_dense(i).binary_search(&(j as u32)).is_ok()
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of common neighbors of `a` and `b` — the number of triangles
+    /// the edge `{a, b}` participates in when the edge exists.
+    pub fn common_neighbor_count(&self, a: VertexId, b: VertexId) -> usize {
+        match (self.dense_index(a), self.dense_index(b)) {
+            (Some(i), Some(j)) => sorted_intersection_count(
+                self.neighbors_dense(i),
+                self.neighbors_dense(j),
+            ),
+            _ => 0,
+        }
+    }
+
+    /// Iterates over all undirected edges, each reported once with
+    /// `u < v` in dense-index order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.num_vertices()).flat_map(move |i| {
+            self.neighbors_dense(i)
+                .iter()
+                .filter(move |&&j| (j as usize) > i)
+                .map(move |&j| Edge::new(self.vertex_ids[i], self.vertex_ids[j as usize]))
+        })
+    }
+}
+
+/// Number of elements common to two sorted slices.
+fn sorted_intersection_count(a: &[u32], b: &[u32]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4() -> Adjacency {
+        // Complete graph on {10, 20, 30, 40} with sparse ids.
+        let edges = vec![
+            Edge::new(10u64, 20u64),
+            Edge::new(10u64, 30u64),
+            Edge::new(10u64, 40u64),
+            Edge::new(20u64, 30u64),
+            Edge::new(20u64, 40u64),
+            Edge::new(30u64, 40u64),
+        ];
+        Adjacency::from_edges(&edges)
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = k4();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.max_degree(), 3);
+        for v in [10u64, 20, 30, 40] {
+            assert_eq!(g.degree(VertexId(v)), 3);
+        }
+        assert_eq!(g.degree(VertexId(99)), 0);
+    }
+
+    #[test]
+    fn neighbors_are_translated_back_to_original_ids() {
+        let g = k4();
+        let mut n = g.neighbors(VertexId(20));
+        n.sort_unstable();
+        assert_eq!(n, vec![VertexId(10), VertexId(30), VertexId(40)]);
+        assert!(g.neighbors(VertexId(5)).is_empty());
+    }
+
+    #[test]
+    fn has_edge_and_common_neighbors() {
+        let g = k4();
+        assert!(g.has_edge(VertexId(10), VertexId(40)));
+        assert!(g.has_edge(VertexId(40), VertexId(10)));
+        assert!(!g.has_edge(VertexId(10), VertexId(99)));
+        // In K4 every edge has exactly 2 common neighbors.
+        assert_eq!(g.common_neighbor_count(VertexId(10), VertexId(20)), 2);
+        assert_eq!(g.common_neighbor_count(VertexId(10), VertexId(99)), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_are_collapsed() {
+        let edges = vec![
+            Edge::new(1u64, 2u64),
+            Edge::new(2u64, 1u64),
+            Edge::new(2u64, 3u64),
+        ];
+        let g = Adjacency::from_edges(&edges);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(VertexId(2)), 2);
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_edge_once() {
+        let g = k4();
+        let edges: Vec<Edge> = g.edges().collect();
+        assert_eq!(edges.len(), 6);
+        let mut dedup = edges.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 6);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Adjacency::from_edges(&[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn path_graph_structure() {
+        // Path 1-2-3-4: degrees 1,2,2,1; no common neighbors along edges.
+        let edges =
+            vec![Edge::new(1u64, 2u64), Edge::new(2u64, 3u64), Edge::new(3u64, 4u64)];
+        let g = Adjacency::from_edges(&edges);
+        assert_eq!(g.degree(VertexId(1)), 1);
+        assert_eq!(g.degree(VertexId(2)), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.common_neighbor_count(VertexId(1), VertexId(2)), 0);
+        assert!(!g.has_edge(VertexId(1), VertexId(3)));
+    }
+
+    #[test]
+    fn from_stream_matches_from_edges() {
+        let stream = EdgeStream::from_pairs_dedup(vec![(1, 2), (2, 3), (1, 3)]);
+        let a = Adjacency::from_stream(&stream);
+        let b = Adjacency::from_edges(stream.edges());
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.num_vertices(), b.num_vertices());
+    }
+}

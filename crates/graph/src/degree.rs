@@ -1,0 +1,223 @@
+//! Degree tables and degree-frequency histograms.
+//!
+//! The right-hand panel of Figure 3 in the paper plots, for every dataset,
+//! the frequency of each degree value (log-scaled frequency axis). The
+//! experiment harness regenerates those series from [`DegreeHistogram`];
+//! [`DegreeTable`] is the underlying per-vertex degree map, also used by the
+//! bulk-processing algorithm's tests and by graph generators to verify the
+//! degree bands they promise.
+
+use crate::adjacency::Adjacency;
+use crate::edge::Edge;
+use crate::stream::EdgeStream;
+use crate::vertex::VertexId;
+use std::collections::HashMap;
+
+/// Per-vertex degrees of a graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegreeTable {
+    degrees: HashMap<VertexId, usize>,
+}
+
+impl DegreeTable {
+    /// Builds the table by scanning an edge slice once.
+    pub fn from_edges(edges: &[Edge]) -> Self {
+        let mut degrees: HashMap<VertexId, usize> = HashMap::new();
+        for e in edges {
+            *degrees.entry(e.u()).or_insert(0) += 1;
+            *degrees.entry(e.v()).or_insert(0) += 1;
+        }
+        Self { degrees }
+    }
+
+    /// Builds the table from an edge stream.
+    pub fn from_stream(stream: &EdgeStream) -> Self {
+        Self::from_edges(stream.edges())
+    }
+
+    /// Builds the table from an adjacency index.
+    pub fn from_adjacency(adj: &Adjacency) -> Self {
+        let degrees = adj
+            .vertex_ids()
+            .iter()
+            .map(|&v| (v, adj.degree(v)))
+            .collect();
+        Self { degrees }
+    }
+
+    /// Degree of `v` (0 if the vertex does not appear).
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.degrees.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Maximum degree Δ (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.degrees.values().copied().max().unwrap_or(0)
+    }
+
+    /// Minimum degree (0 for an empty graph).
+    pub fn min_degree(&self) -> usize {
+        self.degrees.values().copied().min().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n` (0 for an empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.degrees.is_empty() {
+            0.0
+        } else {
+            self.degrees.values().sum::<usize>() as f64 / self.degrees.len() as f64
+        }
+    }
+
+    /// Number of wedges (paths of length two) centred at each vertex, summed:
+    /// `ζ(G) = Σ_v C(deg(v), 2)`. This is the denominator of the transitivity
+    /// coefficient (§3.5).
+    pub fn wedge_count(&self) -> u64 {
+        self.degrees
+            .values()
+            .map(|&d| {
+                let d = d as u64;
+                d * d.saturating_sub(1) / 2
+            })
+            .sum()
+    }
+
+    /// Iterates over `(vertex, degree)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, usize)> + '_ {
+        self.degrees.iter().map(|(&v, &d)| (v, d))
+    }
+}
+
+/// A degree-frequency histogram: how many vertices have each degree value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegreeHistogram {
+    /// Sorted `(degree, count)` pairs; degrees with zero count are omitted.
+    buckets: Vec<(usize, usize)>,
+}
+
+impl DegreeHistogram {
+    /// Builds the histogram from a degree table.
+    pub fn from_table(table: &DegreeTable) -> Self {
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for (_, d) in table.iter() {
+            *counts.entry(d).or_insert(0) += 1;
+        }
+        let mut buckets: Vec<(usize, usize)> = counts.into_iter().collect();
+        buckets.sort_unstable();
+        Self { buckets }
+    }
+
+    /// Builds the histogram directly from an edge stream.
+    pub fn from_stream(stream: &EdgeStream) -> Self {
+        Self::from_table(&DegreeTable::from_stream(stream))
+    }
+
+    /// Sorted `(degree, vertex count)` pairs.
+    pub fn buckets(&self) -> &[(usize, usize)] {
+        &self.buckets
+    }
+
+    /// Number of vertices with exactly this degree.
+    pub fn count_at(&self, degree: usize) -> usize {
+        self.buckets
+            .binary_search_by_key(&degree, |&(d, _)| d)
+            .map(|i| self.buckets[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Total number of vertices covered by the histogram.
+    pub fn total_vertices(&self) -> usize {
+        self.buckets.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// A crude power-law tail indicator: the fraction of vertices whose
+    /// degree is at most `threshold`. Power-law graphs have almost all mass
+    /// at small degrees; near-regular graphs do not.
+    pub fn fraction_at_or_below(&self, threshold: usize) -> f64 {
+        let total = self.total_vertices();
+        if total == 0 {
+            return 0.0;
+        }
+        let below: usize =
+            self.buckets.iter().filter(|&&(d, _)| d <= threshold).map(|&(_, c)| c).sum();
+        below as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star_edges(center: u64, leaves: u64) -> Vec<Edge> {
+        (1..=leaves).map(|i| Edge::new(center, center + i)).collect()
+    }
+
+    #[test]
+    fn star_graph_degrees() {
+        let edges = star_edges(0, 5);
+        let t = DegreeTable::from_edges(&edges);
+        assert_eq!(t.num_vertices(), 6);
+        assert_eq!(t.degree(VertexId(0)), 5);
+        assert_eq!(t.degree(VertexId(1)), 1);
+        assert_eq!(t.degree(VertexId(42)), 0);
+        assert_eq!(t.max_degree(), 5);
+        assert_eq!(t.min_degree(), 1);
+        assert!((t.average_degree() - 10.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wedge_count_of_star_is_choose_two() {
+        // A star with k leaves has C(k, 2) wedges, all centred at the hub.
+        let t = DegreeTable::from_edges(&star_edges(0, 6));
+        assert_eq!(t.wedge_count(), 15);
+    }
+
+    #[test]
+    fn wedge_count_of_triangle_is_three() {
+        let edges = vec![Edge::new(1u64, 2u64), Edge::new(2u64, 3u64), Edge::new(1u64, 3u64)];
+        let t = DegreeTable::from_edges(&edges);
+        assert_eq!(t.wedge_count(), 3);
+    }
+
+    #[test]
+    fn table_from_adjacency_matches_from_edges() {
+        let edges = star_edges(100, 7);
+        let from_edges = DegreeTable::from_edges(&edges);
+        let from_adj = DegreeTable::from_adjacency(&Adjacency::from_edges(&edges));
+        assert_eq!(from_edges, from_adj);
+    }
+
+    #[test]
+    fn histogram_buckets_are_sorted_and_complete() {
+        let edges = star_edges(0, 4);
+        let h = DegreeHistogram::from_table(&DegreeTable::from_edges(&edges));
+        assert_eq!(h.buckets(), &[(1, 4), (4, 1)]);
+        assert_eq!(h.count_at(1), 4);
+        assert_eq!(h.count_at(4), 1);
+        assert_eq!(h.count_at(2), 0);
+        assert_eq!(h.total_vertices(), 5);
+    }
+
+    #[test]
+    fn fraction_at_or_below() {
+        let edges = star_edges(0, 4);
+        let h = DegreeHistogram::from_stream(&EdgeStream::new(edges));
+        assert!((h.fraction_at_or_below(1) - 0.8).abs() < 1e-12);
+        assert!((h.fraction_at_or_below(4) - 1.0).abs() < 1e-12);
+        assert_eq!(DegreeHistogram::default().fraction_at_or_below(3), 0.0);
+    }
+
+    #[test]
+    fn empty_table_is_all_zeroes() {
+        let t = DegreeTable::from_edges(&[]);
+        assert_eq!(t.num_vertices(), 0);
+        assert_eq!(t.max_degree(), 0);
+        assert_eq!(t.average_degree(), 0.0);
+        assert_eq!(t.wedge_count(), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Undirected edges and their adjacency relations.
+
+use crate::error::GraphError;
+use crate::vertex::VertexId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An undirected edge between two distinct vertices.
+///
+/// Edges are stored in normalised form (`u < v`), so two edges compare equal
+/// regardless of the endpoint order they were constructed with. Self-loops
+/// are rejected: the paper assumes a simple graph (§1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Edge {
+    u: VertexId,
+    v: VertexId,
+}
+
+impl Edge {
+    /// Creates an edge between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `a == b`.
+    pub fn try_new(a: VertexId, b: VertexId) -> Result<Self, GraphError> {
+        if a == b {
+            return Err(GraphError::SelfLoop { vertex: a });
+        }
+        Ok(if a < b { Edge { u: a, v: b } } else { Edge { u: b, v: a } })
+    }
+
+    /// Creates an edge between `a` and `b`, panicking on a self-loop.
+    ///
+    /// Convenient in tests and generators where endpoints are known to be
+    /// distinct.
+    pub fn new(a: impl Into<VertexId>, b: impl Into<VertexId>) -> Self {
+        Self::try_new(a.into(), b.into()).expect("self-loops are not allowed")
+    }
+
+    /// The smaller endpoint.
+    #[inline]
+    pub const fn u(&self) -> VertexId {
+        self.u
+    }
+
+    /// The larger endpoint.
+    #[inline]
+    pub const fn v(&self) -> VertexId {
+        self.v
+    }
+
+    /// Both endpoints, smaller first — the paper's `V(e)`.
+    #[inline]
+    pub const fn endpoints(&self) -> (VertexId, VertexId) {
+        (self.u, self.v)
+    }
+
+    /// Whether `w` is one of this edge's endpoints.
+    #[inline]
+    pub fn contains(&self, w: VertexId) -> bool {
+        self.u == w || self.v == w
+    }
+
+    /// Whether the two edges share at least one endpoint — the paper's
+    /// "adjacent" relation between edges. An edge is *not* adjacent to
+    /// itself under this definition (the neighborhood N(e) never contains e,
+    /// because the graph is simple and N(e) only holds later edges).
+    #[inline]
+    pub fn is_adjacent(&self, other: &Edge) -> bool {
+        self != other
+            && (self.contains(other.u) || self.contains(other.v))
+    }
+
+    /// The shared endpoint of two adjacent edges, if there is exactly one.
+    ///
+    /// Returns `None` both when the edges are disjoint and when they are the
+    /// same edge (two shared endpoints).
+    pub fn shared_vertex(&self, other: &Edge) -> Option<VertexId> {
+        if self == other {
+            return None;
+        }
+        if other.contains(self.u) {
+            Some(self.u)
+        } else if other.contains(self.v) {
+            Some(self.v)
+        } else {
+            None
+        }
+    }
+
+    /// The endpoint other than `w`.
+    ///
+    /// Returns `None` if `w` is not an endpoint of this edge.
+    pub fn other_endpoint(&self, w: VertexId) -> Option<VertexId> {
+        if w == self.u {
+            Some(self.v)
+        } else if w == self.v {
+            Some(self.u)
+        } else {
+            None
+        }
+    }
+
+    /// Whether this edge closes the wedge formed by two adjacent edges `a`
+    /// and `b`: i.e. `{a, b, self}` form a triangle.
+    ///
+    /// `a` and `b` must be adjacent (share exactly one vertex); if they are
+    /// not, the result is `false`.
+    pub fn closes_wedge(&self, a: &Edge, b: &Edge) -> bool {
+        match a.shared_vertex(b) {
+            None => false,
+            Some(center) => {
+                let x = match a.other_endpoint(center) {
+                    Some(x) => x,
+                    None => return false,
+                };
+                let y = match b.other_endpoint(center) {
+                    Some(y) => y,
+                    None => return false,
+                };
+                if x == y {
+                    return false; // a and b are parallel edges; simple graphs exclude this.
+                }
+                self.contains(x) && self.contains(y)
+            }
+        }
+    }
+
+    /// Whether three edges form a triangle (three distinct pairwise-adjacent
+    /// edges spanning exactly three vertices).
+    pub fn forms_triangle(a: &Edge, b: &Edge, c: &Edge) -> bool {
+        c.closes_wedge(a, b)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.u, self.v)
+    }
+}
+
+impl From<(u64, u64)> for Edge {
+    fn from((a, b): (u64, u64)) -> Self {
+        Edge::new(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(a: u64, b: u64) -> Edge {
+        Edge::new(a, b)
+    }
+
+    #[test]
+    fn edges_are_normalised() {
+        assert_eq!(e(2, 1), e(1, 2));
+        assert_eq!(e(5, 9).u().raw(), 5);
+        assert_eq!(e(9, 5).u().raw(), 5);
+        assert_eq!(e(9, 5).v().raw(), 9);
+    }
+
+    #[test]
+    fn self_loops_are_rejected() {
+        assert!(matches!(
+            Edge::try_new(VertexId(3), VertexId(3)),
+            Err(GraphError::SelfLoop { vertex: VertexId(3) })
+        ));
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_panics_on_self_loop() {
+        let _ = e(4, 4);
+    }
+
+    #[test]
+    fn contains_and_other_endpoint() {
+        let ab = e(1, 2);
+        assert!(ab.contains(VertexId(1)));
+        assert!(ab.contains(VertexId(2)));
+        assert!(!ab.contains(VertexId(3)));
+        assert_eq!(ab.other_endpoint(VertexId(1)), Some(VertexId(2)));
+        assert_eq!(ab.other_endpoint(VertexId(2)), Some(VertexId(1)));
+        assert_eq!(ab.other_endpoint(VertexId(3)), None);
+    }
+
+    #[test]
+    fn adjacency_between_edges() {
+        assert!(e(1, 2).is_adjacent(&e(2, 3)));
+        assert!(e(1, 2).is_adjacent(&e(0, 1)));
+        assert!(!e(1, 2).is_adjacent(&e(3, 4)));
+        assert!(!e(1, 2).is_adjacent(&e(1, 2)), "an edge is not adjacent to itself");
+    }
+
+    #[test]
+    fn shared_vertex_identifies_the_common_endpoint() {
+        assert_eq!(e(1, 2).shared_vertex(&e(2, 3)), Some(VertexId(2)));
+        assert_eq!(e(1, 2).shared_vertex(&e(1, 9)), Some(VertexId(1)));
+        assert_eq!(e(1, 2).shared_vertex(&e(3, 4)), None);
+        assert_eq!(e(1, 2).shared_vertex(&e(1, 2)), None);
+    }
+
+    #[test]
+    fn closes_wedge_detects_triangles() {
+        let ab = e(1, 2);
+        let bc = e(2, 3);
+        let ca = e(3, 1);
+        assert!(ca.closes_wedge(&ab, &bc));
+        assert!(Edge::forms_triangle(&ab, &bc, &ca));
+        // A non-closing third edge.
+        assert!(!e(3, 4).closes_wedge(&ab, &bc));
+        // Non-adjacent first two edges never have a closing wedge.
+        assert!(!e(1, 3).closes_wedge(&e(1, 2), &e(3, 4)));
+    }
+
+    #[test]
+    fn closes_wedge_rejects_degenerate_inputs() {
+        // Same edge twice is not a wedge.
+        assert!(!e(1, 3).closes_wedge(&e(1, 2), &e(1, 2)));
+    }
+
+    #[test]
+    fn display_and_tuple_conversion() {
+        assert_eq!(e(3, 1).to_string(), "(1, 3)");
+        assert_eq!(Edge::from((8u64, 2u64)), e(2, 8));
+    }
+}

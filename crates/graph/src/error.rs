@@ -1,0 +1,84 @@
+//! Error types for the graph substrate.
+
+use crate::vertex::VertexId;
+use std::fmt;
+use std::io;
+
+/// Errors produced by graph construction and I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge's two endpoints were the same vertex; the paper assumes a
+    /// simple graph with no self-loops.
+    SelfLoop {
+        /// The offending vertex.
+        vertex: VertexId,
+    },
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The offending line content.
+        content: String,
+    },
+    /// An underlying I/O failure while reading or writing an edge list.
+    Io(io::Error),
+    /// An operation required a non-empty graph or stream but got an empty one.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop at vertex {vertex} is not allowed in a simple graph")
+            }
+            GraphError::Parse { line, content } => {
+                write!(f, "cannot parse edge-list line {line}: {content:?}")
+            }
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::SelfLoop { vertex: VertexId(5) };
+        assert!(e.to_string().contains("self-loop"));
+        assert!(e.to_string().contains('5'));
+
+        let e = GraphError::Parse { line: 12, content: "a b c".into() };
+        assert!(e.to_string().contains("12"));
+
+        let e = GraphError::EmptyGraph;
+        assert!(e.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn io_errors_are_wrapped_with_source() {
+        use std::error::Error;
+        let inner = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e = GraphError::from(inner);
+        assert!(e.to_string().contains("gone"));
+        assert!(e.source().is_some());
+    }
+}

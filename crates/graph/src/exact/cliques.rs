@@ -1,0 +1,202 @@
+//! Exact clique counting (4-cliques and general k-cliques).
+//!
+//! Section 5.1 of the paper extends neighborhood sampling to counting
+//! `K_ℓ` for `ℓ ≥ 4`; these exact counters provide the ground truth for
+//! those estimators. The implementation recursively extends ordered partial
+//! cliques through forward neighborhoods (each clique is enumerated exactly
+//! once, in ascending dense-index order), which is efficient for the small
+//! `k` values (3–6) the reproduction exercises.
+
+use crate::adjacency::Adjacency;
+
+/// Exact number of 4-cliques τ₄(G).
+pub fn count_four_cliques(adj: &Adjacency) -> u64 {
+    count_k_cliques(adj, 4)
+}
+
+/// Exact number of k-cliques in the graph, for `k ≥ 1`.
+///
+/// `k = 1` counts vertices, `k = 2` counts edges, `k = 3` counts triangles,
+/// and so on. Cliques are counted as vertex subsets (unordered).
+pub fn count_k_cliques(adj: &Adjacency, k: usize) -> u64 {
+    match k {
+        0 => 1, // the empty clique, by convention
+        1 => adj.num_vertices() as u64,
+        2 => adj.num_edges() as u64,
+        _ => {
+            let n = adj.num_vertices();
+            let mut count = 0u64;
+            let mut candidates: Vec<u32> = Vec::new();
+            for v in 0..n {
+                // Forward neighbors of v.
+                candidates.clear();
+                candidates.extend(
+                    adj.neighbors_dense(v).iter().copied().filter(|&u| (u as usize) > v),
+                );
+                count += extend_clique(adj, &candidates, k - 1);
+            }
+            count
+        }
+    }
+}
+
+/// Number of ways to extend the current partial clique by `remaining` more
+/// vertices chosen from `candidates` (all of which are adjacent to every
+/// vertex already in the partial clique and have larger dense indices).
+fn extend_clique(adj: &Adjacency, candidates: &[u32], remaining: usize) -> u64 {
+    if remaining == 1 {
+        return candidates.len() as u64;
+    }
+    let mut count = 0u64;
+    for (i, &v) in candidates.iter().enumerate() {
+        // New candidate set: later candidates that are also neighbors of v.
+        let nv = adj.neighbors_dense(v as usize);
+        let rest = &candidates[i + 1..];
+        let next: Vec<u32> = sorted_intersection(rest, nv);
+        if next.len() >= remaining - 1 {
+            count += extend_clique(adj, &next, remaining - 1);
+        }
+    }
+    count
+}
+
+/// Intersection of two sorted u32 slices.
+fn sorted_intersection(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+
+    fn adjacency(pairs: &[(u64, u64)]) -> Adjacency {
+        let edges: Vec<Edge> = pairs.iter().map(|&(a, b)| Edge::new(a, b)).collect();
+        Adjacency::from_edges(&edges)
+    }
+
+    fn complete_graph(n: u64) -> Adjacency {
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                pairs.push((i, j));
+            }
+        }
+        adjacency(&pairs)
+    }
+
+    fn binom(n: u64, k: u64) -> u64 {
+        if k > n {
+            return 0;
+        }
+        let mut result = 1u64;
+        for i in 0..k {
+            result = result * (n - i) / (i + 1);
+        }
+        result
+    }
+
+    #[test]
+    fn complete_graph_clique_counts_are_binomials() {
+        for n in 4..=8u64 {
+            let g = complete_graph(n);
+            for k in 1..=5usize {
+                assert_eq!(
+                    count_k_cliques(&g, k),
+                    binom(n, k as u64),
+                    "K_{n}, k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn low_arity_special_cases() {
+        let g = adjacency(&[(1, 2), (2, 3), (1, 3), (3, 4)]);
+        assert_eq!(count_k_cliques(&g, 0), 1);
+        assert_eq!(count_k_cliques(&g, 1), 4);
+        assert_eq!(count_k_cliques(&g, 2), 4);
+        assert_eq!(count_k_cliques(&g, 3), 1);
+        assert_eq!(count_k_cliques(&g, 4), 0);
+    }
+
+    #[test]
+    fn triangle_count_agrees_with_dedicated_counter() {
+        let g = adjacency(&[
+            (1, 2),
+            (2, 3),
+            (1, 3),
+            (3, 4),
+            (4, 5),
+            (3, 5),
+            (1, 5),
+            (2, 5),
+        ]);
+        assert_eq!(
+            count_k_cliques(&g, 3),
+            crate::exact::triangles::count_triangles(&g)
+        );
+    }
+
+    #[test]
+    fn four_clique_in_k4_plus_pendant() {
+        // K4 on {1,2,3,4} plus pendant edge (4,5): exactly one 4-clique.
+        let g = adjacency(&[(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4), (4, 5)]);
+        assert_eq!(count_four_cliques(&g), 1);
+        assert_eq!(count_k_cliques(&g, 5), 0);
+    }
+
+    #[test]
+    fn two_overlapping_k4s() {
+        // K4 on {1,2,3,4} and K4 on {3,4,5,6} sharing the edge (3,4).
+        let g = adjacency(&[
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            (3, 5),
+            (3, 6),
+            (4, 5),
+            (4, 6),
+            (5, 6),
+        ]);
+        assert_eq!(count_four_cliques(&g), 2);
+    }
+
+    #[test]
+    fn bipartite_graph_has_no_cliques_beyond_edges() {
+        let mut pairs = Vec::new();
+        for a in 0..4u64 {
+            for b in 4..8u64 {
+                pairs.push((a, b));
+            }
+        }
+        let g = adjacency(&pairs);
+        assert_eq!(count_k_cliques(&g, 3), 0);
+        assert_eq!(count_four_cliques(&g), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Adjacency::from_edges(&[]);
+        assert_eq!(count_four_cliques(&g), 0);
+        assert_eq!(count_k_cliques(&g, 3), 0);
+        assert_eq!(count_k_cliques(&g, 1), 0);
+    }
+}

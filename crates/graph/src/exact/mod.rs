@@ -1,0 +1,33 @@
+//! Exact (non-streaming) ground-truth analytics.
+//!
+//! Every experiment in the paper's §4 reports the *relative error* of a
+//! streaming estimate against the true value, so the reproduction needs
+//! exact counters for everything the streaming algorithms estimate:
+//!
+//! * [`triangles`] — τ(G), per-edge and per-vertex triangle counts, and
+//!   triangle enumeration for small graphs (used by the uniform-sampling
+//!   tests).
+//! * [`wedges`] — ζ(G), the number of connected vertex triples ("paths of
+//!   length two"), and T₂(G), the number of triples with exactly two edges
+//!   (used by the lower-bound discussion in §3.6).
+//! * [`transitivity`] — κ(G) = 3τ(G)/ζ(G) and the average clustering
+//!   coefficient (for comparison; the paper is careful to distinguish them).
+//! * [`tangle`] — the tangle coefficient γ(G) of a *stream order*
+//!   (§3.2.1), together with the per-edge neighborhood-size values c(e) it
+//!   is defined from.
+//! * [`cliques`] — exact 4-clique and k-clique counts (§5.1's ground truth).
+
+pub mod cliques;
+pub mod tangle;
+pub mod transitivity;
+pub mod triangles;
+pub mod wedges;
+
+pub use cliques::{count_four_cliques, count_k_cliques};
+pub use tangle::{edge_neighborhood_sizes, tangle_coefficient, TangleProfile};
+pub use transitivity::{average_clustering_coefficient, transitivity_coefficient};
+pub use triangles::{
+    count_triangles, list_triangles, per_edge_triangle_counts, per_vertex_triangle_counts,
+    Triangle,
+};
+pub use wedges::{count_open_triples, count_wedges};

@@ -1,0 +1,195 @@
+//! The tangle coefficient γ(G) of a stream order (§3.2.1).
+//!
+//! For a fixed arrival order, let `c(e)` be the number of edges that arrive
+//! *after* `e` and share an endpoint with it (the size of the neighborhood
+//! N(e) the level-2 reservoir samples from). For a triangle `t` whose first
+//! edge in the stream is `f`, define `C(t) = c(f)`. The tangle coefficient is
+//!
+//! ```text
+//! γ(G) = (1/τ(G)) · Σ_{t ∈ T(G)} C(t)
+//! ```
+//!
+//! Theorem 3.4 shows that `O((1/ε²)·(m·γ/τ)·log(1/δ))` estimators suffice,
+//! which is never worse than the `2Δ` bound of Theorem 3.3 and often much
+//! better on power-law graphs. The experiment harness reports γ alongside
+//! `m·Δ/τ` so EXPERIMENTS.md can show how conservative the worst-case bound
+//! is on each dataset, exactly as the paper argues.
+
+use crate::adjacency::Adjacency;
+use crate::degree::DegreeTable;
+use crate::edge::Edge;
+use crate::exact::triangles::list_triangles;
+use crate::stream::EdgeStream;
+use std::collections::HashMap;
+
+/// Per-stream-order tangle statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TangleProfile {
+    /// The tangle coefficient γ(G) for this order (0 when the graph has no
+    /// triangles).
+    pub gamma: f64,
+    /// The worst-case surrogate 2Δ that Theorem 3.3 uses in place of γ.
+    pub two_delta: f64,
+    /// Number of triangles τ(G).
+    pub triangles: u64,
+    /// Σ_t C(t), the numerator of γ.
+    pub total_first_edge_neighborhood: u64,
+}
+
+/// Computes `c(e)` for every edge of the stream: the number of later edges
+/// adjacent to `e`, under this arrival order.
+///
+/// Runs in one backward pass over the stream using running degrees:
+/// when `e = {x, y}` is at position `i`, the edges after `e` adjacent to `e`
+/// are exactly the later edges incident to `x` plus the later edges incident
+/// to `y` (no double counting is possible in a simple graph, because an edge
+/// incident to both `x` and `y` would be a parallel copy of `e`).
+pub fn edge_neighborhood_sizes(stream: &EdgeStream) -> HashMap<Edge, u64> {
+    let final_degrees = DegreeTable::from_stream(stream);
+    let mut running: HashMap<_, u64> = HashMap::new();
+    let mut out = HashMap::with_capacity(stream.len());
+    for e in stream.iter() {
+        let ru = {
+            let r = running.entry(e.u()).or_insert(0);
+            *r += 1;
+            *r
+        };
+        let rv = {
+            let r = running.entry(e.v()).or_insert(0);
+            *r += 1;
+            *r
+        };
+        let later_u = final_degrees.degree(e.u()) as u64 - ru;
+        let later_v = final_degrees.degree(e.v()) as u64 - rv;
+        out.insert(e, later_u + later_v);
+    }
+    out
+}
+
+/// Computes the tangle coefficient γ(G) and related statistics for the given
+/// stream order.
+pub fn tangle_coefficient(stream: &EdgeStream) -> TangleProfile {
+    let adj = Adjacency::from_stream(stream);
+    let triangles = list_triangles(&adj);
+    let tau = triangles.len() as u64;
+    let c_values = edge_neighborhood_sizes(stream);
+    let positions: HashMap<Edge, u64> =
+        stream.iter_positioned().map(|(p, e)| (e, p)).collect();
+
+    let mut total = 0u64;
+    for t in &triangles {
+        let first_edge = t
+            .edges()
+            .into_iter()
+            .min_by_key(|e| positions.get(e).copied().unwrap_or(u64::MAX))
+            .expect("a triangle always has three edges");
+        total += c_values.get(&first_edge).copied().unwrap_or(0);
+    }
+
+    let delta = adj.max_degree() as f64;
+    TangleProfile {
+        gamma: if tau == 0 { 0.0 } else { total as f64 / tau as f64 },
+        two_delta: 2.0 * delta,
+        triangles: tau,
+        total_first_edge_neighborhood: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamOrder;
+
+    fn stream(pairs: &[(u64, u64)]) -> EdgeStream {
+        EdgeStream::from_pairs_dedup(pairs.iter().copied())
+    }
+
+    #[test]
+    fn neighborhood_sizes_on_a_path() {
+        // Stream order: (1,2), (2,3), (3,4).
+        // c((1,2)) = edges after it touching 1 or 2 = {(2,3)} → 1
+        // c((2,3)) = {(3,4)} → 1 ; c((3,4)) = 0.
+        let s = stream(&[(1, 2), (2, 3), (3, 4)]);
+        let c = edge_neighborhood_sizes(&s);
+        assert_eq!(c[&Edge::new(1u64, 2u64)], 1);
+        assert_eq!(c[&Edge::new(2u64, 3u64)], 1);
+        assert_eq!(c[&Edge::new(3u64, 4u64)], 0);
+    }
+
+    #[test]
+    fn neighborhood_sizes_sum_equals_wedge_count() {
+        // Claim 3.9 of the paper: Σ_e c(e) = ζ(G), for any stream order.
+        let s = stream(&[(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (2, 5), (1, 5)]);
+        let zeta = crate::exact::wedges::count_wedges(&Adjacency::from_stream(&s));
+        for order in [StreamOrder::Natural, StreamOrder::Shuffled(3), StreamOrder::Reversed] {
+            let r = s.reordered(order);
+            let total: u64 = edge_neighborhood_sizes(&r).values().sum();
+            assert_eq!(total, zeta, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn single_triangle_gamma() {
+        // Stream (1,2), (2,3), (1,3): first edge of the only triangle is
+        // (1,2) with c = 2 (both later edges touch it), so γ = 2.
+        let s = stream(&[(1, 2), (2, 3), (1, 3)]);
+        let p = tangle_coefficient(&s);
+        assert_eq!(p.triangles, 1);
+        assert_eq!(p.total_first_edge_neighborhood, 2);
+        assert!((p.gamma - 2.0).abs() < 1e-12);
+        assert_eq!(p.two_delta, 4.0);
+    }
+
+    #[test]
+    fn gamma_never_exceeds_two_delta() {
+        let s = stream(&[
+            (1, 2),
+            (2, 3),
+            (1, 3),
+            (3, 4),
+            (4, 5),
+            (3, 5),
+            (1, 5),
+            (2, 5),
+            (1, 4),
+        ]);
+        for order in [
+            StreamOrder::Natural,
+            StreamOrder::Shuffled(1),
+            StreamOrder::Shuffled(2),
+            StreamOrder::Reversed,
+            StreamOrder::Sorted,
+        ] {
+            let p = tangle_coefficient(&s.reordered(order));
+            assert!(p.gamma <= p.two_delta + 1e-9, "order {order:?}: {p:?}");
+        }
+    }
+
+    #[test]
+    fn triangle_free_graph_has_zero_gamma() {
+        let s = stream(&[(1, 2), (2, 3), (3, 4), (4, 1)]);
+        let p = tangle_coefficient(&s);
+        assert_eq!(p.triangles, 0);
+        assert_eq!(p.gamma, 0.0);
+    }
+
+    #[test]
+    fn gamma_depends_on_stream_order() {
+        // A triangle plus a hub of extra edges on vertex 1. If the triangle's
+        // first edge arrives before the hub edges, C(t) is large; if it
+        // arrives after them, C(t) is small. γ must reflect that.
+        let mut early_triangle = vec![(1u64, 2u64), (2, 3), (1, 3)];
+        let hub: Vec<(u64, u64)> = (10..30u64).map(|i| (1, i)).collect();
+        early_triangle.extend(&hub);
+
+        let mut late_triangle = hub.clone();
+        late_triangle.extend([(1u64, 2u64), (2, 3), (1, 3)]);
+
+        let g_early = tangle_coefficient(&stream(&early_triangle)).gamma;
+        let g_late = tangle_coefficient(&stream(&late_triangle)).gamma;
+        assert!(
+            g_early > g_late,
+            "first-edge-early order should have larger gamma ({g_early} vs {g_late})"
+        );
+    }
+}

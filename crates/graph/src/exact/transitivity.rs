@@ -1,0 +1,117 @@
+//! Exact transitivity and clustering coefficients.
+//!
+//! The paper estimates the *transitivity coefficient*
+//! `κ(G) = 3 τ(G) / ζ(G)` (Newman–Watts–Strogatz). It is careful to note
+//! (§3.5, footnote 2) that this differs from the *average clustering
+//! coefficient* of Watts–Strogatz, which averages the per-vertex ratio
+//! `triangles(v) / C(deg(v), 2)`. We provide both so tests and examples can
+//! demonstrate the difference.
+
+use crate::adjacency::Adjacency;
+use crate::exact::triangles::{count_triangles, per_vertex_triangle_counts};
+use crate::exact::wedges::count_wedges;
+
+/// Exact transitivity coefficient κ(G) = 3τ(G)/ζ(G).
+///
+/// Returns 0 when the graph has no wedges (the coefficient is undefined; the
+/// zero convention keeps downstream arithmetic total).
+pub fn transitivity_coefficient(adj: &Adjacency) -> f64 {
+    let zeta = count_wedges(adj);
+    if zeta == 0 {
+        return 0.0;
+    }
+    3.0 * count_triangles(adj) as f64 / zeta as f64
+}
+
+/// Exact average (Watts–Strogatz) clustering coefficient: the mean over all
+/// vertices of degree ≥ 2 of `triangles(v) / C(deg(v), 2)`.
+///
+/// Returns 0 when no vertex has degree ≥ 2.
+pub fn average_clustering_coefficient(adj: &Adjacency) -> f64 {
+    let per_vertex = per_vertex_triangle_counts(adj);
+    let mut sum = 0.0;
+    let mut counted = 0usize;
+    for (&v, &t) in &per_vertex {
+        let d = adj.degree(v) as u64;
+        if d >= 2 {
+            let wedges = d * (d - 1) / 2;
+            sum += t as f64 / wedges as f64;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        sum / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+
+    fn adjacency(pairs: &[(u64, u64)]) -> Adjacency {
+        let edges: Vec<Edge> = pairs.iter().map(|&(a, b)| Edge::new(a, b)).collect();
+        Adjacency::from_edges(&edges)
+    }
+
+    #[test]
+    fn complete_graph_has_transitivity_one() {
+        for n in 3..=7u64 {
+            let mut pairs = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    pairs.push((i, j));
+                }
+            }
+            let g = adjacency(&pairs);
+            assert!((transitivity_coefficient(&g) - 1.0).abs() < 1e-12, "K_{n}");
+            assert!((average_clustering_coefficient(&g) - 1.0).abs() < 1e-12, "K_{n}");
+        }
+    }
+
+    #[test]
+    fn triangle_free_graph_has_transitivity_zero() {
+        let g = adjacency(&[(1, 2), (2, 3), (3, 4), (4, 1)]);
+        assert_eq!(transitivity_coefficient(&g), 0.0);
+        assert_eq!(average_clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs_yield_zero() {
+        let g = Adjacency::from_edges(&[]);
+        assert_eq!(transitivity_coefficient(&g), 0.0);
+        assert_eq!(average_clustering_coefficient(&g), 0.0);
+        // A single edge: no wedges at all.
+        let g = adjacency(&[(1, 2)]);
+        assert_eq!(transitivity_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn paw_graph_transitivity() {
+        // Triangle (1,2,3) plus pendant edge (3,4).
+        // τ = 1, ζ = wedges: deg(1)=2, deg(2)=2, deg(3)=3, deg(4)=1 →
+        // 1 + 1 + 3 + 0 = 5, so κ = 3/5.
+        let g = adjacency(&[(1, 2), (2, 3), (1, 3), (3, 4)]);
+        assert!((transitivity_coefficient(&g) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transitivity_differs_from_average_clustering() {
+        // The classic example where the two metrics diverge: a triangle with
+        // many pendant edges attached to one of its vertices. The average
+        // clustering stays moderately high (two vertices have coefficient 1)
+        // while transitivity collapses because the hub creates many wedges.
+        let mut pairs = vec![(1, 2), (2, 3), (1, 3)];
+        for leaf in 10..30u64 {
+            pairs.push((1, leaf));
+        }
+        let g = adjacency(&pairs);
+        let kappa = transitivity_coefficient(&g);
+        let clustering = average_clustering_coefficient(&g);
+        assert!(kappa < 0.05, "kappa={kappa}");
+        assert!(clustering > 0.08, "clustering={clustering}");
+        assert!(clustering > kappa);
+    }
+}

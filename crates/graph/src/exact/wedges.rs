@@ -1,0 +1,97 @@
+//! Exact wedge (length-two path) counting.
+//!
+//! The transitivity coefficient (§3.5) is `κ(G) = 3τ(G) / ζ(G)` where
+//! `ζ(G) = Σ_u C(deg(u), 2)` is the number of *connected triples* (wedges).
+//! The lower bound in §3.6 additionally refers to `T₂(G)`, the number of
+//! vertex triples spanned by exactly two edges (open triples); the two are
+//! related by `ζ(G) = T₂(G) + 3τ(G)` because every triangle contributes
+//! three wedges.
+
+use crate::adjacency::Adjacency;
+use crate::degree::DegreeTable;
+use crate::exact::triangles::count_triangles;
+use crate::stream::EdgeStream;
+
+/// Exact number of wedges ζ(G) = Σ_u C(deg(u), 2).
+pub fn count_wedges(adj: &Adjacency) -> u64 {
+    (0..adj.num_vertices())
+        .map(|i| {
+            let d = adj.degree_dense(i) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+/// Exact number of wedges of an edge stream (order-independent).
+pub fn count_wedges_in_stream(stream: &EdgeStream) -> u64 {
+    DegreeTable::from_stream(stream).wedge_count()
+}
+
+/// Exact number of *open* triples T₂(G): vertex triples with exactly two
+/// edges among them. Satisfies `ζ(G) = T₂(G) + 3 τ(G)`.
+pub fn count_open_triples(adj: &Adjacency) -> u64 {
+    count_wedges(adj) - 3 * count_triangles(adj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+
+    fn adjacency(pairs: &[(u64, u64)]) -> Adjacency {
+        let edges: Vec<Edge> = pairs.iter().map(|&(a, b)| Edge::new(a, b)).collect();
+        Adjacency::from_edges(&edges)
+    }
+
+    #[test]
+    fn triangle_has_three_wedges_and_no_open_triples() {
+        let g = adjacency(&[(1, 2), (2, 3), (1, 3)]);
+        assert_eq!(count_wedges(&g), 3);
+        assert_eq!(count_open_triples(&g), 0);
+    }
+
+    #[test]
+    fn path_has_wedges_but_no_triangles() {
+        // Path on 4 vertices: two internal vertices of degree 2 → 2 wedges.
+        let g = adjacency(&[(1, 2), (2, 3), (3, 4)]);
+        assert_eq!(count_wedges(&g), 2);
+        assert_eq!(count_open_triples(&g), 2);
+    }
+
+    #[test]
+    fn star_wedge_count_is_choose_two() {
+        let pairs: Vec<(u64, u64)> = (1..=7u64).map(|i| (0, i)).collect();
+        let g = adjacency(&pairs);
+        assert_eq!(count_wedges(&g), 21);
+    }
+
+    #[test]
+    fn complete_graph_identity_holds() {
+        // K_n: ζ = n * C(n-1, 2); τ = C(n, 3); T₂ = ζ - 3τ = 0 only for n=3.
+        for n in 3..=8u64 {
+            let mut pairs = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    pairs.push((i, j));
+                }
+            }
+            let g = adjacency(&pairs);
+            let zeta = count_wedges(&g);
+            let tau = count_triangles(&g);
+            assert_eq!(zeta, n * (n - 1) * (n - 2) / 2);
+            assert_eq!(count_open_triples(&g), zeta - 3 * tau);
+        }
+    }
+
+    #[test]
+    fn stream_and_adjacency_agree() {
+        let stream = EdgeStream::from_pairs_dedup(vec![(1, 2), (2, 3), (1, 3), (3, 4), (4, 5)]);
+        let adj = Adjacency::from_stream(&stream);
+        assert_eq!(count_wedges(&adj), count_wedges_in_stream(&stream));
+    }
+
+    #[test]
+    fn empty_graph_has_no_wedges() {
+        assert_eq!(count_wedges(&Adjacency::from_edges(&[])), 0);
+    }
+}

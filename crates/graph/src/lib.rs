@@ -1,0 +1,41 @@
+//! Graph substrate for the `tristream` workspace.
+//!
+//! The paper studies the *adjacency stream* model: an undirected simple graph
+//! `G = (V, E)` arrives as a stream of edges `⟨e₁, …, e_m⟩` in arbitrary
+//! (possibly adversarial) order, and the algorithm must answer questions
+//! about triangles, wedges and cliques using memory far smaller than the
+//! graph. This crate provides everything *around* the streaming algorithms:
+//!
+//! * [`VertexId`] / [`Edge`] — the basic graph vocabulary. Edges are
+//!   undirected, normalised, simple (no self-loops).
+//! * [`stream`] — the adjacency-stream model: positioned edges, in-memory
+//!   streams, batching for the bulk algorithm, and stream orderings
+//!   (natural, seeded shuffle, adversarial).
+//! * [`adjacency`] — a compact CSR adjacency index built from an edge list,
+//!   used by the exact counters and the offline baselines.
+//! * [`degree`] — degree tables, maximum degree Δ, and degree-frequency
+//!   histograms (the right-hand panel of Figure 3).
+//! * [`exact`] — exact ground truth: triangle count τ(G), per-edge and
+//!   per-vertex triangle counts, wedge count ζ(G), transitivity κ(G), the
+//!   tangle coefficient γ(G) of a stream order (§3.2.1), and 4-/k-clique
+//!   counts.
+//! * [`io`] — SNAP-style edge-list text I/O.
+//! * [`stats`] — one-call graph summaries (the left-hand panel of Figure 3).
+
+pub mod adjacency;
+pub mod degree;
+pub mod edge;
+pub mod error;
+pub mod exact;
+pub mod io;
+pub mod stats;
+pub mod stream;
+pub mod vertex;
+
+pub use adjacency::Adjacency;
+pub use degree::{DegreeHistogram, DegreeTable};
+pub use edge::Edge;
+pub use error::GraphError;
+pub use stats::GraphSummary;
+pub use stream::{EdgeBatches, EdgeStream, StreamOrder};
+pub use vertex::VertexId;

@@ -1,0 +1,148 @@
+//! One-call graph summaries (the left panel of Figure 3).
+//!
+//! For every dataset the paper reports `n`, `m`, `Δ`, `τ` and the ratio
+//! `mΔ/τ` that predicts how many estimators the streaming counter needs.
+//! [`GraphSummary`] computes all of these (plus the wedge count, the
+//! transitivity coefficient, and — when a stream order is given — the tangle
+//! coefficient of §3.2.1) from an edge stream in one call.
+
+use crate::adjacency::Adjacency;
+use crate::exact::tangle::tangle_coefficient;
+use crate::exact::transitivity::transitivity_coefficient;
+use crate::exact::triangles::count_triangles;
+use crate::exact::wedges::count_wedges;
+use crate::stream::EdgeStream;
+use serde::{Deserialize, Serialize};
+
+/// Exact structural summary of a graph (and, optionally, of one stream order
+/// over it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphSummary {
+    /// Number of vertices `n`.
+    pub vertices: u64,
+    /// Number of edges `m`.
+    pub edges: u64,
+    /// Maximum degree Δ.
+    pub max_degree: u64,
+    /// Number of triangles τ(G).
+    pub triangles: u64,
+    /// Number of wedges (connected triples) ζ(G).
+    pub wedges: u64,
+    /// Transitivity coefficient κ(G) = 3τ/ζ (0 when ζ = 0).
+    pub transitivity: f64,
+    /// The paper's key accuracy predictor mΔ/τ (`f64::INFINITY` when τ = 0).
+    pub m_delta_over_tau: f64,
+    /// Tangle coefficient γ(G) of the supplied stream order, if one was
+    /// requested (`None` when computed order-independently).
+    pub tangle_coefficient: Option<f64>,
+}
+
+impl GraphSummary {
+    /// Computes the order-independent summary of a stream's underlying graph.
+    pub fn of_stream(stream: &EdgeStream) -> Self {
+        Self::compute(stream, false)
+    }
+
+    /// Computes the summary *including* the tangle coefficient of this
+    /// particular arrival order (more expensive: enumerates triangles).
+    pub fn of_stream_with_order(stream: &EdgeStream) -> Self {
+        Self::compute(stream, true)
+    }
+
+    fn compute(stream: &EdgeStream, with_tangle: bool) -> Self {
+        let adj = Adjacency::from_stream(stream);
+        let triangles = count_triangles(&adj);
+        let wedges = count_wedges(&adj);
+        let m = adj.num_edges() as u64;
+        let delta = adj.max_degree() as u64;
+        let m_delta_over_tau = if triangles == 0 {
+            f64::INFINITY
+        } else {
+            (m as f64) * (delta as f64) / triangles as f64
+        };
+        GraphSummary {
+            vertices: adj.num_vertices() as u64,
+            edges: m,
+            max_degree: delta,
+            triangles,
+            wedges,
+            transitivity: transitivity_coefficient(&adj),
+            m_delta_over_tau,
+            tangle_coefficient: if with_tangle {
+                Some(tangle_coefficient(stream).gamma)
+            } else {
+                None
+            },
+        }
+    }
+
+    /// A compact single-line rendering used by the experiment binaries, e.g.
+    /// `n=335K m=926K Δ=549 τ=667129 mΔ/τ=761.9`.
+    pub fn one_line(&self) -> String {
+        format!(
+            "n={} m={} Δ={} τ={} ζ={} κ={:.4} mΔ/τ={:.1}{}",
+            self.vertices,
+            self.edges,
+            self.max_degree,
+            self.triangles,
+            self.wedges,
+            self.transitivity,
+            self.m_delta_over_tau,
+            match self.tangle_coefficient {
+                Some(g) => format!(" γ={g:.1}"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_a_triangle_with_pendant() {
+        let s = EdgeStream::from_pairs_dedup(vec![(1, 2), (2, 3), (1, 3), (3, 4)]);
+        let sum = GraphSummary::of_stream(&s);
+        assert_eq!(sum.vertices, 4);
+        assert_eq!(sum.edges, 4);
+        assert_eq!(sum.max_degree, 3);
+        assert_eq!(sum.triangles, 1);
+        assert_eq!(sum.wedges, 5);
+        assert!((sum.transitivity - 0.6).abs() < 1e-12);
+        assert!((sum.m_delta_over_tau - 12.0).abs() < 1e-12);
+        assert!(sum.tangle_coefficient.is_none());
+    }
+
+    #[test]
+    fn summary_with_tangle_coefficient() {
+        let s = EdgeStream::from_pairs_dedup(vec![(1, 2), (2, 3), (1, 3)]);
+        let sum = GraphSummary::of_stream_with_order(&s);
+        assert_eq!(sum.tangle_coefficient, Some(2.0));
+        assert!(sum.one_line().contains("γ=2.0"));
+    }
+
+    #[test]
+    fn triangle_free_graph_has_infinite_ratio() {
+        let s = EdgeStream::from_pairs_dedup(vec![(1, 2), (2, 3)]);
+        let sum = GraphSummary::of_stream(&s);
+        assert_eq!(sum.triangles, 0);
+        assert!(sum.m_delta_over_tau.is_infinite());
+    }
+
+    #[test]
+    fn one_line_contains_all_key_fields() {
+        let s = EdgeStream::from_pairs_dedup(vec![(1, 2), (2, 3), (1, 3), (3, 4)]);
+        let line = GraphSummary::of_stream(&s).one_line();
+        for needle in ["n=4", "m=4", "Δ=3", "τ=1"] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+    }
+
+    #[test]
+    fn summary_is_cloneable_and_comparable() {
+        let s = EdgeStream::from_pairs_dedup(vec![(1, 2), (2, 3), (1, 3)]);
+        let sum = GraphSummary::of_stream(&s);
+        assert_eq!(sum.clone(), sum);
+    }
+}

@@ -1,0 +1,342 @@
+//! The adjacency-stream model (§1, §2 of the paper).
+//!
+//! A graph is presented as a sequence of undirected edges
+//! `⟨e₁, e₂, …, e_m⟩` in arbitrary order. [`EdgeStream`] is an in-memory
+//! materialisation of such a sequence: it preserves arrival order (positions
+//! are 1-based, matching the paper's notation), supports batching for the
+//! bulk-processing algorithm (§3.3), and can be re-ordered to study how the
+//! estimators behave under different, possibly adversarial, arrival orders.
+
+use crate::edge::Edge;
+use crate::error::GraphError;
+use crate::vertex::VertexId;
+use rand::seq::SliceRandom;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// How an edge stream should be (re-)ordered before it is consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOrder {
+    /// Keep the order the edges were supplied in.
+    Natural,
+    /// Uniformly random permutation from the given seed.
+    Shuffled(u64),
+    /// Reverse of the natural order.
+    Reversed,
+    /// Sort lexicographically by (smaller endpoint, larger endpoint).
+    ///
+    /// For generators that emit edges vertex-by-vertex this approximates the
+    /// "sorted by source" orders common in on-disk SNAP files.
+    Sorted,
+}
+
+/// An in-memory edge stream: the adjacency-stream model's input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeStream {
+    edges: Vec<Edge>,
+}
+
+impl EdgeStream {
+    /// Creates a stream from edges already known to be distinct.
+    ///
+    /// The adjacency-stream model assumes a simple graph, so the caller is
+    /// responsible for not supplying parallel edges; use
+    /// [`EdgeStream::from_edges_dedup`] when that is not guaranteed.
+    pub fn new(edges: Vec<Edge>) -> Self {
+        Self { edges }
+    }
+
+    /// Creates a stream from an iterator of endpoint pairs, skipping
+    /// self-loops and duplicate edges while preserving first-arrival order.
+    pub fn from_pairs_dedup<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        let mut seen = HashSet::new();
+        let mut edges = Vec::new();
+        for (a, b) in pairs {
+            if a == b {
+                continue;
+            }
+            let e = Edge::new(a, b);
+            if seen.insert(e) {
+                edges.push(e);
+            }
+        }
+        Self { edges }
+    }
+
+    /// Creates a stream from edges, dropping duplicates while preserving
+    /// first-arrival order.
+    pub fn from_edges_dedup<I>(edges: I) -> Self
+    where
+        I: IntoIterator<Item = Edge>,
+    {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for e in edges {
+            if seen.insert(e) {
+                out.push(e);
+            }
+        }
+        Self { edges: out }
+    }
+
+    /// Number of edges `m` in the stream.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the stream has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The edges in arrival order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge at 1-based stream position `pos`, if it exists.
+    pub fn get(&self, pos: usize) -> Option<Edge> {
+        if pos == 0 {
+            None
+        } else {
+            self.edges.get(pos - 1).copied()
+        }
+    }
+
+    /// Iterates over `(position, edge)` pairs with 1-based positions, the
+    /// paper's `e_i` indexing.
+    pub fn iter_positioned(&self) -> impl Iterator<Item = (u64, Edge)> + '_ {
+        self.edges.iter().enumerate().map(|(i, &e)| ((i + 1) as u64, e))
+    }
+
+    /// Iterates over the edges in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Splits the stream into consecutive batches of at most `batch_size`
+    /// edges, as consumed by the bulk-processing algorithm (§3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn batches(&self, batch_size: usize) -> EdgeBatches<'_> {
+        assert!(batch_size > 0, "batch size must be positive");
+        EdgeBatches { edges: &self.edges, batch_size, cursor: 0 }
+    }
+
+    /// The number of distinct vertices appearing in the stream.
+    pub fn vertex_count(&self) -> usize {
+        let mut set = HashSet::new();
+        for e in &self.edges {
+            set.insert(e.u());
+            set.insert(e.v());
+        }
+        set.len()
+    }
+
+    /// All distinct vertices in the stream, in ascending id order.
+    pub fn vertices(&self) -> Vec<VertexId> {
+        let mut set: Vec<VertexId> = self
+            .edges
+            .iter()
+            .flat_map(|e| [e.u(), e.v()])
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        set.sort_unstable();
+        set
+    }
+
+    /// Returns a copy of this stream re-ordered according to `order`.
+    pub fn reordered(&self, order: StreamOrder) -> EdgeStream {
+        let mut edges = self.edges.clone();
+        match order {
+            StreamOrder::Natural => {}
+            StreamOrder::Shuffled(seed) => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                edges.shuffle(&mut rng);
+            }
+            StreamOrder::Reversed => edges.reverse(),
+            StreamOrder::Sorted => edges.sort_unstable(),
+        }
+        EdgeStream { edges }
+    }
+
+    /// Validates that the stream describes a simple graph: returns an error
+    /// if any edge appears more than once.
+    pub fn validate_simple(&self) -> Result<(), GraphError> {
+        let mut seen = HashSet::with_capacity(self.edges.len());
+        for (i, e) in self.edges.iter().enumerate() {
+            if !seen.insert(*e) {
+                return Err(GraphError::Parse {
+                    line: i + 1,
+                    content: format!("duplicate edge {e}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes the stream, returning its edges.
+    pub fn into_edges(self) -> Vec<Edge> {
+        self.edges
+    }
+}
+
+impl FromIterator<Edge> for EdgeStream {
+    fn from_iter<I: IntoIterator<Item = Edge>>(iter: I) -> Self {
+        EdgeStream::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a EdgeStream {
+    type Item = &'a Edge;
+    type IntoIter = std::slice::Iter<'a, Edge>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.edges.iter()
+    }
+}
+
+/// Iterator over consecutive batches of an [`EdgeStream`].
+#[derive(Debug, Clone)]
+pub struct EdgeBatches<'a> {
+    edges: &'a [Edge],
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> Iterator for EdgeBatches<'a> {
+    type Item = &'a [Edge];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.edges.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.edges.len());
+        let batch = &self.edges[self.cursor..end];
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_stream() -> EdgeStream {
+        EdgeStream::new(vec![Edge::new(1u64, 2u64), Edge::new(2u64, 3u64), Edge::new(1u64, 3u64)])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = triangle_stream();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.vertex_count(), 3);
+        assert_eq!(s.get(1), Some(Edge::new(1u64, 2u64)));
+        assert_eq!(s.get(0), None);
+        assert_eq!(s.get(4), None);
+        assert_eq!(
+            s.vertices(),
+            vec![VertexId(1), VertexId(2), VertexId(3)]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let s = triangle_stream();
+        let positions: Vec<u64> = s.iter_positioned().map(|(p, _)| p).collect();
+        assert_eq!(positions, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn from_pairs_dedup_skips_loops_and_duplicates() {
+        let s = EdgeStream::from_pairs_dedup(vec![(1, 2), (2, 1), (3, 3), (2, 3)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.edges()[0], Edge::new(1u64, 2u64));
+        assert_eq!(s.edges()[1], Edge::new(2u64, 3u64));
+    }
+
+    #[test]
+    fn from_edges_dedup_preserves_first_arrival_order() {
+        let s = EdgeStream::from_edges_dedup(vec![
+            Edge::new(5u64, 6u64),
+            Edge::new(1u64, 2u64),
+            Edge::new(6u64, 5u64),
+        ]);
+        assert_eq!(s.edges(), &[Edge::new(5u64, 6u64), Edge::new(1u64, 2u64)]);
+    }
+
+    #[test]
+    fn batches_cover_the_stream_without_overlap() {
+        let s = EdgeStream::from_pairs_dedup((0u64..10).map(|i| (i, i + 100)));
+        let batches: Vec<&[Edge]> = s.batches(4).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[1].len(), 4);
+        assert_eq!(batches[2].len(), 2);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, s.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_batch_size_panics() {
+        let s = triangle_stream();
+        let _ = s.batches(0);
+    }
+
+    #[test]
+    fn reordered_preserves_edge_multiset() {
+        let s = EdgeStream::from_pairs_dedup((0u64..50).map(|i| (i, i + 1)));
+        for order in [
+            StreamOrder::Natural,
+            StreamOrder::Shuffled(42),
+            StreamOrder::Reversed,
+            StreamOrder::Sorted,
+        ] {
+            let r = s.reordered(order);
+            assert_eq!(r.len(), s.len());
+            let mut a: Vec<Edge> = s.edges().to_vec();
+            let mut b: Vec<Edge> = r.edges().to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "order {order:?} must preserve the edge set");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        let s = EdgeStream::from_pairs_dedup((0u64..100).map(|i| (i, i + 1)));
+        assert_eq!(
+            s.reordered(StreamOrder::Shuffled(7)).edges(),
+            s.reordered(StreamOrder::Shuffled(7)).edges()
+        );
+        assert_ne!(
+            s.reordered(StreamOrder::Shuffled(7)).edges(),
+            s.reordered(StreamOrder::Shuffled(8)).edges()
+        );
+    }
+
+    #[test]
+    fn validate_simple_detects_duplicates() {
+        let ok = triangle_stream();
+        assert!(ok.validate_simple().is_ok());
+        let dup = EdgeStream::new(vec![Edge::new(1u64, 2u64), Edge::new(2u64, 1u64)]);
+        assert!(dup.validate_simple().is_err());
+    }
+
+    #[test]
+    fn reversed_reverses() {
+        let s = triangle_stream();
+        let r = s.reordered(StreamOrder::Reversed);
+        assert_eq!(r.get(1), s.get(3));
+        assert_eq!(r.get(3), s.get(1));
+    }
+}

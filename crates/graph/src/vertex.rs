@@ -1,0 +1,102 @@
+//! Vertex identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A vertex identifier.
+///
+/// Vertices are plain integers, as in the SNAP edge-list files the paper
+/// streams from disk. The newtype keeps vertex ids from being confused with
+/// counts, positions or degrees in the algorithms' bookkeeping.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct VertexId(pub u64);
+
+impl VertexId {
+    /// Creates a vertex id from a raw integer.
+    #[inline]
+    pub const fn new(id: u64) -> Self {
+        VertexId(id)
+    }
+
+    /// The raw integer value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The raw value as a `usize` index (for dense arrays indexed by vertex).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u64> for VertexId {
+    #[inline]
+    fn from(v: u64) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        VertexId(v as u64)
+    }
+}
+
+impl From<usize> for VertexId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        VertexId(v as u64)
+    }
+}
+
+impl From<VertexId> for u64 {
+    #[inline]
+    fn from(v: VertexId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn construction_and_accessors() {
+        let v = VertexId::new(42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(u64::from(v), 42);
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(VertexId::from(7u64), VertexId(7));
+        assert_eq!(VertexId::from(7u32), VertexId(7));
+        assert_eq!(VertexId::from(7usize), VertexId(7));
+    }
+
+    #[test]
+    fn ordering_and_hashing() {
+        assert!(VertexId(1) < VertexId(2));
+        let set: HashSet<VertexId> = [VertexId(1), VertexId(1), VertexId(2)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_formats_raw_value() {
+        assert_eq!(VertexId(99).to_string(), "99");
+    }
+}

@@ -1,0 +1,252 @@
+//! Chain sampling over a sequence-based sliding window.
+//!
+//! The sliding-window extension of neighborhood sampling (§5.2 of the paper)
+//! needs the level-1 edge to be a uniform sample over the most recent `w`
+//! stream items. The paper follows Babcock, Datar and Motwani (SODA 2002):
+//! assign every item `i` an independent uniform priority `ρ(i) ∈ [0, 1]` and
+//! keep a *chain* of items `ℓ₁ < ℓ₂ < … < ℓ_k` inside the window where
+//! `ℓ₁` minimises `ρ` over the whole window and each subsequent `ℓ_{j+1}`
+//! minimises `ρ` over the items arriving after `ℓ_j`. The head of the chain
+//! is a uniform sample of the window; when it expires, the next chain element
+//! takes over without rescanning the window. The expected chain length is
+//! `Θ(log w)`.
+//!
+//! [`ChainSampler`] is generic over the per-item payload `T`, so the
+//! sliding-window triangle counter can attach its own level-2 state to every
+//! chain element (the paper maintains a random neighbor `r₂ⁱ` for each chain
+//! element `e_{ℓ_i}`).
+
+use rand::Rng;
+
+/// One element of the sampling chain: the stream position at which the item
+/// arrived, its random priority, and the caller's payload.
+#[derive(Debug, Clone)]
+pub struct ChainEntry<T> {
+    /// 1-based position of the item in the stream.
+    pub position: u64,
+    /// The item's independent uniform priority ρ.
+    pub priority: f64,
+    /// Caller-supplied payload (for the paper's §5.2, the sampled item itself
+    /// plus its level-2 reservoir).
+    pub payload: T,
+}
+
+/// Chain sampler maintaining a uniform random sample over the most recent
+/// `window` items of a stream (sequence-based sliding window).
+#[derive(Debug, Clone)]
+pub struct ChainSampler<T> {
+    window: u64,
+    now: u64,
+    chain: Vec<ChainEntry<T>>,
+}
+
+impl<T> ChainSampler<T> {
+    /// Creates a sampler over a sequence-based window of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "window size must be positive");
+        Self { window, now: 0, chain: Vec::new() }
+    }
+
+    /// The window size `w`.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Number of stream items observed so far.
+    pub fn seen(&self) -> u64 {
+        self.now
+    }
+
+    /// Current length of the chain (expected `O(log w)`).
+    pub fn chain_len(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// The current sample: the head of the chain, which is a uniformly-chosen
+    /// item among the at most `w` most recent items. `None` until the first
+    /// item is observed.
+    pub fn head(&self) -> Option<&ChainEntry<T>> {
+        self.chain.first()
+    }
+
+    /// Mutable access to the head entry's payload (used by the sliding-window
+    /// triangle counter to update the level-2 state attached to the current
+    /// level-1 edge).
+    pub fn head_payload_mut(&mut self) -> Option<&mut T> {
+        self.chain.first_mut().map(|e| &mut e.payload)
+    }
+
+    /// Read-only view of the whole chain, head first.
+    pub fn chain(&self) -> &[ChainEntry<T>] {
+        &self.chain
+    }
+
+    /// Mutable view of the whole chain, head first. Callers may update
+    /// payloads but must not reorder or remove entries.
+    pub fn chain_mut(&mut self) -> &mut [ChainEntry<T>] {
+        &mut self.chain
+    }
+
+    /// Observes the next stream item. Returns `true` if the chain head
+    /// changed (either because the head expired out of the window or because
+    /// the new item has a smaller priority than every chained item and
+    /// becomes the new head).
+    ///
+    /// The implementation keeps the classic chain-sampling invariant: entry
+    /// `j+1` has the minimum priority among items observed after entry `j`
+    /// (within the current window).
+    pub fn observe<R: Rng + ?Sized>(&mut self, rng: &mut R, payload: T) -> bool {
+        self.now += 1;
+        let oldest_allowed = self.now.saturating_sub(self.window - 1);
+        let old_head_pos = self.chain.first().map(|e| e.position);
+
+        // Expire chain elements that fell out of the window. Only a prefix
+        // can expire because positions are strictly increasing along the
+        // chain.
+        let expired = self.chain.iter().take_while(|e| e.position < oldest_allowed).count();
+        if expired > 0 {
+            self.chain.drain(0..expired);
+        }
+
+        let priority: f64 = rng.gen();
+        // The new item replaces the suffix of the chain whose priorities are
+        // larger than its own: by the chain invariant those entries can never
+        // become the minimum of a suffix that includes the new item.
+        while let Some(last) = self.chain.last() {
+            if last.priority > priority {
+                self.chain.pop();
+            } else {
+                break;
+            }
+        }
+        self.chain.push(ChainEntry { position: self.now, priority, payload });
+
+        self.chain.first().map(|e| e.position) != old_head_pos
+    }
+
+    /// Positions (1-based) currently covered by the window:
+    /// `[max(1, now - w + 1), now]`. Empty before the first observation.
+    // The deliberately inverted `1..=0` range is how "empty window" is
+    // represented before anything has been observed.
+    #[allow(clippy::reversed_empty_ranges)]
+    pub fn window_range(&self) -> std::ops::RangeInclusive<u64> {
+        if self.now == 0 {
+            1..=0
+        } else {
+            self.now.saturating_sub(self.window - 1).max(1)..=self.now
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_window_panics() {
+        let _ = ChainSampler::<u32>::new(0);
+    }
+
+    #[test]
+    fn head_is_none_before_any_observation() {
+        let s: ChainSampler<u32> = ChainSampler::new(5);
+        assert!(s.head().is_none());
+        assert!(s.window_range().is_empty());
+    }
+
+    #[test]
+    fn head_is_always_inside_window() {
+        let mut rg = rng(11);
+        let mut s = ChainSampler::new(16);
+        for i in 1..=10_000u64 {
+            s.observe(&mut rg, i);
+            let head = s.head().unwrap();
+            assert!(s.window_range().contains(&head.position));
+            assert_eq!(head.payload, head.position, "payload should track position");
+        }
+    }
+
+    #[test]
+    fn chain_positions_and_priorities_are_increasing() {
+        let mut rg = rng(12);
+        let mut s = ChainSampler::new(64);
+        for i in 1..=5_000u64 {
+            s.observe(&mut rg, i);
+            let chain = s.chain();
+            for pair in chain.windows(2) {
+                assert!(pair[0].position < pair[1].position);
+                assert!(pair[0].priority <= pair[1].priority);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_is_uniform_over_window() {
+        // After the stream is much longer than the window, the head should be
+        // uniformly distributed over the last `w` positions.
+        let w = 8u64;
+        let stream_len = 50u64;
+        let runs = 60_000;
+        let mut counts = vec![0u32; w as usize];
+        let mut rg = rng(13);
+        for _ in 0..runs {
+            let mut s = ChainSampler::new(w);
+            for i in 1..=stream_len {
+                s.observe(&mut rg, i);
+            }
+            let head = s.head().unwrap().position;
+            let offset = (head - (stream_len - w + 1)) as usize;
+            counts[offset] += 1;
+        }
+        let expected = 1.0 / w as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / runs as f64;
+            assert!(
+                (freq - expected).abs() < 0.012,
+                "window slot {i} frequency {freq} deviates from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_length_stays_logarithmic_on_average() {
+        let mut rg = rng(14);
+        let w = 1024u64;
+        let mut s = ChainSampler::new(w);
+        let mut total_len = 0usize;
+        let mut samples = 0usize;
+        for i in 1..=20_000u64 {
+            s.observe(&mut rg, i);
+            if i > w {
+                total_len += s.chain_len();
+                samples += 1;
+            }
+        }
+        let avg = total_len as f64 / samples as f64;
+        // Expected chain length is ~ln(w) ≈ 6.9; allow generous slack.
+        assert!(avg < 25.0, "average chain length {avg} unexpectedly large");
+        assert!(avg > 1.5, "average chain length {avg} unexpectedly small");
+    }
+
+    #[test]
+    fn window_of_one_always_samples_latest() {
+        let mut rg = rng(15);
+        let mut s = ChainSampler::new(1);
+        for i in 1..=100u64 {
+            s.observe(&mut rg, i * 10);
+            assert_eq!(s.head().unwrap().position, i);
+            assert_eq!(s.head().unwrap().payload, i * 10);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The paper's §2 randomness primitives: `coin(p)` and `randInt(a, b)`.
+//!
+//! Both are assumed to run in constant time. We implement them on top of any
+//! [`rand::Rng`], so callers can plug in a seeded [`rand::rngs::SmallRng`]
+//! for reproducible experiments or `thread_rng()` for production use.
+
+use rand::Rng;
+
+/// Returns `true` ("heads") with probability `p`.
+///
+/// `p` is clamped to `[0, 1]`; `coin(rng, 0.0)` never returns `true` and
+/// `coin(rng, 1.0)` always does. This mirrors the paper's `coin(p)`
+/// procedure, used e.g. in Algorithm 1 with `p = 1/i` for reservoir-style
+/// replacement of the level-1 edge.
+#[inline]
+pub fn coin<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    if p <= 0.0 {
+        false
+    } else if p >= 1.0 {
+        true
+    } else {
+        rng.gen::<f64>() < p
+    }
+}
+
+/// Returns an integer drawn uniformly at random from the inclusive range
+/// `[a, b]`.
+///
+/// This mirrors the paper's `randInt(a, b)` procedure (used in the bulk
+/// implementation, §3.3.2, e.g. `randInt(1, c⁻ + c⁺)`).
+///
+/// # Panics
+///
+/// Panics if `a > b`.
+#[inline]
+pub fn rand_int<R: Rng + ?Sized>(rng: &mut R, a: u64, b: u64) -> u64 {
+    assert!(a <= b, "rand_int requires a <= b, got a={a}, b={b}");
+    rng.gen_range(a..=b)
+}
+
+/// Flips a reservoir coin: returns `true` with probability `1/i`.
+///
+/// Convenience wrapper for the idiom `coin(1/i)` that appears throughout the
+/// paper's algorithms. `i` must be at least 1; `reservoir_coin(rng, 1)`
+/// always returns `true` (the first element always enters the reservoir).
+#[inline]
+pub fn reservoir_coin<R: Rng + ?Sized>(rng: &mut R, i: u64) -> bool {
+    debug_assert!(i >= 1, "reservoir_coin index must be >= 1");
+    if i <= 1 {
+        true
+    } else {
+        rng.gen_range(0..i) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn coin_extremes_are_deterministic() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(!coin(&mut r, 0.0));
+            assert!(coin(&mut r, 1.0));
+            assert!(!coin(&mut r, -0.5));
+            assert!(coin(&mut r, 1.5));
+        }
+    }
+
+    #[test]
+    fn coin_frequency_matches_probability() {
+        let mut r = rng();
+        let trials = 200_000;
+        let hits = (0..trials).filter(|_| coin(&mut r, 0.3)).count();
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq={freq}");
+    }
+
+    #[test]
+    fn rand_int_stays_in_range_and_covers_it() {
+        let mut r = rng();
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            let v = rand_int(&mut r, 10, 15);
+            assert!((10..=15).contains(&v));
+            seen[(v - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in [10,15] should appear");
+    }
+
+    #[test]
+    fn rand_int_single_point_range() {
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(rand_int(&mut r, 7, 7), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rand_int_panics_on_inverted_range() {
+        let mut r = rng();
+        let _ = rand_int(&mut r, 5, 4);
+    }
+
+    #[test]
+    fn reservoir_coin_first_element_always_selected() {
+        let mut r = rng();
+        for _ in 0..50 {
+            assert!(reservoir_coin(&mut r, 1));
+        }
+    }
+
+    #[test]
+    fn reservoir_coin_frequency_is_one_over_i() {
+        let mut r = rng();
+        let trials = 200_000;
+        let hits = (0..trials).filter(|_| reservoir_coin(&mut r, 10)).count();
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 0.1).abs() < 0.01, "freq={freq}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Random-sampling primitives used throughout the `tristream` workspace.
+//!
+//! The paper (Pavan et al., *Counting and Sampling Triangles from a Graph
+//! Stream*, VLDB 2013) assumes two constant-time randomness procedures,
+//! `coin(p)` and `randInt(a, b)` (§2), and builds all of its algorithms on
+//! top of reservoir sampling over (sub)streams. The sliding-window extension
+//! (§5.2) additionally relies on *chain sampling* (Babcock, Datar, Motwani,
+//! SODA 2002) to keep a uniform sample over the most recent `w` items.
+//!
+//! This crate provides those primitives as small, well-tested, reusable
+//! components:
+//!
+//! * [`coin`](mod@coin) / [`rand_int`] — the paper's §2 primitives.
+//! * [`reservoir`] — size-1 and size-`k` reservoir samplers over a stream.
+//! * [`chain`] — chain sampling over a sequence-based sliding window.
+//! * [`skip`] — geometric skip sequences, the bulk-processing optimisation
+//!   described in §4 for updating only the estimators whose level-1 edge is
+//!   actually replaced.
+//! * [`aggregate`] — estimator aggregation: plain averaging (Theorem 3.3),
+//!   median-of-means (Theorem 3.4), and error metrics (mean deviation) used
+//!   by the experiment harness.
+
+pub mod aggregate;
+pub mod chain;
+pub mod coin;
+pub mod reservoir;
+pub mod skip;
+
+pub use aggregate::{mean, mean_deviation, median, median_of_means, relative_error, MeanEstimator};
+pub use chain::ChainSampler;
+pub use coin::{coin, rand_int};
+pub use reservoir::{ReservoirK, ReservoirOne};
+pub use skip::GeometricSkip;

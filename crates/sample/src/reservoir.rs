@@ -1,0 +1,260 @@
+//! Reservoir sampling over a stream of items.
+//!
+//! The neighborhood-sampling algorithm (§3.1) maintains its level-1 edge as a
+//! uniform sample over the whole edge stream and its level-2 edge as a
+//! uniform sample over the *substream* of edges adjacent to the level-1 edge.
+//! Both are classic size-1 reservoirs. The triangle-sampling extension
+//! (§3.4) and the experiment harness additionally use a size-`k` reservoir.
+
+use rand::Rng;
+
+/// A size-1 reservoir: maintains one item chosen uniformly at random from all
+/// items observed so far.
+///
+/// After observing `n` items, each of them is the current sample with
+/// probability exactly `1/n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReservoirOne<T> {
+    item: Option<T>,
+    seen: u64,
+}
+
+impl<T> Default for ReservoirOne<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ReservoirOne<T> {
+    /// Creates an empty reservoir.
+    pub fn new() -> Self {
+        Self { item: None, seen: 0 }
+    }
+
+    /// Observes the next item in the stream. Returns `true` if the item was
+    /// taken as the new sample.
+    pub fn observe<R: Rng + ?Sized>(&mut self, rng: &mut R, item: T) -> bool {
+        self.seen += 1;
+        if self.seen == 1 || rng.gen_range(0..self.seen) == 0 {
+            self.item = Some(item);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The current sample, if any item has been observed.
+    pub fn sample(&self) -> Option<&T> {
+        self.item.as_ref()
+    }
+
+    /// Number of items observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Resets the reservoir to its initial empty state.
+    pub fn reset(&mut self) {
+        self.item = None;
+        self.seen = 0;
+    }
+
+    /// Consumes the reservoir, returning the sampled item.
+    pub fn into_sample(self) -> Option<T> {
+        self.item
+    }
+}
+
+/// A size-`k` reservoir: maintains `k` items chosen uniformly at random
+/// (without replacement) from all items observed so far.
+#[derive(Debug, Clone)]
+pub struct ReservoirK<T> {
+    capacity: usize,
+    items: Vec<T>,
+    seen: u64,
+}
+
+impl<T> ReservoirK<T> {
+    /// Creates an empty reservoir that will hold at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Self { capacity, items: Vec::with_capacity(capacity), seen: 0 }
+    }
+
+    /// Observes the next item in the stream.
+    pub fn observe<R: Rng + ?Sized>(&mut self, rng: &mut R, item: T) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            let j = rng.gen_range(0..self.seen) as usize;
+            if j < self.capacity {
+                self.items[j] = item;
+            }
+        }
+    }
+
+    /// The items currently held by the reservoir (at most `capacity`).
+    pub fn samples(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Number of items observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The reservoir's capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the reservoir has filled up to its capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Resets the reservoir to its initial empty state, keeping the capacity.
+    pub fn reset(&mut self) {
+        self.items.clear();
+        self.seen = 0;
+    }
+
+    /// Consumes the reservoir, returning the sampled items.
+    pub fn into_samples(self) -> Vec<T> {
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn empty_reservoir_has_no_sample() {
+        let r: ReservoirOne<u32> = ReservoirOne::new();
+        assert!(r.sample().is_none());
+        assert_eq!(r.seen(), 0);
+    }
+
+    #[test]
+    fn first_item_is_always_taken() {
+        let mut rg = rng(1);
+        let mut r = ReservoirOne::new();
+        assert!(r.observe(&mut rg, 42));
+        assert_eq!(r.sample(), Some(&42));
+        assert_eq!(r.seen(), 1);
+    }
+
+    #[test]
+    fn reservoir_one_is_uniform() {
+        // Over many independent runs on the stream 0..10, each element should
+        // end up as the sample roughly 10% of the time.
+        let n = 10u32;
+        let runs = 100_000;
+        let mut counts = vec![0u32; n as usize];
+        let mut rg = rng(7);
+        for _ in 0..runs {
+            let mut r = ReservoirOne::new();
+            for x in 0..n {
+                r.observe(&mut rg, x);
+            }
+            counts[*r.sample().unwrap() as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / runs as f64;
+            assert!(
+                (freq - 0.1).abs() < 0.01,
+                "element {i} frequency {freq} deviates from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_one_reset_clears_state() {
+        let mut rg = rng(2);
+        let mut r = ReservoirOne::new();
+        r.observe(&mut rg, 1);
+        r.reset();
+        assert!(r.sample().is_none());
+        assert_eq!(r.seen(), 0);
+    }
+
+    #[test]
+    fn reservoir_k_keeps_everything_when_underfull() {
+        let mut rg = rng(3);
+        let mut r = ReservoirK::new(10);
+        for x in 0..5 {
+            r.observe(&mut rg, x);
+        }
+        assert_eq!(r.samples(), &[0, 1, 2, 3, 4]);
+        assert!(!r.is_full());
+    }
+
+    #[test]
+    fn reservoir_k_never_exceeds_capacity() {
+        let mut rg = rng(4);
+        let mut r = ReservoirK::new(3);
+        for x in 0..1000 {
+            r.observe(&mut rg, x);
+        }
+        assert_eq!(r.samples().len(), 3);
+        assert!(r.is_full());
+        assert_eq!(r.seen(), 1000);
+    }
+
+    #[test]
+    fn reservoir_k_inclusion_probability_is_k_over_n() {
+        // Each of the n elements should be included with probability k/n.
+        let n = 20u32;
+        let k = 5usize;
+        let runs = 40_000;
+        let mut counts = vec![0u32; n as usize];
+        let mut rg = rng(5);
+        for _ in 0..runs {
+            let mut r = ReservoirK::new(k);
+            for x in 0..n {
+                r.observe(&mut rg, x);
+            }
+            for &x in r.samples() {
+                counts[x as usize] += 1;
+            }
+        }
+        let expected = k as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / runs as f64;
+            assert!(
+                (freq - expected).abs() < 0.02,
+                "element {i} inclusion frequency {freq} deviates from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn reservoir_k_zero_capacity_panics() {
+        let _ = ReservoirK::<u8>::new(0);
+    }
+
+    #[test]
+    fn reservoir_k_reset() {
+        let mut rg = rng(6);
+        let mut r = ReservoirK::new(2);
+        r.observe(&mut rg, 1);
+        r.observe(&mut rg, 2);
+        r.reset();
+        assert!(r.samples().is_empty());
+        assert_eq!(r.seen(), 0);
+        assert_eq!(r.capacity(), 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Geometric skip sequences for sparse Bernoulli updates.
+//!
+//! Section 4 of the paper describes a level-1 maintenance optimisation for
+//! the bulk-processing algorithm: as the stream grows, the probability `p`
+//! that any given estimator replaces its level-1 edge during a batch becomes
+//! small, so instead of flipping `r` coins per batch the implementation draws
+//! geometric gaps between successive "successes" and touches only the
+//! estimators that actually change.
+//!
+//! [`GeometricSkip`] generates exactly that: the indices of the successes in
+//! a sequence of independent Bernoulli(p) trials, produced one gap at a time
+//! by inverse-transform sampling of the geometric distribution.
+
+use rand::Rng;
+
+/// Iterator-style generator of the success indices of a Bernoulli(p) process.
+#[derive(Debug, Clone)]
+pub struct GeometricSkip {
+    p: f64,
+    /// Index of the last success generated (0 = none yet). Indices are
+    /// 1-based positions in the trial sequence.
+    cursor: u64,
+}
+
+impl GeometricSkip {
+    /// Creates a generator for success probability `p ∈ [0, 1]`.
+    pub fn new(p: f64) -> Self {
+        Self { p: p.clamp(0.0, 1.0), cursor: 0 }
+    }
+
+    /// The success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws the position of the next success, or `None` if `p == 0`.
+    ///
+    /// Positions are strictly increasing and 1-based. The gap between two
+    /// consecutive successes is geometrically distributed with mean `1/p`.
+    pub fn next_success<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<u64> {
+        if self.p <= 0.0 {
+            return None;
+        }
+        if self.p >= 1.0 {
+            self.cursor += 1;
+            return Some(self.cursor);
+        }
+        // Inverse-transform sampling: gap = ceil(ln(U) / ln(1 - p)) >= 1.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let gap = (u.ln() / (1.0 - self.p).ln()).ceil().max(1.0);
+        // Saturate on astronomically large gaps rather than overflowing.
+        let gap = if gap >= u64::MAX as f64 { u64::MAX - self.cursor } else { gap as u64 };
+        self.cursor = self.cursor.saturating_add(gap);
+        Some(self.cursor)
+    }
+
+    /// Collects all success positions that are `<= limit`, starting after the
+    /// last position previously generated. This is the typical batch usage:
+    /// "which of the `r` estimators replace their level-1 edge this batch?"
+    pub fn successes_up_to<R: Rng + ?Sized>(&mut self, rng: &mut R, limit: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if self.p <= 0.0 {
+            return out;
+        }
+        loop {
+            // Peek by cloning the cursor state: we must not consume a success
+            // that lies beyond `limit`, because the caller will ask for the
+            // next range later.
+            let saved = self.cursor;
+            match self.next_success(rng) {
+                Some(pos) if pos <= limit => out.push(pos),
+                Some(_) => {
+                    self.cursor = saved;
+                    break;
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Resets the position cursor to zero (e.g. at the start of a new batch
+    /// when positions are interpreted relative to that batch).
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zero_probability_yields_no_successes() {
+        let mut rg = rng(1);
+        let mut g = GeometricSkip::new(0.0);
+        assert_eq!(g.next_success(&mut rg), None);
+        assert!(g.successes_up_to(&mut rg, 1_000).is_empty());
+    }
+
+    #[test]
+    fn probability_one_yields_every_position() {
+        let mut rg = rng(2);
+        let mut g = GeometricSkip::new(1.0);
+        let s = g.successes_up_to(&mut rg, 5);
+        assert_eq!(s, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn positions_are_strictly_increasing() {
+        let mut rg = rng(3);
+        let mut g = GeometricSkip::new(0.05);
+        let mut last = 0;
+        for _ in 0..1_000 {
+            let pos = g.next_success(&mut rg).unwrap();
+            assert!(pos > last);
+            last = pos;
+        }
+    }
+
+    #[test]
+    fn success_density_matches_probability() {
+        // Count successes among the first N positions; should be ~ p*N.
+        let p = 0.02;
+        let n = 500_000u64;
+        let mut rg = rng(4);
+        let mut g = GeometricSkip::new(p);
+        let successes = g.successes_up_to(&mut rg, n).len() as f64;
+        let expected = p * n as f64;
+        assert!(
+            (successes - expected).abs() < 0.08 * expected,
+            "successes={successes}, expected≈{expected}"
+        );
+    }
+
+    #[test]
+    fn successes_up_to_does_not_lose_positions_across_calls() {
+        // Splitting [1, N] into two ranges must produce the same density as a
+        // single call would; in particular the boundary success must not be
+        // dropped or duplicated.
+        let p = 0.1;
+        let mut rg = rng(5);
+        let mut g = GeometricSkip::new(p);
+        let first = g.successes_up_to(&mut rg, 10_000);
+        let second = g.successes_up_to(&mut rg, 20_000);
+        assert!(first.iter().all(|&x| x <= 10_000));
+        assert!(second.iter().all(|&x| x > 10_000 && x <= 20_000));
+        let total = (first.len() + second.len()) as f64;
+        assert!((total - 2_000.0).abs() < 250.0, "total successes {total}");
+    }
+
+    #[test]
+    fn reset_restarts_positions() {
+        let mut rg = rng(6);
+        let mut g = GeometricSkip::new(0.5);
+        let _ = g.successes_up_to(&mut rg, 100);
+        g.reset();
+        let pos = g.next_success(&mut rg).unwrap();
+        assert!((1..50).contains(&pos), "after reset positions restart near 1, got {pos}");
+    }
+}

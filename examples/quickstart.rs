@@ -1,0 +1,64 @@
+//! Quickstart: count, sample, and characterise triangles in an edge stream.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tristream::core::theory;
+use tristream::prelude::*;
+
+fn main() {
+    // 1. Build a stream. Any `Iterator<Item = (u64, u64)>` can become an
+    //    `EdgeStream`; here we use a generator with a known ground truth:
+    //    300 planted triangles plus 600 triangle-free noise edges.
+    let stream = tristream::gen::planted_triangles(300, 600, 42);
+    println!("stream: {} edges over {} vertices", stream.len(), stream.vertex_count());
+
+    // 2. Exact ground truth (offline, for comparison only).
+    let summary = GraphSummary::of_stream(&stream);
+    println!("exact:  {}", summary.one_line());
+
+    // 3. Streaming estimate with the bulk algorithm (Theorem 3.5).
+    let estimators = 20_000;
+    let mut counter = BulkTriangleCounter::new(estimators, 7);
+    counter.process_stream(stream.edges(), 8 * estimators);
+    println!(
+        "neighborhood sampling: tau-hat = {:.1} (truth {}), {} of {} estimators hold a triangle",
+        counter.estimate(),
+        summary.triangles,
+        counter.estimators_with_triangle(),
+        estimators
+    );
+
+    // 4. How many estimators does the theory say we need for +/-10% with 95%
+    //    confidence? (Theorem 3.3 -- conservative, as section 4 of the paper notes.)
+    let sufficient = theory::sufficient_estimators_mean(
+        0.10,
+        0.05,
+        summary.edges,
+        summary.max_degree,
+        summary.triangles,
+    );
+    println!("Theorem 3.3 sufficient r for (eps=0.1, delta=0.05): {sufficient:.0}");
+
+    // 5. Uniformly sample a few triangles (section 3.4).
+    let mut sampler = TriangleSampler::new(4_000, 11);
+    sampler.process_edges(stream.edges());
+    if let Some(triangles) = sampler.sample_k(3) {
+        println!("three uniform triangle samples:");
+        for t in triangles {
+            println!("  {} {} {}", t[0], t[1], t[2]);
+        }
+    }
+
+    // 6. Transitivity coefficient (section 3.5).
+    let mut transitivity = TransitivityEstimator::new(8_000, 13);
+    transitivity.process_edges(stream.edges());
+    println!(
+        "transitivity: kappa-hat = {:.4} (exact {:.4})",
+        transitivity.estimate(),
+        summary.transitivity
+    );
+}

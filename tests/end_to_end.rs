@@ -1,0 +1,213 @@
+//! Cross-crate integration tests exercised through the `tristream` facade:
+//! every public algorithm run end-to-end on realistic inputs and scored
+//! against exact ground truth.
+
+use tristream::baselines::{ColorfulTriangleCounter, JowhariGhodsiCounter};
+use tristream::core::theory;
+use tristream::graph::exact;
+use tristream::graph::io::{read_edge_list, write_edge_list};
+use tristream::prelude::*;
+
+/// A moderately clustered power-law graph used by several tests.
+fn clustered_stream() -> EdgeStream {
+    tristream::gen::holme_kim(600, 4, 0.6, 17)
+}
+
+#[test]
+fn streaming_count_matches_exact_on_a_clustered_graph() {
+    let stream = clustered_stream();
+    let truth = exact::count_triangles(&Adjacency::from_stream(&stream)) as f64;
+    assert!(truth > 100.0, "workload sanity: truth = {truth}");
+
+    let mut counter = BulkTriangleCounter::new(30_000, 3);
+    counter.process_stream(stream.edges(), 8 * 30_000);
+    let est = counter.estimate();
+    assert!(
+        (est - truth).abs() < 0.15 * truth,
+        "bulk estimate {est} vs truth {truth}"
+    );
+}
+
+#[test]
+fn one_at_a_time_and_bulk_agree_with_each_other() {
+    let stream = clustered_stream();
+    let truth = exact::count_triangles(&Adjacency::from_stream(&stream)) as f64;
+
+    let mut single = TriangleCounter::new(12_000, 5);
+    single.process_edges(stream.edges());
+    let mut bulk = BulkTriangleCounter::new(12_000, 5);
+    bulk.process_stream(stream.edges(), 4_096);
+
+    for (name, est) in [("single", single.estimate()), ("bulk", bulk.estimate())] {
+        assert!(
+            (est - truth).abs() < 0.25 * truth,
+            "{name} estimate {est} vs truth {truth}"
+        );
+    }
+}
+
+#[test]
+fn estimates_are_insensitive_to_stream_order() {
+    let base = clustered_stream();
+    let truth = exact::count_triangles(&Adjacency::from_stream(&base)) as f64;
+    for order in [StreamOrder::Natural, StreamOrder::Shuffled(9), StreamOrder::Reversed] {
+        let stream = base.reordered(order);
+        let mut counter = BulkTriangleCounter::new(30_000, 7);
+        counter.process_stream(stream.edges(), 65_536);
+        let est = counter.estimate();
+        assert!(
+            (est - truth).abs() < 0.2 * truth,
+            "order {order:?}: estimate {est} vs truth {truth}"
+        );
+    }
+}
+
+#[test]
+fn transitivity_pipeline_matches_exact() {
+    let stream = clustered_stream();
+    let adj = Adjacency::from_stream(&stream);
+    let kappa = exact::transitivity_coefficient(&adj);
+
+    let mut est = TransitivityEstimator::new(20_000, 11);
+    est.process_edges(stream.edges());
+    assert!(
+        (est.estimate() - kappa).abs() < 0.2 * kappa,
+        "kappa-hat {} vs exact {kappa}",
+        est.estimate()
+    );
+}
+
+#[test]
+fn sampled_triangles_exist_in_the_graph() {
+    let stream = clustered_stream();
+    let triangles = exact::list_triangles(&Adjacency::from_stream(&stream));
+    let mut sampler = TriangleSampler::new(6_000, 13);
+    sampler.process_edges(stream.edges());
+    let samples = sampler.sample_k(5).expect("plenty of acceptances at this pool size");
+    for t in samples {
+        assert!(Edge::forms_triangle(&t[0], &t[1], &t[2]));
+        let mut vs: Vec<VertexId> = t.iter().flat_map(|e| [e.u(), e.v()]).collect();
+        vs.sort_unstable();
+        vs.dedup();
+        assert_eq!(vs.len(), 3);
+        let as_exact = tristream::graph::exact::Triangle::new(vs[0], vs[1], vs[2]);
+        assert!(triangles.contains(&as_exact), "sampled triangle not in graph");
+    }
+}
+
+#[test]
+fn four_clique_pipeline_matches_exact_on_a_dense_community() {
+    // Two overlapping K6 communities: C(6,4)*2 - C(4,4)... compute exactly.
+    let mut edges = Vec::new();
+    for i in 0..6u64 {
+        for j in (i + 1)..6 {
+            edges.push(Edge::new(i, j));
+            edges.push(Edge::new(i + 4, j + 4)); // overlaps on vertices 4,5
+        }
+    }
+    let stream = EdgeStream::from_edges_dedup(edges);
+    let truth = exact::count_four_cliques(&Adjacency::from_stream(&stream)) as f64;
+    let mut counter = FourCliqueCounter::new(40_000, 3);
+    counter.process_edges(stream.edges());
+    let est = counter.estimate();
+    assert!(
+        (est - truth).abs() < 0.25 * truth,
+        "4-clique estimate {est} vs truth {truth}"
+    );
+}
+
+#[test]
+fn sliding_window_tracks_the_recent_suffix() {
+    // Prefix of noise, suffix containing a dense K7; window covers the suffix.
+    let mut edges: Vec<Edge> = (0..500u64).map(|i| Edge::new(10_000 + i, 10_001 + i)).collect();
+    for i in 0..7u64 {
+        for j in (i + 1)..7 {
+            edges.push(Edge::new(i, j));
+        }
+    }
+    let window = 60u64;
+    let start = edges.len() - window as usize;
+    let truth = exact::count_triangles(&Adjacency::from_edges(&edges[start..])) as f64;
+    let mut counter = SlidingWindowTriangleCounter::new(4_000, window, 5);
+    counter.process_edges(&edges);
+    let est = counter.estimate();
+    assert!(
+        (est - truth).abs() < 0.3 * truth,
+        "window estimate {est} vs truth {truth}"
+    );
+}
+
+#[test]
+fn io_round_trip_feeds_the_streaming_pipeline() {
+    let stream = tristream::gen::planted_triangles(50, 100, 3);
+    let mut buf = Vec::new();
+    write_edge_list(&stream, &mut buf).expect("in-memory write cannot fail");
+    let reread = read_edge_list(buf.as_slice(), true).expect("generated stream parses");
+    assert_eq!(reread.edges(), stream.edges());
+
+    let mut counter = BulkTriangleCounter::new(8_000, 3);
+    counter.process_stream(reread.edges(), 4_096);
+    assert!((counter.estimate() - 50.0).abs() < 10.0);
+}
+
+#[test]
+fn dataset_stand_ins_flow_through_the_whole_stack() {
+    let stand_in = StandIn::generate_scaled(DatasetKind::Amazon, 128, 9);
+    let summary = GraphSummary::of_stream(&stand_in.stream);
+    assert!(summary.triangles > 0);
+
+    let mut counter = BulkTriangleCounter::new(20_000, 5);
+    counter.process_stream(stand_in.stream.edges(), 65_536);
+    let est = counter.estimate();
+    let truth = summary.triangles as f64;
+    assert!(
+        (est - truth).abs() < 0.35 * truth,
+        "estimate {est} vs truth {truth} on the Amazon stand-in"
+    );
+}
+
+#[test]
+fn baselines_and_ours_agree_on_the_same_workload() {
+    let stream = tristream::gen::triangle_rich_three_regular(2_000, 3);
+    let truth = exact::count_triangles(&Adjacency::from_stream(&stream)) as f64;
+
+    let mut ours = BulkTriangleCounter::new(30_000, 3);
+    ours.process_stream(stream.edges(), 8 * 30_000);
+    let mut jg = JowhariGhodsiCounter::new(10_000, 3);
+    jg.process_edges(stream.edges());
+    let mut colorful = ColorfulTriangleCounter::new(3, 3);
+    colorful.process_edges(stream.edges());
+    let mut exact_stream = ExactStreamingCounter::new();
+    exact_stream.process_edges(stream.edges());
+
+    assert_eq!(exact_stream.triangles() as f64, truth);
+    for (name, est) in [
+        ("ours", ours.estimate()),
+        ("jowhari-ghodsi", jg.estimate()),
+        ("colorful", colorful.estimate()),
+    ] {
+        assert!(
+            (est - truth).abs() < 0.25 * truth,
+            "{name}: estimate {est} vs truth {truth}"
+        );
+    }
+}
+
+#[test]
+fn theory_formulas_predict_enough_estimators_for_the_small_workload() {
+    let stream = tristream::gen::triangle_rich_three_regular(2_000, 5);
+    let s = GraphSummary::of_stream(&stream);
+    let r = theory::sufficient_estimators_mean(0.2, 0.2, s.edges, s.max_degree, s.triangles);
+    assert!(r.is_finite());
+    let r = (r.ceil() as usize).max(1);
+    // Using the theoretically sufficient pool must achieve the target error
+    // (the bound is conservative, so this should pass with a lot of room).
+    let mut counter = BulkTriangleCounter::new(r, 7);
+    counter.process_stream(stream.edges(), 8 * r);
+    let est = counter.estimate();
+    let truth = s.triangles as f64;
+    assert!(
+        (est - truth).abs() <= 0.2 * truth,
+        "estimate {est} vs truth {truth} with r = {r}"
+    );
+}

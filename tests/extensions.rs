@@ -1,0 +1,110 @@
+//! Integration tests for the extensions beyond the paper's core algorithms:
+//! the geometric-skip level-1 optimisation (§4), the multi-core sharded
+//! counter (§6 follow-up), the shared-pool transitivity estimator, and the
+//! command-line front end.
+
+use tristream::core::parallel::ParallelBulkTriangleCounter;
+use tristream::core::Level1Strategy;
+use tristream::graph::exact;
+use tristream::prelude::*;
+
+fn workload() -> EdgeStream {
+    tristream::gen::holme_kim(500, 4, 0.6, 23)
+}
+
+#[test]
+fn geometric_skip_and_per_estimator_strategies_agree() {
+    let stream = workload();
+    let truth = exact::count_triangles(&Adjacency::from_stream(&stream)) as f64;
+
+    let mut per_estimator = BulkTriangleCounter::new(20_000, 3)
+        .with_level1_strategy(Level1Strategy::PerEstimator);
+    per_estimator.process_stream(stream.edges(), 16_384);
+
+    let mut geometric = BulkTriangleCounter::new(20_000, 3)
+        .with_level1_strategy(Level1Strategy::GeometricSkip);
+    geometric.process_stream(stream.edges(), 16_384);
+
+    for (name, est) in [
+        ("per-estimator", per_estimator.estimate()),
+        ("geometric-skip", geometric.estimate()),
+    ] {
+        assert!(
+            (est - truth).abs() < 0.25 * truth,
+            "{name}: estimate {est} vs truth {truth}"
+        );
+    }
+}
+
+#[test]
+fn parallel_counter_matches_truth_and_uses_all_shards() {
+    let stream = workload();
+    let truth = exact::count_triangles(&Adjacency::from_stream(&stream)) as f64;
+    let mut counter = ParallelBulkTriangleCounter::new(24_000, 6, 7);
+    assert_eq!(counter.num_shards(), 6);
+    assert_eq!(counter.num_estimators(), 24_000);
+    counter.process_stream(stream.edges(), 8_192);
+    let est = counter.estimate();
+    assert!(
+        (est - truth).abs() < 0.25 * truth,
+        "parallel estimate {est} vs truth {truth}"
+    );
+}
+
+#[test]
+fn shared_pool_transitivity_matches_two_pool_variant() {
+    let stream = workload();
+    let kappa = exact::transitivity_coefficient(&Adjacency::from_stream(&stream));
+
+    let mut two_pool = TransitivityEstimator::new(15_000, 5);
+    two_pool.process_edges(stream.edges());
+    let mut shared = TransitivityEstimator::new_shared_pool(15_000, 5);
+    shared.process_edges(stream.edges());
+
+    for (name, est) in [("two-pool", two_pool.estimate()), ("shared-pool", shared.estimate())] {
+        assert!(
+            (est - kappa).abs() < 0.25 * kappa,
+            "{name}: kappa-hat {est} vs exact {kappa}"
+        );
+    }
+}
+
+#[test]
+fn cli_pipeline_counts_a_generated_file() {
+    use tristream_cli::{parse_args, run, Command};
+
+    // Generate a stand-in file through the CLI, then count it two ways.
+    let dir = std::env::temp_dir().join("tristream-extension-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("syn3reg.txt");
+
+    let generate = parse_args(&[
+        "generate".into(),
+        "syn-3-reg".into(),
+        "--seed".into(),
+        "4".into(),
+        "--output".into(),
+        path.display().to_string(),
+    ])
+    .unwrap();
+    assert!(run(generate).unwrap().contains("wrote"));
+
+    let exact_out = run(Command::Count {
+        input: path.clone(),
+        estimators: 0,
+        batch: None,
+        seed: 0,
+        exact: true,
+    })
+    .unwrap();
+    let approx_out = run(Command::Count {
+        input: path,
+        estimators: 30_000,
+        batch: None,
+        seed: 11,
+        exact: false,
+    })
+    .unwrap();
+    assert!(exact_out.contains("exact triangle count"));
+    assert!(approx_out.contains("estimated triangle count"));
+}

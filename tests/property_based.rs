@@ -1,0 +1,226 @@
+//! Property-based tests (proptest) for the invariants the paper's analysis
+//! relies on, checked on randomly generated graphs and stream orders.
+
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use tristream::graph::exact::{
+    count_k_cliques, count_open_triples, count_triangles, count_wedges, edge_neighborhood_sizes,
+    list_triangles, per_edge_triangle_counts, tangle_coefficient,
+};
+use tristream::prelude::*;
+
+/// Strategy: a random small simple graph given as deduplicated endpoint
+/// pairs over at most `max_vertex + 1` vertices.
+fn random_edge_pairs(max_vertex: u64, max_edges: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0..=max_vertex, 0..=max_vertex), 1..max_edges)
+        .prop_map(|pairs| pairs.into_iter().filter(|(a, b)| a != b).collect())
+}
+
+/// Brute-force triangle counting over all vertex triples.
+fn brute_force_triangles(stream: &EdgeStream) -> u64 {
+    let vertices = stream.vertices();
+    let edge_set: HashSet<Edge> = stream.iter().collect();
+    let mut count = 0;
+    for i in 0..vertices.len() {
+        for j in (i + 1)..vertices.len() {
+            for k in (j + 1)..vertices.len() {
+                let (a, b, c) = (vertices[i], vertices[j], vertices[k]);
+                if edge_set.contains(&Edge::new(a, b))
+                    && edge_set.contains(&Edge::new(b, c))
+                    && edge_set.contains(&Edge::new(a, c))
+                {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Brute-force wedge counting from degrees.
+fn brute_force_wedges(stream: &EdgeStream) -> u64 {
+    let mut degrees: HashMap<VertexId, u64> = HashMap::new();
+    for e in stream.iter() {
+        *degrees.entry(e.u()).or_insert(0) += 1;
+        *degrees.entry(e.v()).or_insert(0) += 1;
+    }
+    degrees.values().map(|&d| d * d.saturating_sub(1) / 2).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_triangle_count_matches_brute_force(pairs in random_edge_pairs(14, 40)) {
+        let stream = EdgeStream::from_pairs_dedup(pairs);
+        let adj = Adjacency::from_stream(&stream);
+        prop_assert_eq!(count_triangles(&adj), brute_force_triangles(&stream));
+        prop_assert_eq!(list_triangles(&adj).len() as u64, brute_force_triangles(&stream));
+    }
+
+    #[test]
+    fn wedge_identities_hold(pairs in random_edge_pairs(14, 40)) {
+        let stream = EdgeStream::from_pairs_dedup(pairs);
+        let adj = Adjacency::from_stream(&stream);
+        let zeta = count_wedges(&adj);
+        prop_assert_eq!(zeta, brute_force_wedges(&stream));
+        // ζ = T₂ + 3τ (every triangle contributes three closed wedges).
+        prop_assert_eq!(zeta, count_open_triples(&adj) + 3 * count_triangles(&adj));
+    }
+
+    #[test]
+    fn claim_3_9_neighborhood_sizes_sum_to_wedges(pairs in random_edge_pairs(16, 50), seed in 0u64..1000) {
+        // Claim 3.9: Σ_e c(e) = ζ(G) for every stream order.
+        let stream = EdgeStream::from_pairs_dedup(pairs).reordered(StreamOrder::Shuffled(seed));
+        let total: u64 = edge_neighborhood_sizes(&stream).values().sum();
+        prop_assert_eq!(total, count_wedges(&Adjacency::from_stream(&stream)));
+    }
+
+    #[test]
+    fn tangle_coefficient_is_bounded_by_two_delta(pairs in random_edge_pairs(16, 50), seed in 0u64..1000) {
+        let stream = EdgeStream::from_pairs_dedup(pairs).reordered(StreamOrder::Shuffled(seed));
+        let profile = tangle_coefficient(&stream);
+        prop_assert!(profile.gamma <= profile.two_delta + 1e-9);
+        prop_assert!(profile.gamma >= 0.0);
+    }
+
+    #[test]
+    fn per_edge_triangle_counts_sum_to_three_tau(pairs in random_edge_pairs(14, 40)) {
+        let stream = EdgeStream::from_pairs_dedup(pairs);
+        let adj = Adjacency::from_stream(&stream);
+        let total: u64 = per_edge_triangle_counts(&adj).values().sum();
+        prop_assert_eq!(total, 3 * count_triangles(&adj));
+    }
+
+    #[test]
+    fn k_clique_counter_specialises_to_edges_and_triangles(pairs in random_edge_pairs(12, 30)) {
+        let stream = EdgeStream::from_pairs_dedup(pairs);
+        let adj = Adjacency::from_stream(&stream);
+        prop_assert_eq!(count_k_cliques(&adj, 2), adj.num_edges() as u64);
+        prop_assert_eq!(count_k_cliques(&adj, 3), count_triangles(&adj));
+    }
+
+    #[test]
+    fn exact_streaming_counter_matches_offline(pairs in random_edge_pairs(20, 60), seed in 0u64..1000) {
+        let stream = EdgeStream::from_pairs_dedup(pairs).reordered(StreamOrder::Shuffled(seed));
+        let adj = Adjacency::from_stream(&stream);
+        let mut counter = ExactStreamingCounter::new();
+        counter.process_edges(stream.edges());
+        prop_assert_eq!(counter.triangles(), count_triangles(&adj));
+        prop_assert_eq!(counter.wedges(), count_wedges(&adj));
+        prop_assert_eq!(counter.max_degree(), adj.max_degree());
+    }
+
+    #[test]
+    fn estimator_state_invariants_hold_after_any_stream(
+        pairs in random_edge_pairs(16, 50),
+        seed in 0u64..1000,
+    ) {
+        // The Algorithm 1 state machine invariants, checked against exact
+        // per-edge neighborhood sizes for a single estimator.
+        let stream = EdgeStream::from_pairs_dedup(pairs);
+        prop_assume!(!stream.is_empty());
+        let exact_c = edge_neighborhood_sizes(&stream);
+        let positions: HashMap<Edge, u64> = stream.iter_positioned().map(|(p, e)| (e, p)).collect();
+
+        let mut counter = TriangleCounter::new(4, seed);
+        counter.process_edges(stream.edges());
+        for est in counter.estimators() {
+            let r1 = est.r1.expect("non-empty stream yields a level-1 edge");
+            prop_assert_eq!(positions[&r1.edge], r1.position);
+            prop_assert_eq!(est.c, exact_c[&r1.edge]);
+            if let Some(r2) = est.r2 {
+                prop_assert!(r2.position > r1.position);
+                prop_assert!(r2.edge.is_adjacent(&r1.edge));
+            } else {
+                prop_assert_eq!(est.c, 0);
+            }
+            if let Some(closer) = est.closer {
+                let r2 = est.r2.expect("closer requires a level-2 edge");
+                prop_assert!(closer.position > r2.position);
+                prop_assert!(closer.edge.closes_wedge(&r1.edge, &r2.edge));
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_processing_preserves_estimator_invariants(
+        pairs in random_edge_pairs(16, 60),
+        seed in 0u64..1000,
+        batch_size in 1usize..40,
+    ) {
+        // Theorem 3.5's equivalence: after bulk ingestion the estimator state
+        // must satisfy exactly the same invariants as one-at-a-time
+        // processing, for any batch size.
+        let stream = EdgeStream::from_pairs_dedup(pairs);
+        prop_assume!(!stream.is_empty());
+        let exact_c = edge_neighborhood_sizes(&stream);
+        let positions: HashMap<Edge, u64> = stream.iter_positioned().map(|(p, e)| (e, p)).collect();
+
+        let mut counter = BulkTriangleCounter::new(8, seed);
+        counter.process_stream(stream.edges(), batch_size);
+        prop_assert_eq!(counter.edges_seen(), stream.len() as u64);
+        for est in counter.estimators() {
+            let r1 = est.r1.expect("non-empty stream yields a level-1 edge");
+            prop_assert_eq!(positions[&r1.edge], r1.position);
+            prop_assert_eq!(est.c, exact_c[&r1.edge]);
+            if let Some(r2) = est.r2 {
+                prop_assert!(r2.position > r1.position);
+                prop_assert!(r2.edge.is_adjacent(&r1.edge));
+            } else {
+                prop_assert_eq!(est.c, 0);
+            }
+            if let Some(closer) = est.closer {
+                let r2 = est.r2.expect("closer requires a level-2 edge");
+                prop_assert!(closer.position > r2.position);
+                prop_assert!(closer.edge.closes_wedge(&r1.edge, &r2.edge));
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_window_head_is_always_inside_the_window(
+        pairs in random_edge_pairs(20, 80),
+        window in 1u64..40,
+        seed in 0u64..1000,
+    ) {
+        let stream = EdgeStream::from_pairs_dedup(pairs);
+        prop_assume!(!stream.is_empty());
+        let mut counter = SlidingWindowTriangleCounter::new(4, window, seed);
+        counter.process_edges(stream.edges());
+        prop_assert_eq!(counter.window_edges(), (stream.len() as u64).min(window));
+        prop_assert!(counter.estimate() >= 0.0);
+    }
+
+    #[test]
+    fn graph_summary_fields_are_mutually_consistent(pairs in random_edge_pairs(14, 40)) {
+        let stream = EdgeStream::from_pairs_dedup(pairs);
+        let s = GraphSummary::of_stream(&stream);
+        prop_assert_eq!(s.edges as usize, stream.len());
+        prop_assert_eq!(s.vertices as usize, stream.vertex_count());
+        if s.wedges > 0 {
+            let expected = 3.0 * s.triangles as f64 / s.wedges as f64;
+            prop_assert!((s.transitivity - expected).abs() < 1e-12);
+        } else {
+            prop_assert_eq!(s.transitivity, 0.0);
+        }
+        if s.triangles > 0 {
+            prop_assert!(s.m_delta_over_tau.is_finite());
+        } else {
+            prop_assert!(s.m_delta_over_tau.is_infinite());
+        }
+    }
+
+    #[test]
+    fn stream_reordering_never_changes_exact_counts(
+        pairs in random_edge_pairs(14, 40),
+        seed in 0u64..1000,
+    ) {
+        let stream = EdgeStream::from_pairs_dedup(pairs);
+        let tau = count_triangles(&Adjacency::from_stream(&stream));
+        for order in [StreamOrder::Shuffled(seed), StreamOrder::Reversed, StreamOrder::Sorted] {
+            let reordered = stream.reordered(order);
+            prop_assert_eq!(count_triangles(&Adjacency::from_stream(&reordered)), tau);
+        }
+    }
+}
