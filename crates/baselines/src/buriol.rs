@@ -143,7 +143,13 @@ impl BuriolCounter {
         }
         let vertices_seen = self.vertices.len() as u64;
         for est in &mut self.estimators {
-            est.process_edge(&mut self.rng, edge, position, vertices_seen, &newly_discovered);
+            est.process_edge(
+                &mut self.rng,
+                edge,
+                position,
+                vertices_seen,
+                &newly_discovered,
+            );
         }
     }
 
@@ -158,13 +164,22 @@ impl BuriolCounter {
     pub fn estimate(&self) -> f64 {
         let m = self.edges_seen;
         let n = self.vertices.len() as u64;
-        mean(&self.estimators.iter().map(|e| e.estimate(m, n)).collect::<Vec<_>>())
+        mean(
+            &self
+                .estimators
+                .iter()
+                .map(|e| e.estimate(m, n))
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// How many estimators have found a triangle — the quantity the paper
     /// observes to be near zero for this baseline on large sparse graphs.
     pub fn estimators_with_triangle(&self) -> usize {
-        self.estimators.iter().filter(|e| e.found_triangle()).count()
+        self.estimators
+            .iter()
+            .filter(|e| e.found_triangle())
+            .count()
     }
 }
 
@@ -228,8 +243,11 @@ mod tests {
 
         let mut nsamp = tristream_core::counter::TriangleCounter::new(2_000, 5);
         nsamp.process_edges(stream.edges());
-        let nsamp_hits =
-            nsamp.estimators().iter().filter(|e| e.has_triangle()).count();
+        let nsamp_hits = nsamp
+            .estimators()
+            .iter()
+            .filter(|e| e.has_triangle())
+            .count();
 
         assert!(
             buriol.estimators_with_triangle() * 4 < nsamp_hits.max(1),

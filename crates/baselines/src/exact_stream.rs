@@ -36,7 +36,11 @@ impl ExactStreamingCounter {
         // New triangles closed by this edge = common neighbors of u and v.
         let common = match (self.adjacency.get(&u), self.adjacency.get(&v)) {
             (Some(nu), Some(nv)) => {
-                let (small, large) = if nu.len() <= nv.len() { (nu, nv) } else { (nv, nu) };
+                let (small, large) = if nu.len() <= nv.len() {
+                    (nu, nv)
+                } else {
+                    (nv, nu)
+                };
                 small.iter().filter(|w| large.contains(w)).count() as u64
             }
             _ => 0,
@@ -142,7 +146,11 @@ mod tests {
         let tau = count_triangles(&adj);
         let zeta = count_wedges(&adj);
         let kappa = transitivity_coefficient(&adj);
-        for order in [StreamOrder::Natural, StreamOrder::Shuffled(1), StreamOrder::Reversed] {
+        for order in [
+            StreamOrder::Natural,
+            StreamOrder::Shuffled(1),
+            StreamOrder::Reversed,
+        ] {
             let mut c = ExactStreamingCounter::new();
             c.process_edges(stream.reordered(order).edges());
             assert_eq!(c.triangles(), tau, "order {order:?}");

@@ -57,7 +57,10 @@ impl JgEstimator {
 
     /// Number of apex vertices completing a triangle with the sampled edge.
     fn completed(&self) -> u64 {
-        self.apexes.values().filter(|a| a.from_u && a.from_v).count() as u64
+        self.apexes
+            .values()
+            .filter(|a| a.from_u && a.from_v)
+            .count() as u64
     }
 
     fn estimate(&self, m: u64) -> f64 {
@@ -124,7 +127,13 @@ impl JowhariGhodsiCounter {
     /// The averaged triangle-count estimate.
     pub fn estimate(&self) -> f64 {
         let m = self.edges_seen;
-        mean(&self.estimators.iter().map(|e| e.estimate(m)).collect::<Vec<_>>())
+        mean(
+            &self
+                .estimators
+                .iter()
+                .map(|e| e.estimate(m))
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Total number of stored apex entries across estimators — the `O(r·Δ)`

@@ -66,7 +66,10 @@ impl ColorfulTriangleCounter {
     fn color(&self, v: VertexId) -> u64 {
         // SplitMix64-style mixing of (seed, vertex id); good enough to act as
         // a pairwise-independent-ish hash for the sparsification.
-        let mut x = v.raw().wrapping_add(self.seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = v
+            .raw()
+            .wrapping_add(self.seed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
         x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         x ^= x >> 31;
@@ -86,7 +89,11 @@ impl ColorfulTriangleCounter {
         // Triangles closed inside the sparsified graph.
         let common = match (self.adjacency.get(&u), self.adjacency.get(&v)) {
             (Some(nu), Some(nv)) => {
-                let (small, large) = if nu.len() <= nv.len() { (nu, nv) } else { (nv, nu) };
+                let (small, large) = if nu.len() <= nv.len() {
+                    (nu, nv)
+                } else {
+                    (nv, nu)
+                };
                 small.iter().filter(|w| large.contains(w)).count() as u64
             }
             _ => 0,

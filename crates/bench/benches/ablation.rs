@@ -60,16 +60,16 @@ fn bench_level1_strategies_and_parallelism(c: &mut Criterion) {
     group.throughput(Throughput::Elements(edges.len() as u64));
     group.bench_function("per_estimator_level1", |b| {
         b.iter(|| {
-            let mut counter = BulkTriangleCounter::new(r, 5)
-                .with_level1_strategy(Level1Strategy::PerEstimator);
+            let mut counter =
+                BulkTriangleCounter::new(r, 5).with_level1_strategy(Level1Strategy::PerEstimator);
             counter.process_stream(edges, 8 * r);
             counter.estimate()
         });
     });
     group.bench_function("geometric_skip_level1", |b| {
         b.iter(|| {
-            let mut counter = BulkTriangleCounter::new(r, 5)
-                .with_level1_strategy(Level1Strategy::GeometricSkip);
+            let mut counter =
+                BulkTriangleCounter::new(r, 5).with_level1_strategy(Level1Strategy::GeometricSkip);
             counter.process_stream(edges, 8 * r);
             counter.estimate()
         });

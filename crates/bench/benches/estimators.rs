@@ -53,5 +53,10 @@ fn bench_sliding_window(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_edge_counter, bench_sampler, bench_sliding_window);
+criterion_group!(
+    benches,
+    bench_single_edge_counter,
+    bench_sampler,
+    bench_sliding_window
+);
 criterion_main!(benches);

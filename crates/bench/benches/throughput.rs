@@ -31,13 +31,17 @@ fn bench_batch_size(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(edges.len() as u64));
     for &factor in &[1usize, 4, 16] {
-        group.bench_with_input(BenchmarkId::new("w_over_r", factor), &factor, |b, &factor| {
-            b.iter(|| {
-                let mut counter = BulkTriangleCounter::new(r, 3);
-                counter.process_stream(edges, r * factor);
-                counter.estimate()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("w_over_r", factor),
+            &factor,
+            |b, &factor| {
+                b.iter(|| {
+                    let mut counter = BulkTriangleCounter::new(r, 3);
+                    counter.process_stream(edges, r * factor);
+                    counter.estimate()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -11,8 +11,14 @@ fn main() {
 
     let jobs: Vec<(&str, tristream_bench::ExperimentTable)> = vec![
         ("figure3_summary", experiments::figure3_summary()),
-        ("figure3_degree_histograms", experiments::figure3_degree_histograms()),
-        ("table1", experiments::baseline_study(DatasetKind::Syn3Regular)),
+        (
+            "figure3_degree_histograms",
+            experiments::figure3_degree_histograms(),
+        ),
+        (
+            "table1",
+            experiments::baseline_study(DatasetKind::Syn3Regular),
+        ),
         ("table2", experiments::baseline_study(DatasetKind::HepTh)),
         ("table3", experiments::table3()),
         ("figure4", experiments::figure4()),
@@ -26,5 +32,8 @@ fn main() {
         println!("CSV written to {}\n", path.display());
     }
 
-    println!("All experiments completed in {:.1} s", start.elapsed().as_secs_f64());
+    println!(
+        "All experiments completed in {:.1} s",
+        start.elapsed().as_secs_f64()
+    );
 }

@@ -34,7 +34,10 @@ pub const BATCH_FACTOR: usize = 8;
 
 fn bulk_estimate(workload: &Workload, r: usize, seed: u64) -> f64 {
     let mut counter = BulkTriangleCounter::new(r, seed);
-    counter.process_stream(workload.stream.edges(), r.saturating_mul(BATCH_FACTOR).max(1));
+    counter.process_stream(
+        workload.stream.edges(),
+        r.saturating_mul(BATCH_FACTOR).max(1),
+    );
     counter.estimate()
 }
 
@@ -140,14 +143,25 @@ pub fn baseline_study_with(
     let truth = w.summary.triangles as f64;
     let title = format!(
         "{} — JG vs. ours on {} ({}; truth tau = {})",
-        if kind == DatasetKind::Syn3Regular { "Table 1" } else { "Table 2" },
+        if kind == DatasetKind::Syn3Regular {
+            "Table 1"
+        } else {
+            "Table 2"
+        },
         kind.spec().name,
         w.summary.one_line(),
         truth
     );
     let mut table = ExperimentTable::new(
         &title,
-        &["algorithm", "r", "mean dev %", "min dev %", "max dev %", "median time s"],
+        &[
+            "algorithm",
+            "r",
+            "mean dev %",
+            "min dev %",
+            "max dev %",
+            "median time s",
+        ],
     );
     for &r in estimator_counts {
         let jg = run_trials(truth, trials, seed, |s| jg_estimate(&w, r, s));
@@ -265,7 +279,11 @@ pub fn figure5() -> ExperimentTable {
                 w.summary.max_degree,
                 w.summary.triangles,
             );
-            let bound_pct = if bound.is_finite() { (bound * 100.0).min(100.0) } else { 100.0 };
+            let bound_pct = if bound.is_finite() {
+                (bound * 100.0).min(100.0)
+            } else {
+                100.0
+            };
             table.push_row(vec![
                 kind.spec().name.to_string(),
                 r.to_string(),

@@ -47,9 +47,10 @@ impl ExperimentTable {
 
     /// Renders the table as an aligned text block.
     pub fn render(&self) -> String {
-        let columns = self.header.len().max(
-            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
-        );
+        let columns = self
+            .header
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; columns];
         let measure = |widths: &mut Vec<usize>, row: &[String]| {
             for (i, cell) in row.iter().enumerate() {
@@ -94,7 +95,14 @@ impl ExperimentTable {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
@@ -109,7 +117,11 @@ impl ExperimentTable {
 /// `target/` is not writable).
 pub fn write_csv(table: &ExperimentTable, name: &str) -> PathBuf {
     let dir = PathBuf::from("target/experiments");
-    let dir = if fs::create_dir_all(&dir).is_ok() { dir } else { std::env::temp_dir() };
+    let dir = if fs::create_dir_all(&dir).is_ok() {
+        dir
+    } else {
+        std::env::temp_dir()
+    };
     let path = dir.join(format!("{name}.csv"));
     if let Ok(mut file) = fs::File::create(&path) {
         let _ = file.write_all(table.to_csv().as_bytes());
@@ -124,7 +136,11 @@ mod tests {
     fn sample_table() -> ExperimentTable {
         let mut t = ExperimentTable::new("Demo", &["dataset", "r", "error %"]);
         t.push_row(vec!["amazon".into(), "1024".into(), "6.28".into()]);
-        t.push_row(vec!["orkut, scaled".into(), "1048576".into(), "3.55".into()]);
+        t.push_row(vec![
+            "orkut, scaled".into(),
+            "1048576".into(),
+            "3.55".into(),
+        ]);
         t
     }
 
@@ -136,7 +152,10 @@ mod tests {
         assert!(text.contains("amazon"));
         assert!(text.contains("3.55"));
         // All rows rendered.
-        assert_eq!(text.lines().count(), 2 /* title+header */ + 1 /* rule */ + 2);
+        assert_eq!(
+            text.lines().count(),
+            2 /* title+header */ + 1 /* rule */ + 2
+        );
     }
 
     #[test]

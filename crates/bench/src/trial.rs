@@ -44,7 +44,11 @@ impl TrialSummary {
         if self.outcomes.is_empty() {
             return 0.0;
         }
-        let avg_secs: f64 = self.outcomes.iter().map(|o| o.elapsed.as_secs_f64()).sum::<f64>()
+        let avg_secs: f64 = self
+            .outcomes
+            .iter()
+            .map(|o| o.elapsed.as_secs_f64())
+            .sum::<f64>()
             / self.outcomes.len() as f64;
         if avg_secs == 0.0 {
             return 0.0;
@@ -73,18 +77,26 @@ where
     assert!(trials >= 1, "at least one trial is required");
     let mut outcomes = Vec::with_capacity(trials);
     for t in 0..trials {
-        let seed = base_seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9).wrapping_add(1);
+        let seed = base_seed
+            .wrapping_add(t as u64)
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(1);
         let start = Instant::now();
         let estimate = run(seed);
-        outcomes.push(TrialOutcome { estimate, elapsed: start.elapsed() });
+        outcomes.push(TrialOutcome {
+            estimate,
+            elapsed: start.elapsed(),
+        });
     }
     summarize(truth, outcomes)
 }
 
 /// Builds a [`TrialSummary`] from already-collected outcomes.
 pub fn summarize(truth: f64, outcomes: Vec<TrialOutcome>) -> TrialSummary {
-    let deviations: Vec<f64> =
-        outcomes.iter().map(|o| 100.0 * relative_error(o.estimate, truth)).collect();
+    let deviations: Vec<f64> = outcomes
+        .iter()
+        .map(|o| 100.0 * relative_error(o.estimate, truth))
+        .collect();
     let mut times: Vec<f64> = outcomes.iter().map(|o| o.elapsed.as_secs_f64()).collect();
     times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
     let median_time = if times.is_empty() {
@@ -109,9 +121,18 @@ mod tests {
     #[test]
     fn summary_statistics_are_correct() {
         let outcomes = vec![
-            TrialOutcome { estimate: 90.0, elapsed: Duration::from_millis(10) },
-            TrialOutcome { estimate: 110.0, elapsed: Duration::from_millis(30) },
-            TrialOutcome { estimate: 100.0, elapsed: Duration::from_millis(20) },
+            TrialOutcome {
+                estimate: 90.0,
+                elapsed: Duration::from_millis(10),
+            },
+            TrialOutcome {
+                estimate: 110.0,
+                elapsed: Duration::from_millis(30),
+            },
+            TrialOutcome {
+                estimate: 100.0,
+                elapsed: Duration::from_millis(20),
+            },
         ];
         let s = summarize(100.0, outcomes);
         assert!((s.min_deviation_pct - 0.0).abs() < 1e-9);
@@ -138,12 +159,21 @@ mod tests {
     #[test]
     fn throughput_is_edges_over_average_time() {
         let outcomes = vec![
-            TrialOutcome { estimate: 1.0, elapsed: Duration::from_secs(2) },
-            TrialOutcome { estimate: 1.0, elapsed: Duration::from_secs(4) },
+            TrialOutcome {
+                estimate: 1.0,
+                elapsed: Duration::from_secs(2),
+            },
+            TrialOutcome {
+                estimate: 1.0,
+                elapsed: Duration::from_secs(4),
+            },
         ];
         let s = summarize(1.0, outcomes);
         let thr = s.throughput_meps(6_000_000);
-        assert!((thr - 2.0).abs() < 1e-9, "6M edges / 3s avg = 2 Meps, got {thr}");
+        assert!(
+            (thr - 2.0).abs() < 1e-9,
+            "6M edges / 3s avg = 2 Meps, got {thr}"
+        );
     }
 
     #[test]

@@ -8,18 +8,29 @@ use tristream_graph::{EdgeStream, GraphSummary};
 
 /// Extra scale-down factor from `TRISTREAM_SCALE` (default 1).
 pub fn env_scale_factor() -> u64 {
-    std::env::var("TRISTREAM_SCALE").ok().and_then(|v| v.parse().ok()).filter(|&v| v >= 1).unwrap_or(1)
+    std::env::var("TRISTREAM_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(1)
 }
 
 /// Number of trials per configuration from `TRISTREAM_TRIALS` (default 5,
 /// as in the paper).
 pub fn env_trials() -> usize {
-    std::env::var("TRISTREAM_TRIALS").ok().and_then(|v| v.parse().ok()).filter(|&v| v >= 1).unwrap_or(5)
+    std::env::var("TRISTREAM_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(5)
 }
 
 /// Base RNG seed from `TRISTREAM_SEED` (default 1).
 pub fn env_seed() -> u64 {
-    std::env::var("TRISTREAM_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+    std::env::var("TRISTREAM_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
 }
 
 /// A fully prepared workload: the stand-in stream, its exact summary, and
@@ -62,7 +73,9 @@ pub fn load_standin(kind: DatasetKind, seed: u64) -> Workload {
 /// Like [`load_standin`] but with an explicit extra scale-down factor
 /// instead of the environment knob (used by tests and ad-hoc tooling).
 pub fn load_standin_scaled(kind: DatasetKind, extra_scale: u64, seed: u64) -> Workload {
-    let scale = kind.default_scale_denominator().saturating_mul(extra_scale.max(1));
+    let scale = kind
+        .default_scale_denominator()
+        .saturating_mul(extra_scale.max(1));
     let stand_in = StandIn::generate_scaled(kind, scale, seed);
 
     // Measure a write + read round trip as the I/O cost. The file name
@@ -81,7 +94,13 @@ pub fn load_standin_scaled(kind: DatasetKind, extra_scale: u64, seed: u64) -> Wo
     let io_time = io_start.elapsed();
 
     let summary = GraphSummary::of_stream(&stream);
-    Workload { kind, scale_denominator: scale, stream, summary, io_time }
+    Workload {
+        kind,
+        scale_denominator: scale,
+        stream,
+        summary,
+        io_time,
+    }
 }
 
 #[cfg(test)]

@@ -23,7 +23,9 @@ impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::MissingCommand => write!(f, "no command given; try `tristream-cli help`"),
-            CliError::UnknownCommand(c) => write!(f, "unknown command {c:?}; try `tristream-cli help`"),
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command {c:?}; try `tristream-cli help`")
+            }
             CliError::MissingArgument(what) => write!(f, "missing required argument: {what}"),
             CliError::BadFlagValue(flag) => write!(f, "flag {flag} needs a valid value"),
             CliError::UnknownFlag(flag) => write!(f, "unknown flag {flag}"),
@@ -125,7 +127,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "summary" => {
             let input = positional(&rest, 0, "edge-list path")?;
             reject_unknown_flags(&rest[1..], &[])?;
-            Ok(Command::Summary { input: PathBuf::from(input) })
+            Ok(Command::Summary {
+                input: PathBuf::from(input),
+            })
         }
         "count" => {
             let input = positional(&rest, 0, "edge-list path")?;
@@ -155,7 +159,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     other => return Err(CliError::UnknownFlag(other.to_string())),
                 }
             }
-            Ok(Command::Count { input: PathBuf::from(input), estimators, batch, seed, exact })
+            Ok(Command::Count {
+                input: PathBuf::from(input),
+                estimators,
+                batch,
+                seed,
+                exact,
+            })
         }
         "transitivity" => {
             let input = positional(&rest, 0, "edge-list path")?;
@@ -175,7 +185,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     other => return Err(CliError::UnknownFlag(other.to_string())),
                 }
             }
-            Ok(Command::Transitivity { input: PathBuf::from(input), estimators, seed })
+            Ok(Command::Transitivity {
+                input: PathBuf::from(input),
+                estimators,
+                seed,
+            })
         }
         "sample" => {
             let input = positional(&rest, 0, "edge-list path")?;
@@ -200,7 +214,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     other => return Err(CliError::UnknownFlag(other.to_string())),
                 }
             }
-            Ok(Command::Sample { input: PathBuf::from(input), k, estimators, seed })
+            Ok(Command::Sample {
+                input: PathBuf::from(input),
+                k,
+                estimators,
+                seed,
+            })
         }
         "generate" => {
             let dataset = positional(&rest, 0, "dataset name")?;
@@ -220,7 +239,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--output" | "-o" => {
                         output = Some(PathBuf::from(
-                            rest.get(i + 1).ok_or_else(|| CliError::BadFlagValue("--output".into()))?,
+                            rest.get(i + 1)
+                                .ok_or_else(|| CliError::BadFlagValue("--output".into()))?,
                         ));
                         i += 2;
                     }
@@ -228,7 +248,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
             }
             let output = output.ok_or(CliError::MissingArgument("--output FILE"))?;
-            Ok(Command::Generate { dataset, scale, seed, output })
+            Ok(Command::Generate {
+                dataset,
+                scale,
+                seed,
+                output,
+            })
         }
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -282,7 +307,9 @@ mod tests {
         ));
         assert_eq!(
             parse_args(&args(&["summary", "g.txt"])).unwrap(),
-            Command::Summary { input: PathBuf::from("g.txt") }
+            Command::Summary {
+                input: PathBuf::from("g.txt")
+            }
         );
     }
 
@@ -333,7 +360,15 @@ mod tests {
 
     #[test]
     fn sample_and_transitivity_parse() {
-        let s = parse_args(&args(&["sample", "g.txt", "-k", "7", "--estimators", "1000"])).unwrap();
+        let s = parse_args(&args(&[
+            "sample",
+            "g.txt",
+            "-k",
+            "7",
+            "--estimators",
+            "1000",
+        ]))
+        .unwrap();
         assert_eq!(
             s,
             Command::Sample {
@@ -346,7 +381,11 @@ mod tests {
         let t = parse_args(&args(&["transitivity", "g.txt", "--seed", "3"])).unwrap();
         assert_eq!(
             t,
-            Command::Transitivity { input: PathBuf::from("g.txt"), estimators: 100_000, seed: 3 }
+            Command::Transitivity {
+                input: PathBuf::from("g.txt"),
+                estimators: 100_000,
+                seed: 3
+            }
         );
     }
 
@@ -374,8 +413,12 @@ mod tests {
     #[test]
     fn error_messages_are_informative() {
         assert!(CliError::MissingCommand.to_string().contains("help"));
-        assert!(CliError::UnknownCommand("x".into()).to_string().contains('x'));
-        assert!(CliError::BadFlagValue("--seed".into()).to_string().contains("--seed"));
+        assert!(CliError::UnknownCommand("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(CliError::BadFlagValue("--seed".into())
+            .to_string()
+            .contains("--seed"));
         assert!(!HELP.is_empty());
     }
 }

@@ -23,7 +23,13 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             let summary = GraphSummary::of_stream_with_order(&stream);
             Ok(format!("{}\n{}\n", input.display(), summary.one_line()))
         }
-        Command::Count { input, estimators, batch, seed, exact } => {
+        Command::Count {
+            input,
+            estimators,
+            batch,
+            seed,
+            exact,
+        } => {
             let stream = read_edge_list_file(&input)?;
             if exact {
                 let start = Instant::now();
@@ -52,7 +58,11 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 ))
             }
         }
-        Command::Transitivity { input, estimators, seed } => {
+        Command::Transitivity {
+            input,
+            estimators,
+            seed,
+        } => {
             let stream = read_edge_list_file(&input)?;
             let mut est = TransitivityEstimator::new(estimators.max(1), seed);
             est.process_edges(stream.edges());
@@ -63,7 +73,12 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 est.wedge_estimate()
             ))
         }
-        Command::Sample { input, k, estimators, seed } => {
+        Command::Sample {
+            input,
+            k,
+            estimators,
+            seed,
+        } => {
             let stream = read_edge_list_file(&input)?;
             let mut sampler = TriangleSampler::new(estimators.max(1), seed);
             sampler.process_edges(stream.edges());
@@ -82,10 +97,17 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 ),
             }
         }
-        Command::Generate { dataset, scale, seed, output } => {
+        Command::Generate {
+            dataset,
+            scale,
+            seed,
+            output,
+        } => {
             let kind = dataset_from_slug(&dataset)
                 .ok_or_else(|| format!("unknown dataset {dataset:?}; see `tristream-cli help`"))?;
-            let denominator = kind.default_scale_denominator().saturating_mul(scale.max(1));
+            let denominator = kind
+                .default_scale_denominator()
+                .saturating_mul(scale.max(1));
             let stand_in = StandIn::generate_scaled(kind, denominator, seed);
             write_edge_list_file(&stand_in.stream, &output)?;
             Ok(format!(
@@ -153,23 +175,37 @@ mod tests {
         })
         .unwrap();
         assert!(approx.contains("estimated triangle count"));
-        assert!(exact.contains("exact triangle count: 1000")
-            || exact.contains("exact triangle count: 100"));
+        assert!(
+            exact.contains("exact triangle count: 1000")
+                || exact.contains("exact triangle count: 100")
+        );
     }
 
     #[test]
     fn transitivity_and_sample_commands_work() {
         let path = sample_graph_path();
-        let t = run(Command::Transitivity { input: path.clone(), estimators: 20_000, seed: 5 })
-            .unwrap();
+        let t = run(Command::Transitivity {
+            input: path.clone(),
+            estimators: 20_000,
+            seed: 5,
+        })
+        .unwrap();
         assert!(t.contains("transitivity coefficient"));
-        let s = run(Command::Sample { input: path, k: 2, estimators: 20_000, seed: 7 }).unwrap();
+        let s = run(Command::Sample {
+            input: path,
+            k: 2,
+            estimators: 20_000,
+            seed: 7,
+        })
+        .unwrap();
         assert!(s.contains("triangle sample") || s.contains("not enough"));
     }
 
     #[test]
     fn generate_round_trips_through_summary() {
-        let out_path = std::env::temp_dir().join("tristream-cli-tests").join("gen.txt");
+        let out_path = std::env::temp_dir()
+            .join("tristream-cli-tests")
+            .join("gen.txt");
         std::fs::create_dir_all(out_path.parent().unwrap()).unwrap();
         let g = run(Command::Generate {
             dataset: "syn-3-reg".into(),

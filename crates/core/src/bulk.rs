@@ -251,7 +251,10 @@ impl BulkTriangleCounter {
             } else {
                 (y, beta_y + (phi - c_minus - a))
             };
-            subscriptions.entry((vertex, target_degree)).or_default().push(idx as u32);
+            subscriptions
+                .entry((vertex, target_degree))
+                .or_default()
+                .push(idx as u32);
         }
 
         // ---- Step 2c: second edgeIter pass — resolve events to edges. -----
@@ -296,8 +299,14 @@ impl BulkTriangleCounter {
                 _ => continue,
             };
             if let Some(shared) = r1.edge.shared_vertex(&r2.edge) {
-                let p = r1.edge.other_endpoint(shared).expect("edge has two endpoints");
-                let q = r2.edge.other_endpoint(shared).expect("edge has two endpoints");
+                let p = r1
+                    .edge
+                    .other_endpoint(shared)
+                    .expect("edge has two endpoints");
+                let q = r2
+                    .edge
+                    .other_endpoint(shared)
+                    .expect("edge has two endpoints");
                 if p != q {
                     waiting.entry(Edge::new(p, q)).or_default().push(idx as u32);
                 }
@@ -323,7 +332,10 @@ impl BulkTriangleCounter {
 
     /// Per-estimator unbiased triangle estimates (Lemma 3.2).
     pub fn raw_estimates(&self) -> Vec<f64> {
-        self.estimators.iter().map(|e| e.triangle_estimate(self.edges_seen)).collect()
+        self.estimators
+            .iter()
+            .map(|e| e.triangle_estimate(self.edges_seen))
+            .collect()
     }
 
     /// The aggregated triangle-count estimate.
@@ -376,22 +388,37 @@ mod tests {
             stream.iter_positioned().map(|(p, e)| (e, p)).collect();
         for (i, est) in counter.estimators().iter().enumerate() {
             let r1 = est.r1.expect("non-empty stream yields a level-1 edge");
-            assert_eq!(positions[&r1.edge], r1.position, "estimator {i}: r1 position");
+            assert_eq!(
+                positions[&r1.edge], r1.position,
+                "estimator {i}: r1 position"
+            );
             assert_eq!(
                 est.c, exact_c[&r1.edge],
                 "estimator {i}: c must equal |N(r1)| for r1 {:?}",
                 r1.edge
             );
             if let Some(r2) = est.r2 {
-                assert_eq!(positions[&r2.edge], r2.position, "estimator {i}: r2 position");
-                assert!(r2.position > r1.position, "estimator {i}: r2 arrives after r1");
-                assert!(r2.edge.is_adjacent(&r1.edge), "estimator {i}: r2 adjacent to r1");
+                assert_eq!(
+                    positions[&r2.edge], r2.position,
+                    "estimator {i}: r2 position"
+                );
+                assert!(
+                    r2.position > r1.position,
+                    "estimator {i}: r2 arrives after r1"
+                );
+                assert!(
+                    r2.edge.is_adjacent(&r1.edge),
+                    "estimator {i}: r2 adjacent to r1"
+                );
             } else {
                 assert_eq!(est.c, 0, "estimator {i}: empty neighborhood iff no r2");
             }
             if let Some(closer) = est.closer {
                 let r2 = est.r2.expect("closer requires r2");
-                assert!(closer.position > r2.position, "estimator {i}: closer after r2");
+                assert!(
+                    closer.position > r2.position,
+                    "estimator {i}: closer after r2"
+                );
                 assert!(
                     closer.edge.closes_wedge(&r1.edge, &r2.edge),
                     "estimator {i}: closer must close the wedge"
@@ -520,8 +547,8 @@ mod tests {
     fn geometric_skip_strategy_preserves_invariants_and_accuracy() {
         let stream = tristream_gen::planted_triangles(30, 80, 13);
         for &batch_size in &[3usize, 17, 256] {
-            let mut counter = BulkTriangleCounter::new(96, 7)
-                .with_level1_strategy(Level1Strategy::GeometricSkip);
+            let mut counter =
+                BulkTriangleCounter::new(96, 7).with_level1_strategy(Level1Strategy::GeometricSkip);
             assert_eq!(counter.level1_strategy(), Level1Strategy::GeometricSkip);
             counter.process_stream(stream.edges(), batch_size);
             assert_invariants(&counter, &stream);
@@ -547,7 +574,10 @@ mod tests {
     fn memory_accounting_scales_with_the_pool() {
         let small = BulkTriangleCounter::new(10, 1);
         let large = BulkTriangleCounter::new(1_000, 1);
-        assert_eq!(large.estimator_memory_bytes(), 100 * small.estimator_memory_bytes());
+        assert_eq!(
+            large.estimator_memory_bytes(),
+            100 * small.estimator_memory_bytes()
+        );
         assert!(small.estimator_memory_bytes() > 0);
     }
 

@@ -344,7 +344,11 @@ mod tests {
 
         let mut c = FourCliqueCounter::new(256, 2);
         // A triangle has no 4-clique.
-        c.process_edges(&[Edge::new(1u64, 2u64), Edge::new(2u64, 3u64), Edge::new(1u64, 3u64)]);
+        c.process_edges(&[
+            Edge::new(1u64, 2u64),
+            Edge::new(2u64, 3u64),
+            Edge::new(1u64, 3u64),
+        ]);
         assert_eq!(c.estimate(), 0.0);
         assert_eq!(c.estimators_with_clique(), 0);
     }
@@ -391,7 +395,10 @@ mod tests {
         }
         let mean_est = sum / runs as f64;
         assert!((mean_est - 1.0).abs() < 0.3, "mean estimate {mean_est}");
-        assert!(type2_sum > 0.0, "the Type II pool must contribute for this ordering");
+        assert!(
+            type2_sum > 0.0,
+            "the Type II pool must contribute for this ordering"
+        );
     }
 
     #[test]
@@ -401,8 +408,7 @@ mod tests {
         let base = EdgeStream::new(k_n_edges(6));
         for order in [StreamOrder::Natural, StreamOrder::Shuffled(3)] {
             let stream = base.reordered(order);
-            let truth =
-                count_four_cliques(&Adjacency::from_stream(&stream)) as f64;
+            let truth = count_four_cliques(&Adjacency::from_stream(&stream)) as f64;
             assert_eq!(truth, 15.0);
             let runs = 250u64;
             let mut sum = 0.0;

@@ -115,7 +115,10 @@ impl TriangleCounter {
 
     /// Per-estimator unbiased triangle estimates (Lemma 3.2).
     pub fn raw_estimates(&self) -> Vec<f64> {
-        self.estimators.iter().map(|e| e.triangle_estimate(self.edges_seen)).collect()
+        self.estimators
+            .iter()
+            .map(|e| e.triangle_estimate(self.edges_seen))
+            .collect()
     }
 
     /// The aggregated triangle-count estimate.
@@ -198,7 +201,10 @@ mod tests {
         let mut c = TriangleCounter::new(6_000, 17);
         c.process_edges(&edges);
         let est = c.estimate();
-        assert!((est - truth).abs() < 0.1 * truth, "estimate {est}, truth {truth}");
+        assert!(
+            (est - truth).abs() < 0.1 * truth,
+            "estimate {est}, truth {truth}"
+        );
         assert!(c.estimators_with_triangle() > 0);
     }
 
@@ -263,18 +269,21 @@ mod tests {
         // must land near the truth on a triangle-rich stream.
         let stream = tristream_gen::planted_triangles(100, 200, 3);
         let truth = 100.0;
-        let mut c = TriangleCounter::with_aggregation(
-            10_000,
-            11,
-            Aggregation::MedianOfMeans { groups: 5 },
-        );
+        let mut c =
+            TriangleCounter::with_aggregation(10_000, 11, Aggregation::MedianOfMeans { groups: 5 });
         for e in stream.iter() {
             c.process_edge(e);
         }
         let mom = c.estimate();
         let plain = c.estimate_with(Aggregation::Mean);
-        assert!((plain - truth).abs() < 0.3 * truth, "plain {plain}, truth {truth}");
-        assert!((mom - truth).abs() < 0.4 * truth, "median-of-means {mom}, truth {truth}");
+        assert!(
+            (plain - truth).abs() < 0.3 * truth,
+            "plain {plain}, truth {truth}"
+        );
+        assert!(
+            (mom - truth).abs() < 0.4 * truth,
+            "median-of-means {mom}, truth {truth}"
+        );
     }
 
     #[test]

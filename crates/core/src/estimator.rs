@@ -148,13 +148,18 @@ pub struct NeighborhoodSampler<R: Rng> {
 impl<R: Rng> NeighborhoodSampler<R> {
     /// Creates a sampler driven by the given random-number generator.
     pub fn with_rng(rng: R) -> Self {
-        Self { state: EstimatorState::new(), edges_seen: 0, rng }
+        Self {
+            state: EstimatorState::new(),
+            edges_seen: 0,
+            rng,
+        }
     }
 
     /// Processes the next edge of the stream.
     pub fn process_edge(&mut self, edge: Edge) {
         self.edges_seen += 1;
-        self.state.process_edge(&mut self.rng, edge, self.edges_seen);
+        self.state
+            .process_edge(&mut self.rng, edge, self.edges_seen);
     }
 
     /// Number of edges observed so far (`m`).
@@ -202,17 +207,17 @@ mod tests {
         // (4,5): t2 = {(4,5),(5,6),(4,6)}, t3 = {(4,5),(5,7),(4,7)}; plus
         // filler edges e9, e10, e11 adjacent to vertex 4/5's neighborhood.
         EdgeStream::from_pairs_dedup(vec![
-            (1, 2),  // e1
-            (2, 3),  // e2
-            (1, 3),  // e3
-            (4, 5),  // e4
-            (5, 6),  // e5
-            (4, 6),  // e6
-            (5, 7),  // e7
-            (4, 7),  // e8
-            (5, 8),  // e9
-            (6, 8),  // e10
-            (7, 9),  // e11
+            (1, 2), // e1
+            (2, 3), // e2
+            (1, 3), // e3
+            (4, 5), // e4
+            (5, 6), // e5
+            (4, 6), // e6
+            (5, 7), // e7
+            (4, 7), // e8
+            (5, 8), // e9
+            (6, 8), // e10
+            (7, 9), // e11
         ])
     }
 
@@ -310,14 +315,8 @@ mod tests {
         // but careful: the probability refers to the state after the whole
         // stream, which also requires r1 = (1,2) to survive replacement; the
         // lemma's 1/m already accounts for that.
-        let stream = EdgeStream::from_pairs_dedup(vec![
-            (1, 2),
-            (2, 3),
-            (1, 3),
-            (1, 4),
-            (2, 5),
-            (6, 7),
-        ]);
+        let stream =
+            EdgeStream::from_pairs_dedup(vec![(1, 2), (2, 3), (1, 3), (1, 4), (2, 5), (6, 7)]);
         let runs = 120_000u32;
         let mut held = 0u32;
         let mut r = rng(42);
@@ -362,16 +361,19 @@ mod tests {
             sum += sampler.triangle_estimate();
         }
         let mean = sum / runs as f64;
-        assert!((mean - tau).abs() < 0.1, "estimator mean {mean}, want {tau}");
+        assert!(
+            (mean - tau).abs() < 0.1,
+            "estimator mean {mean}, want {tau}"
+        );
     }
 
     #[test]
     fn unbiasedness_of_the_wedge_estimate() {
         // E[ζ̃] must equal ζ(G) (Lemma 3.10 via Claim 3.9).
         let stream = EdgeStream::from_pairs_dedup(vec![(1, 2), (2, 3), (1, 3), (3, 4), (4, 5)]);
-        let zeta = tristream_graph::exact::count_wedges(
-            &tristream_graph::Adjacency::from_stream(&stream),
-        ) as f64;
+        let zeta =
+            tristream_graph::exact::count_wedges(&tristream_graph::Adjacency::from_stream(&stream))
+                as f64;
         let runs = 200_000u32;
         let mut sum = 0.0;
         let mut r = rng(11);

@@ -55,7 +55,11 @@ impl ParallelBulkTriangleCounter {
                     .with_level1_strategy(Level1Strategy::GeometricSkip)
             })
             .collect();
-        Self { shards, aggregation, edges_seen: 0 }
+        Self {
+            shards,
+            aggregation,
+            edges_seen: 0,
+        }
     }
 
     /// Number of shards (worker threads used per batch).
@@ -119,7 +123,10 @@ impl ParallelBulkTriangleCounter {
 
     /// Number of estimators (across all shards) currently holding a triangle.
     pub fn estimators_with_triangle(&self) -> usize {
-        self.shards.iter().map(|s| s.estimators_with_triangle()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.estimators_with_triangle())
+            .sum()
     }
 }
 
@@ -171,8 +178,8 @@ mod tests {
         let stream = tristream_gen::planted_triangles(25, 50, 9);
         let mut parallel = ParallelBulkTriangleCounter::new(512, 1, 7);
         parallel.process_stream(stream.edges(), 64);
-        let mut sequential = BulkTriangleCounter::new(512, 7)
-            .with_level1_strategy(Level1Strategy::GeometricSkip);
+        let mut sequential =
+            BulkTriangleCounter::new(512, 7).with_level1_strategy(Level1Strategy::GeometricSkip);
         sequential.process_stream(stream.edges(), 64);
         assert_eq!(parallel.estimate(), sequential.estimate());
     }

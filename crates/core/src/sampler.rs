@@ -131,7 +131,9 @@ impl TriangleSampler {
     /// triangles (each estimator contributes at most one). The expected
     /// number of acceptances is `r·τ/(2mΔ)`.
     pub fn accepted_triangles(&mut self) -> Vec<[Edge; 3]> {
-        (0..self.num_estimators()).filter_map(|i| self.unif_tri_from(i)).collect()
+        (0..self.num_estimators())
+            .filter_map(|i| self.unif_tri_from(i))
+            .collect()
     }
 
     /// Samples one triangle approximately uniformly at random from the
@@ -157,7 +159,11 @@ impl TriangleSampler {
         if accepted.len() < k {
             return None;
         }
-        Some((0..k).map(|_| accepted[self.rng.gen_range(0..accepted.len())]).collect())
+        Some(
+            (0..k)
+                .map(|_| accepted[self.rng.gen_range(0..accepted.len())])
+                .collect(),
+        )
     }
 
     /// The triangle-count estimate from the underlying estimators (the
@@ -210,7 +216,10 @@ mod tests {
                 *vertices.iter().nth(1).unwrap(),
                 *vertices.iter().nth(2).unwrap(),
             );
-            assert!(real.contains(&as_triangle), "sampled triangle must exist in the graph");
+            assert!(
+                real.contains(&as_triangle),
+                "sampled triangle must exist in the graph"
+            );
         }
     }
 
@@ -225,14 +234,17 @@ mod tests {
             let mut sampler = TriangleSampler::new(64, seed);
             sampler.process_edges(stream.edges());
             if let Some(t) = sampler.sample_one() {
-                let mut key: Vec<u64> =
-                    t.iter().flat_map(|e| [e.u().raw(), e.v().raw()]).collect();
+                let mut key: Vec<u64> = t.iter().flat_map(|e| [e.u().raw(), e.v().raw()]).collect();
                 key.sort_unstable();
                 key.dedup();
                 *counts.entry(key).or_insert(0) += 1;
             }
         }
-        assert_eq!(counts.len(), 2, "both triangles should be sampled eventually: {counts:?}");
+        assert_eq!(
+            counts.len(),
+            2,
+            "both triangles should be sampled eventually: {counts:?}"
+        );
         let a = counts[&vec![1, 2, 3]] as f64;
         let b = counts[&vec![4, 5, 6]] as f64;
         let ratio = a / b;

@@ -33,7 +33,12 @@ struct WindowLevel2 {
 
 impl WindowLevel2 {
     fn new(edge: Edge) -> Self {
-        Self { edge, c: 0, r2: None, closer: None }
+        Self {
+            edge,
+            c: 0,
+            r2: None,
+            closer: None,
+        }
     }
 
     /// Advances this element's level-2 state with a newly arrived edge.
@@ -144,7 +149,10 @@ impl SlidingWindowTriangleCounter {
             .estimators
             .iter()
             .map(|chain| {
-                chain.head().map(|head| head.payload.triangle_estimate(m_w)).unwrap_or(0.0)
+                chain
+                    .head()
+                    .map(|head| head.payload.triangle_estimate(m_w))
+                    .unwrap_or(0.0)
             })
             .collect();
         mean(&raw)
@@ -156,7 +164,10 @@ impl SlidingWindowTriangleCounter {
         if self.estimators.is_empty() {
             return 0.0;
         }
-        self.estimators.iter().map(|c| c.chain_len() as f64).sum::<f64>()
+        self.estimators
+            .iter()
+            .map(|c| c.chain_len() as f64)
+            .sum::<f64>()
             / self.estimators.len() as f64
     }
 }
@@ -234,11 +245,13 @@ mod tests {
         c.process_edges(&edges);
         // Exact count within the window (last 40 edges = 25 path edges + K6).
         let start = edges.len() - window as usize;
-        let truth =
-            count_triangles(&Adjacency::from_edges(&edges[start..])) as f64;
+        let truth = count_triangles(&Adjacency::from_edges(&edges[start..])) as f64;
         assert_eq!(truth, 20.0);
         let est = c.estimate();
-        assert!((est - truth).abs() < 0.35 * truth, "estimate {est}, truth {truth}");
+        assert!(
+            (est - truth).abs() < 0.35 * truth,
+            "estimate {est}, truth {truth}"
+        );
     }
 
     #[test]

@@ -67,8 +67,8 @@ pub fn error_bound_for_estimators(
     if triangles == 0 || r == 0 {
         return f64::INFINITY;
     }
-    let eps_sq = 6.0 * (edges as f64 * max_degree as f64 / triangles as f64) * (2.0 / delta).ln()
-        / r as f64;
+    let eps_sq =
+        6.0 * (edges as f64 * max_degree as f64 / triangles as f64) * (2.0 / delta).ln() / r as f64;
     eps_sq.sqrt()
 }
 
@@ -85,8 +85,7 @@ pub fn sufficient_sampler_copies(
     if triangles == 0 {
         return f64::INFINITY;
     }
-    4.0 * edges as f64 * k as f64 * max_degree as f64
-        * (std::f64::consts::E / delta).ln()
+    4.0 * edges as f64 * k as f64 * max_degree as f64 * (std::f64::consts::E / delta).ln()
         / triangles as f64
 }
 
@@ -162,7 +161,10 @@ mod tests {
         let eps = 0.08;
         let r = sufficient_estimators_mean(eps, delta, m, d, tau).ceil() as u64;
         let implied = error_bound_for_estimators(r, delta, m, d, tau);
-        assert!(implied <= eps * 1.01, "implied {implied} vs requested {eps}");
+        assert!(
+            implied <= eps * 1.01,
+            "implied {implied} vs requested {eps}"
+        );
         // And fewer estimators imply a weaker (larger) bound.
         assert!(error_bound_for_estimators(r / 4, delta, m, d, tau) > implied);
     }
@@ -180,6 +182,9 @@ mod tests {
         let dense_hub = sufficient_estimators_four_clique(0.1, 0.1, 1_000, 1_000, 10);
         let flat = sufficient_estimators_four_clique(0.1, 0.1, 1_000_000, 10, 10);
         assert!(dense_hub > 0.0 && flat > 0.0);
-        assert!(flat > dense_hub, "m² term should dominate for the flat graph");
+        assert!(
+            flat > dense_hub,
+            "m² term should dominate for the flat graph"
+        );
     }
 }

@@ -56,7 +56,10 @@ impl TransitivityEstimator {
     ///
     /// Panics if `r` is zero.
     pub fn new_shared_pool(r: usize, seed: u64) -> Self {
-        Self { triangle_pool: TriangleCounter::new(r, seed), wedge_pool: None }
+        Self {
+            triangle_pool: TriangleCounter::new(r, seed),
+            wedge_pool: None,
+        }
     }
 
     /// Creates an estimator whose pools use an explicit aggregation for the
@@ -109,7 +112,11 @@ impl TransitivityEstimator {
     pub fn wedge_estimate(&self) -> f64 {
         let pool = self.wedge_pool.as_ref().unwrap_or(&self.triangle_pool);
         let m = pool.edges_seen();
-        let raw: Vec<f64> = pool.estimators().iter().map(|e| e.wedge_estimate(m)).collect();
+        let raw: Vec<f64> = pool
+            .estimators()
+            .iter()
+            .map(|e| e.wedge_estimate(m))
+            .collect();
         mean(&raw)
     }
 

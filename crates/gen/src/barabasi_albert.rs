@@ -30,7 +30,10 @@ use tristream_graph::{Edge, EdgeStream};
 /// Panics if `m_attach == 0` or `n` is smaller than the seed clique size
 /// (`m_attach + 1`).
 pub fn barabasi_albert(n: u64, m_attach: u64, seed: u64) -> EdgeStream {
-    assert!(m_attach >= 1, "each new vertex must attach to at least one existing vertex");
+    assert!(
+        m_attach >= 1,
+        "each new vertex must attach to at least one existing vertex"
+    );
     let seed_size = m_attach + 1;
     assert!(
         n >= seed_size,
@@ -101,8 +104,14 @@ pub fn barabasi_albert_shuffled(n: u64, m_attach: u64, seed: u64) -> EdgeStream 
 /// Panics under the same conditions as [`barabasi_albert`], or if
 /// `triad_prob` is outside `[0, 1]`.
 pub fn holme_kim(n: u64, m_attach: u64, triad_prob: f64, seed: u64) -> EdgeStream {
-    assert!(m_attach >= 1, "each new vertex must attach to at least one existing vertex");
-    assert!((0.0..=1.0).contains(&triad_prob), "triad_prob must lie in [0, 1]");
+    assert!(
+        m_attach >= 1,
+        "each new vertex must attach to at least one existing vertex"
+    );
+    assert!(
+        (0.0..=1.0).contains(&triad_prob),
+        "triad_prob must lie in [0, 1]"
+    );
     let seed_size = m_attach + 1;
     assert!(
         n >= seed_size,
@@ -117,11 +126,11 @@ pub fn holme_kim(n: u64, m_attach: u64, triad_prob: f64, seed: u64) -> EdgeStrea
     let mut neighbors: Vec<Vec<u64>> = vec![Vec::new(); n as usize];
 
     let push_edge = |a: u64,
-                         b: u64,
-                         edges: &mut Vec<Edge>,
-                         edge_set: &mut HashSet<Edge>,
-                         endpoint_pool: &mut Vec<u64>,
-                         neighbors: &mut Vec<Vec<u64>>|
+                     b: u64,
+                     edges: &mut Vec<Edge>,
+                     edge_set: &mut HashSet<Edge>,
+                     endpoint_pool: &mut Vec<u64>,
+                     neighbors: &mut Vec<Vec<u64>>|
      -> bool {
         let e = Edge::new(a, b);
         if edge_set.insert(e) {
@@ -138,7 +147,14 @@ pub fn holme_kim(n: u64, m_attach: u64, triad_prob: f64, seed: u64) -> EdgeStrea
 
     for i in 0..seed_size {
         for j in (i + 1)..seed_size {
-            push_edge(i, j, &mut edges, &mut edge_set, &mut endpoint_pool, &mut neighbors);
+            push_edge(
+                i,
+                j,
+                &mut edges,
+                &mut edge_set,
+                &mut endpoint_pool,
+                &mut neighbors,
+            );
         }
     }
 
@@ -161,8 +177,14 @@ pub fn holme_kim(n: u64, m_attach: u64, triad_prob: f64, seed: u64) -> EdgeStrea
             if target == v {
                 continue;
             }
-            if push_edge(v, target, &mut edges, &mut edge_set, &mut endpoint_pool, &mut neighbors)
-            {
+            if push_edge(
+                v,
+                target,
+                &mut edges,
+                &mut edge_set,
+                &mut endpoint_pool,
+                &mut neighbors,
+            ) {
                 attached.push(target);
                 links += 1;
             }
@@ -207,8 +229,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(barabasi_albert(200, 2, 9).edges(), barabasi_albert(200, 2, 9).edges());
-        assert_ne!(barabasi_albert(200, 2, 9).edges(), barabasi_albert(200, 2, 10).edges());
+        assert_eq!(
+            barabasi_albert(200, 2, 9).edges(),
+            barabasi_albert(200, 2, 9).edges()
+        );
+        assert_ne!(
+            barabasi_albert(200, 2, 9).edges(),
+            barabasi_albert(200, 2, 10).edges()
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub fn cycle_graph(n: u64) -> EdgeStream {
 
 /// Path graph `P_n` on vertices `0..n` (`n - 1` edges).
 pub fn path_graph(n: u64) -> EdgeStream {
-    let edges = (0..n.saturating_sub(1)).map(|i| Edge::new(i, i + 1)).collect();
+    let edges = (0..n.saturating_sub(1))
+        .map(|i| Edge::new(i, i + 1))
+        .collect();
     EdgeStream::new(edges)
 }
 
@@ -133,7 +135,12 @@ mod tests {
 
     #[test]
     fn streams_are_simple() {
-        for s in [complete_graph(10), cycle_graph(12), star_graph(5), complete_bipartite(3, 3)] {
+        for s in [
+            complete_graph(10),
+            cycle_graph(12),
+            star_graph(5),
+            complete_bipartite(3, 3),
+        ] {
             assert!(s.validate_simple().is_ok());
         }
     }

@@ -223,7 +223,10 @@ impl StandIn {
     ///
     /// Panics if `scale_denominator` is zero.
     pub fn generate_scaled(kind: DatasetKind, scale_denominator: u64, seed: u64) -> Self {
-        assert!(scale_denominator >= 1, "scale denominator must be at least 1");
+        assert!(
+            scale_denominator >= 1,
+            "scale denominator must be at least 1"
+        );
         let spec = kind.spec();
         let n = (spec.paper_vertices / scale_denominator).max(64);
         let stream = match kind {
@@ -259,7 +262,11 @@ impl StandIn {
         // Social-graph generators emit edges in growth order; the adjacency
         // stream model assumes an arbitrary order, so shuffle deterministically.
         let stream = stream.reordered(StreamOrder::Shuffled(seed ^ 0xD1CE));
-        StandIn { kind, scale_denominator, stream }
+        StandIn {
+            kind,
+            scale_denominator,
+            stream,
+        }
     }
 
     /// Exact structural summary of the generated stand-in (n, m, Δ, τ, ζ, κ,
@@ -307,7 +314,11 @@ mod tests {
         let s = StandIn::generate_scaled(DatasetKind::HepTh, 4, 2);
         let sum = s.summary();
         assert!(sum.vertices > 2_000);
-        assert!(sum.triangles > 1_000, "expected a clustered graph, τ={}", sum.triangles);
+        assert!(
+            sum.triangles > 1_000,
+            "expected a clustered graph, τ={}",
+            sum.triangles
+        );
         assert!(sum.m_delta_over_tau < 1_000.0);
     }
 

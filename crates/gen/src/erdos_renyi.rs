@@ -62,13 +62,19 @@ pub fn gnm(n: u64, m: u64, seed: u64) -> EdgeStream {
         chosen.insert(rng.gen_range(0..total));
     }
     let mut edges: Vec<Edge> = if sample_complement {
-        (0..total).filter(|o| !chosen.contains(o)).map(|o| edge_from_ordinal(n, o)).collect()
+        (0..total)
+            .filter(|o| !chosen.contains(o))
+            .map(|o| edge_from_ordinal(n, o))
+            .collect()
     } else {
         // Sort the ordinals first: HashSet iteration order is not stable
         // across processes and the generator promises per-seed determinism.
         let mut ordinals: Vec<u64> = chosen.into_iter().collect();
         ordinals.sort_unstable();
-        ordinals.into_iter().map(|o| edge_from_ordinal(n, o)).collect()
+        ordinals
+            .into_iter()
+            .map(|o| edge_from_ordinal(n, o))
+            .collect()
     };
     shuffle(&mut edges, &mut rng);
     EdgeStream::new(edges)

@@ -36,10 +36,10 @@ pub fn planted_triangles(t: u64, noise: u64, seed: u64) -> EdgeStream {
     let mut neighbors: Vec<HashSet<u64>> = vec![HashSet::new(); n as usize];
 
     let add = |a: u64,
-                   b: u64,
-                   edges: &mut Vec<Edge>,
-                   edge_set: &mut HashSet<Edge>,
-                   neighbors: &mut Vec<HashSet<u64>>| {
+               b: u64,
+               edges: &mut Vec<Edge>,
+               edge_set: &mut HashSet<Edge>,
+               neighbors: &mut Vec<HashSet<u64>>| {
         let e = Edge::new(a, b);
         if edge_set.insert(e) {
             neighbors[a as usize].insert(b);
@@ -55,7 +55,13 @@ pub fn planted_triangles(t: u64, noise: u64, seed: u64) -> EdgeStream {
     for i in 0..t {
         let base = 3 * i;
         add(base, base + 1, &mut edges, &mut edge_set, &mut neighbors);
-        add(base + 1, base + 2, &mut edges, &mut edge_set, &mut neighbors);
+        add(
+            base + 1,
+            base + 2,
+            &mut edges,
+            &mut edge_set,
+            &mut neighbors,
+        );
         add(base, base + 2, &mut edges, &mut edge_set, &mut neighbors);
     }
 
@@ -74,7 +80,11 @@ pub fn planted_triangles(t: u64, noise: u64, seed: u64) -> EdgeStream {
         if edge_set.contains(&Edge::new(a, b)) {
             continue;
         }
-        if neighbors[a as usize].intersection(&neighbors[b as usize]).next().is_some() {
+        if neighbors[a as usize]
+            .intersection(&neighbors[b as usize])
+            .next()
+            .is_some()
+        {
             continue; // would close a triangle
         }
         if add(a, b, &mut edges, &mut edge_set, &mut neighbors) {
@@ -115,8 +125,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(planted_triangles(20, 30, 5).edges(), planted_triangles(20, 30, 5).edges());
-        assert_ne!(planted_triangles(20, 30, 5).edges(), planted_triangles(20, 30, 6).edges());
+        assert_eq!(
+            planted_triangles(20, 30, 5).edges(),
+            planted_triangles(20, 30, 5).edges()
+        );
+        assert_ne!(
+            planted_triangles(20, 30, 5).edges(),
+            planted_triangles(20, 30, 6).edges()
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ use tristream_graph::{Edge, EdgeStream};
 /// found after many restarts (which for reasonable `(n, d)` indicates a bug).
 pub fn random_regular(n: u64, d: u64, seed: u64) -> EdgeStream {
     assert!(d < n, "degree must be smaller than the number of vertices");
-    assert!((n * d).is_multiple_of(2), "n*d must be even for a d-regular graph to exist");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n*d must be even for a d-regular graph to exist"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
 
     const MAX_RESTARTS: usize = 10_000;
@@ -44,7 +47,9 @@ pub fn random_regular(n: u64, d: u64, seed: u64) -> EdgeStream {
 /// One attempt at the configuration-model pairing. Returns `None` if the
 /// pairing produced a self-loop or parallel edge.
 fn try_pairing(n: u64, d: u64, rng: &mut SmallRng) -> Option<Vec<Edge>> {
-    let mut stubs: Vec<u64> = (0..n).flat_map(|v| std::iter::repeat_n(v, d as usize)).collect();
+    let mut stubs: Vec<u64> = (0..n)
+        .flat_map(|v| std::iter::repeat_n(v, d as usize))
+        .collect();
     stubs.shuffle(rng);
     let mut seen: HashSet<Edge> = HashSet::with_capacity(stubs.len() / 2);
     let mut edges = Vec::with_capacity(stubs.len() / 2);
@@ -140,7 +145,10 @@ pub fn triangle_rich_three_regular(n: u64, seed: u64) -> EdgeStream {
     let rest = n - clique_vertices;
     let random_part = random_regular(rest, 3, seed ^ 0x5EED_0003_5EED_0003);
     for e in random_part.iter() {
-        edges.push(Edge::new(clique_vertices + e.u().raw(), clique_vertices + e.v().raw()));
+        edges.push(Edge::new(
+            clique_vertices + e.u().raw(),
+            clique_vertices + e.v().raw(),
+        ));
     }
     edges.shuffle(&mut rng);
     EdgeStream::new(edges)
@@ -198,13 +206,22 @@ mod tests {
 
     #[test]
     fn near_regular_is_deterministic_per_seed() {
-        assert_eq!(near_regular(100, 4, 8, 3).edges(), near_regular(100, 4, 8, 3).edges());
-        assert_ne!(near_regular(100, 4, 8, 3).edges(), near_regular(100, 4, 8, 4).edges());
+        assert_eq!(
+            near_regular(100, 4, 8, 3).edges(),
+            near_regular(100, 4, 8, 3).edges()
+        );
+        assert_ne!(
+            near_regular(100, 4, 8, 3).edges(),
+            near_regular(100, 4, 8, 4).edges()
+        );
     }
 
     #[test]
     fn regular_is_deterministic_per_seed() {
-        assert_eq!(random_regular(100, 4, 3).edges(), random_regular(100, 4, 3).edges());
+        assert_eq!(
+            random_regular(100, 4, 3).edges(),
+            random_regular(100, 4, 3).edges()
+        );
     }
 
     #[test]

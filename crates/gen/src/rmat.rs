@@ -31,16 +31,17 @@ pub struct RmatParams {
 impl RmatParams {
     /// The parameters used by the Graph500 benchmark (`a=0.57, b=0.19,
     /// c=0.19, d=0.05`), a good default for social-network-like graphs.
-    pub const GRAPH500: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+    pub const GRAPH500: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
 
     /// Validates that the probabilities are non-negative and sum to ~1.
     pub fn validate(&self) -> bool {
         let sum = self.a + self.b + self.c + self.d;
-        self.a >= 0.0
-            && self.b >= 0.0
-            && self.c >= 0.0
-            && self.d >= 0.0
-            && (sum - 1.0).abs() < 1e-6
+        self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0 && (sum - 1.0).abs() < 1e-6
     }
 }
 
@@ -63,7 +64,10 @@ impl Default for RmatParams {
 /// Panics if `params` does not describe a probability distribution or if
 /// `scale` is 0 or large enough to overflow (`scale >= 32`).
 pub fn rmat(scale: u32, edges: u64, params: RmatParams, seed: u64) -> EdgeStream {
-    assert!(params.validate(), "R-MAT quadrant probabilities must be a distribution");
+    assert!(
+        params.validate(),
+        "R-MAT quadrant probabilities must be a distribution"
+    );
     assert!((1..32).contains(&scale), "scale must be in [1, 31]");
     let mut rng = SmallRng::seed_from_u64(seed);
     let n: u64 = 1 << scale;
@@ -126,8 +130,20 @@ mod tests {
     fn graph500_params_are_valid() {
         assert!(RmatParams::GRAPH500.validate());
         assert!(RmatParams::default().validate());
-        assert!(!RmatParams { a: 0.9, b: 0.3, c: 0.1, d: 0.1 }.validate());
-        assert!(!RmatParams { a: -0.1, b: 0.5, c: 0.3, d: 0.3 }.validate());
+        assert!(!RmatParams {
+            a: 0.9,
+            b: 0.3,
+            c: 0.1,
+            d: 0.1
+        }
+        .validate());
+        assert!(!RmatParams {
+            a: -0.1,
+            b: 0.5,
+            c: 0.3,
+            d: 0.3
+        }
+        .validate());
     }
 
     #[test]
@@ -142,12 +158,7 @@ mod tests {
     fn vertex_ids_stay_below_two_to_scale() {
         let scale = 8u32;
         let s = rmat(scale, 2_000, RmatParams::GRAPH500, 5);
-        let max_id = s
-            .vertices()
-            .into_iter()
-            .map(|v| v.raw())
-            .max()
-            .unwrap();
+        let max_id = s.vertices().into_iter().map(|v| v.raw()).max().unwrap();
         assert!(max_id < 1 << scale);
     }
 
@@ -174,7 +185,17 @@ mod tests {
     #[test]
     #[should_panic]
     fn invalid_params_panic() {
-        let _ = rmat(10, 100, RmatParams { a: 0.9, b: 0.9, c: 0.0, d: 0.0 }, 1);
+        let _ = rmat(
+            10,
+            100,
+            RmatParams {
+                a: 0.9,
+                b: 0.9,
+                c: 0.0,
+                d: 0.0,
+            },
+            1,
+        );
     }
 
     #[test]
@@ -187,7 +208,12 @@ mod tests {
     fn uniform_quadrants_resemble_erdos_renyi() {
         // With equal quadrant probabilities the degree distribution should be
         // much flatter than with GRAPH500 parameters.
-        let uniform = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+        let uniform = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+        };
         let s = rmat(12, 20_000, uniform, 6);
         let t = DegreeTable::from_stream(&s);
         assert!(t.max_degree() < 50, "max degree {}", t.max_degree());

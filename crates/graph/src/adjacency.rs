@@ -49,8 +49,11 @@ impl Adjacency {
             vertex_ids.extend(seen.keys().copied());
         }
         vertex_ids.sort_unstable();
-        let index_of: HashMap<VertexId, usize> =
-            vertex_ids.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let index_of: HashMap<VertexId, usize> = vertex_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
         let n = vertex_ids.len();
 
         // Deduplicate edges (simple graph) in dense index space.
@@ -94,7 +97,13 @@ impl Adjacency {
             neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
         }
 
-        Self { vertex_ids, index_of, offsets, neighbors, num_edges }
+        Self {
+            vertex_ids,
+            index_of,
+            offsets,
+            neighbors,
+            num_edges,
+        }
     }
 
     /// Number of vertices `n`.
@@ -142,7 +151,10 @@ impl Adjacency {
 
     /// Maximum degree Δ over all vertices (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices()).map(|i| self.degree_dense(i)).max().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|i| self.degree_dense(i))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Neighbors (dense indices, sorted) of the vertex with dense index `idx`.
@@ -154,9 +166,11 @@ impl Adjacency {
     pub fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
         match self.dense_index(v) {
             None => Vec::new(),
-            Some(i) => {
-                self.neighbors_dense(i).iter().map(|&j| self.vertex_ids[j as usize]).collect()
-            }
+            Some(i) => self
+                .neighbors_dense(i)
+                .iter()
+                .map(|&j| self.vertex_ids[j as usize])
+                .collect(),
         }
     }
 
@@ -165,7 +179,11 @@ impl Adjacency {
         match (self.dense_index(a), self.dense_index(b)) {
             (Some(i), Some(j)) => {
                 // Search from the lower-degree endpoint.
-                let (i, j) = if self.degree_dense(i) <= self.degree_dense(j) { (i, j) } else { (j, i) };
+                let (i, j) = if self.degree_dense(i) <= self.degree_dense(j) {
+                    (i, j)
+                } else {
+                    (j, i)
+                };
                 self.neighbors_dense(i).binary_search(&(j as u32)).is_ok()
             }
             _ => false,
@@ -176,10 +194,9 @@ impl Adjacency {
     /// the edge `{a, b}` participates in when the edge exists.
     pub fn common_neighbor_count(&self, a: VertexId, b: VertexId) -> usize {
         match (self.dense_index(a), self.dense_index(b)) {
-            (Some(i), Some(j)) => sorted_intersection_count(
-                self.neighbors_dense(i),
-                self.neighbors_dense(j),
-            ),
+            (Some(i), Some(j)) => {
+                sorted_intersection_count(self.neighbors_dense(i), self.neighbors_dense(j))
+            }
             _ => 0,
         }
     }
@@ -299,8 +316,11 @@ mod tests {
     #[test]
     fn path_graph_structure() {
         // Path 1-2-3-4: degrees 1,2,2,1; no common neighbors along edges.
-        let edges =
-            vec![Edge::new(1u64, 2u64), Edge::new(2u64, 3u64), Edge::new(3u64, 4u64)];
+        let edges = vec![
+            Edge::new(1u64, 2u64),
+            Edge::new(2u64, 3u64),
+            Edge::new(3u64, 4u64),
+        ];
         let g = Adjacency::from_edges(&edges);
         assert_eq!(g.degree(VertexId(1)), 1);
         assert_eq!(g.degree(VertexId(2)), 2);

@@ -143,8 +143,12 @@ impl DegreeHistogram {
         if total == 0 {
             return 0.0;
         }
-        let below: usize =
-            self.buckets.iter().filter(|&&(d, _)| d <= threshold).map(|&(_, c)| c).sum();
+        let below: usize = self
+            .buckets
+            .iter()
+            .filter(|&&(d, _)| d <= threshold)
+            .map(|&(_, c)| c)
+            .sum();
         below as f64 / total as f64
     }
 }
@@ -154,7 +158,9 @@ mod tests {
     use super::*;
 
     fn star_edges(center: u64, leaves: u64) -> Vec<Edge> {
-        (1..=leaves).map(|i| Edge::new(center, center + i)).collect()
+        (1..=leaves)
+            .map(|i| Edge::new(center, center + i))
+            .collect()
     }
 
     #[test]
@@ -179,7 +185,11 @@ mod tests {
 
     #[test]
     fn wedge_count_of_triangle_is_three() {
-        let edges = vec![Edge::new(1u64, 2u64), Edge::new(2u64, 3u64), Edge::new(1u64, 3u64)];
+        let edges = vec![
+            Edge::new(1u64, 2u64),
+            Edge::new(2u64, 3u64),
+            Edge::new(1u64, 3u64),
+        ];
         let t = DegreeTable::from_edges(&edges);
         assert_eq!(t.wedge_count(), 3);
     }

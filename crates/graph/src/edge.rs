@@ -10,9 +10,7 @@ use std::fmt;
 /// Edges are stored in normalised form (`u < v`), so two edges compare equal
 /// regardless of the endpoint order they were constructed with. Self-loops
 /// are rejected: the paper assumes a simple graph (§1).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Edge {
     u: VertexId,
     v: VertexId,
@@ -28,7 +26,11 @@ impl Edge {
         if a == b {
             return Err(GraphError::SelfLoop { vertex: a });
         }
-        Ok(if a < b { Edge { u: a, v: b } } else { Edge { u: b, v: a } })
+        Ok(if a < b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        })
     }
 
     /// Creates an edge between `a` and `b`, panicking on a self-loop.
@@ -69,8 +71,7 @@ impl Edge {
     /// because the graph is simple and N(e) only holds later edges).
     #[inline]
     pub fn is_adjacent(&self, other: &Edge) -> bool {
-        self != other
-            && (self.contains(other.u) || self.contains(other.v))
+        self != other && (self.contains(other.u) || self.contains(other.v))
     }
 
     /// The shared endpoint of two adjacent edges, if there is exactly one.
@@ -167,7 +168,9 @@ mod tests {
     fn self_loops_are_rejected() {
         assert!(matches!(
             Edge::try_new(VertexId(3), VertexId(3)),
-            Err(GraphError::SelfLoop { vertex: VertexId(3) })
+            Err(GraphError::SelfLoop {
+                vertex: VertexId(3)
+            })
         ));
     }
 
@@ -193,7 +196,10 @@ mod tests {
         assert!(e(1, 2).is_adjacent(&e(2, 3)));
         assert!(e(1, 2).is_adjacent(&e(0, 1)));
         assert!(!e(1, 2).is_adjacent(&e(3, 4)));
-        assert!(!e(1, 2).is_adjacent(&e(1, 2)), "an edge is not adjacent to itself");
+        assert!(
+            !e(1, 2).is_adjacent(&e(1, 2)),
+            "an edge is not adjacent to itself"
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::SelfLoop { vertex } => {
-                write!(f, "self-loop at vertex {vertex} is not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop at vertex {vertex} is not allowed in a simple graph"
+                )
             }
             GraphError::Parse { line, content } => {
                 write!(f, "cannot parse edge-list line {line}: {content:?}")
@@ -62,11 +65,16 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::SelfLoop { vertex: VertexId(5) };
+        let e = GraphError::SelfLoop {
+            vertex: VertexId(5),
+        };
         assert!(e.to_string().contains("self-loop"));
         assert!(e.to_string().contains('5'));
 
-        let e = GraphError::Parse { line: 12, content: "a b c".into() };
+        let e = GraphError::Parse {
+            line: 12,
+            content: "a b c".into(),
+        };
         assert!(e.to_string().contains("12"));
 
         let e = GraphError::EmptyGraph;

@@ -31,7 +31,10 @@ pub fn count_k_cliques(adj: &Adjacency, k: usize) -> u64 {
                 // Forward neighbors of v.
                 candidates.clear();
                 candidates.extend(
-                    adj.neighbors_dense(v).iter().copied().filter(|&u| (u as usize) > v),
+                    adj.neighbors_dense(v)
+                        .iter()
+                        .copied()
+                        .filter(|&u| (u as usize) > v),
                 );
                 count += extend_clique(adj, &candidates, k - 1);
             }
@@ -115,11 +118,7 @@ mod tests {
         for n in 4..=8u64 {
             let g = complete_graph(n);
             for k in 1..=5usize {
-                assert_eq!(
-                    count_k_cliques(&g, k),
-                    binom(n, k as u64),
-                    "K_{n}, k={k}"
-                );
+                assert_eq!(count_k_cliques(&g, k), binom(n, k as u64), "K_{n}, k={k}");
             }
         }
     }

@@ -27,7 +27,6 @@ pub use cliques::{count_four_cliques, count_k_cliques};
 pub use tangle::{edge_neighborhood_sizes, tangle_coefficient, TangleProfile};
 pub use transitivity::{average_clustering_coefficient, transitivity_coefficient};
 pub use triangles::{
-    count_triangles, list_triangles, per_edge_triangle_counts, per_vertex_triangle_counts,
-    Triangle,
+    count_triangles, list_triangles, per_edge_triangle_counts, per_vertex_triangle_counts, Triangle,
 };
 pub use wedges::{count_open_triples, count_wedges};

@@ -73,8 +73,7 @@ pub fn tangle_coefficient(stream: &EdgeStream) -> TangleProfile {
     let triangles = list_triangles(&adj);
     let tau = triangles.len() as u64;
     let c_values = edge_neighborhood_sizes(stream);
-    let positions: HashMap<Edge, u64> =
-        stream.iter_positioned().map(|(p, e)| (e, p)).collect();
+    let positions: HashMap<Edge, u64> = stream.iter_positioned().map(|(p, e)| (e, p)).collect();
 
     let mut total = 0u64;
     for t in &triangles {
@@ -88,7 +87,11 @@ pub fn tangle_coefficient(stream: &EdgeStream) -> TangleProfile {
 
     let delta = adj.max_degree() as f64;
     TangleProfile {
-        gamma: if tau == 0 { 0.0 } else { total as f64 / tau as f64 },
+        gamma: if tau == 0 {
+            0.0
+        } else {
+            total as f64 / tau as f64
+        },
         two_delta: 2.0 * delta,
         triangles: tau,
         total_first_edge_neighborhood: total,
@@ -121,7 +124,11 @@ mod tests {
         // Claim 3.9 of the paper: Σ_e c(e) = ζ(G), for any stream order.
         let s = stream(&[(1, 2), (2, 3), (1, 3), (3, 4), (4, 5), (2, 5), (1, 5)]);
         let zeta = crate::exact::wedges::count_wedges(&Adjacency::from_stream(&s));
-        for order in [StreamOrder::Natural, StreamOrder::Shuffled(3), StreamOrder::Reversed] {
+        for order in [
+            StreamOrder::Natural,
+            StreamOrder::Shuffled(3),
+            StreamOrder::Reversed,
+        ] {
             let r = s.reordered(order);
             let total: u64 = edge_neighborhood_sizes(&r).values().sum();
             assert_eq!(total, zeta, "order {order:?}");

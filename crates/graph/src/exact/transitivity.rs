@@ -67,7 +67,10 @@ mod tests {
             }
             let g = adjacency(&pairs);
             assert!((transitivity_coefficient(&g) - 1.0).abs() < 1e-12, "K_{n}");
-            assert!((average_clustering_coefficient(&g) - 1.0).abs() < 1e-12, "K_{n}");
+            assert!(
+                (average_clustering_coefficient(&g) - 1.0).abs() < 1e-12,
+                "K_{n}"
+            );
         }
     }
 

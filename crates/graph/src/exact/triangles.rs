@@ -26,7 +26,10 @@ impl Triangle {
     ///
     /// Panics if the vertices are not pairwise distinct.
     pub fn new(a: VertexId, b: VertexId, c: VertexId) -> Self {
-        assert!(a != b && b != c && a != c, "triangle vertices must be distinct");
+        assert!(
+            a != b && b != c && a != c,
+            "triangle vertices must be distinct"
+        );
         let mut v = [a, b, c];
         v.sort_unstable();
         Self { vertices: v }
@@ -129,11 +132,11 @@ pub fn per_edge_triangle_counts(adj: &Adjacency) -> HashMap<Edge, u64> {
 
 /// For every vertex, the number of triangles it participates in.
 pub fn per_vertex_triangle_counts(adj: &Adjacency) -> HashMap<VertexId, u64> {
-    let mut out: HashMap<VertexId, u64> =
-        adj.vertex_ids().iter().map(|&v| (v, 0)).collect();
+    let mut out: HashMap<VertexId, u64> = adj.vertex_ids().iter().map(|&v| (v, 0)).collect();
     for t in list_triangles(adj) {
         for v in t.vertices() {
-            *out.get_mut(&v).expect("triangle vertex must be in the graph") += 1;
+            *out.get_mut(&v)
+                .expect("triangle vertex must be in the graph") += 1;
         }
     }
     out
@@ -192,7 +195,10 @@ mod tests {
     fn triangle_free_graphs_have_zero() {
         // A path and a 4-cycle.
         assert_eq!(count_triangles(&adjacency(&[(1, 2), (2, 3), (3, 4)])), 0);
-        assert_eq!(count_triangles(&adjacency(&[(1, 2), (2, 3), (3, 4), (4, 1)])), 0);
+        assert_eq!(
+            count_triangles(&adjacency(&[(1, 2), (2, 3), (3, 4), (4, 1)])),
+            0
+        );
         assert_eq!(count_triangles(&Adjacency::from_edges(&[])), 0);
     }
 

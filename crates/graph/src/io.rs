@@ -34,15 +34,20 @@ pub fn read_edge_list<R: Read>(reader: R, dedup: bool) -> Result<EdgeStream, Gra
         let (a, b) = match (parts.next(), parts.next()) {
             (Some(a), Some(b)) => (a, b),
             _ => {
-                return Err(GraphError::Parse { line: idx + 1, content: line.clone() });
+                return Err(GraphError::Parse {
+                    line: idx + 1,
+                    content: line.clone(),
+                });
             }
         };
-        let a: u64 = a
-            .parse()
-            .map_err(|_| GraphError::Parse { line: idx + 1, content: line.clone() })?;
-        let b: u64 = b
-            .parse()
-            .map_err(|_| GraphError::Parse { line: idx + 1, content: line.clone() })?;
+        let a: u64 = a.parse().map_err(|_| GraphError::Parse {
+            line: idx + 1,
+            content: line.clone(),
+        })?;
+        let b: u64 = b.parse().map_err(|_| GraphError::Parse {
+            line: idx + 1,
+            content: line.clone(),
+        })?;
         if a == b {
             continue;
         }

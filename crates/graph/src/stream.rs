@@ -10,8 +10,8 @@
 use crate::edge::Edge;
 use crate::error::GraphError;
 use crate::vertex::VertexId;
-use rand::seq::SliceRandom;
 use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashSet;
 
@@ -110,7 +110,10 @@ impl EdgeStream {
     /// Iterates over `(position, edge)` pairs with 1-based positions, the
     /// paper's `e_i` indexing.
     pub fn iter_positioned(&self) -> impl Iterator<Item = (u64, Edge)> + '_ {
-        self.edges.iter().enumerate().map(|(i, &e)| ((i + 1) as u64, e))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| ((i + 1) as u64, e))
     }
 
     /// Iterates over the edges in arrival order.
@@ -126,7 +129,11 @@ impl EdgeStream {
     /// Panics if `batch_size` is zero.
     pub fn batches(&self, batch_size: usize) -> EdgeBatches<'_> {
         assert!(batch_size > 0, "batch size must be positive");
-        EdgeBatches { edges: &self.edges, batch_size, cursor: 0 }
+        EdgeBatches {
+            edges: &self.edges,
+            batch_size,
+            cursor: 0,
+        }
     }
 
     /// The number of distinct vertices appearing in the stream.
@@ -230,7 +237,11 @@ mod tests {
     use super::*;
 
     fn triangle_stream() -> EdgeStream {
-        EdgeStream::new(vec![Edge::new(1u64, 2u64), Edge::new(2u64, 3u64), Edge::new(1u64, 3u64)])
+        EdgeStream::new(vec![
+            Edge::new(1u64, 2u64),
+            Edge::new(2u64, 3u64),
+            Edge::new(1u64, 3u64),
+        ])
     }
 
     #[test]
@@ -242,10 +253,7 @@ mod tests {
         assert_eq!(s.get(1), Some(Edge::new(1u64, 2u64)));
         assert_eq!(s.get(0), None);
         assert_eq!(s.get(4), None);
-        assert_eq!(
-            s.vertices(),
-            vec![VertexId(1), VertexId(2), VertexId(3)]
-        );
+        assert_eq!(s.vertices(), vec![VertexId(1), VertexId(2), VertexId(3)]);
     }
 
     #[test]

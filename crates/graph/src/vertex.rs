@@ -91,7 +91,9 @@ mod tests {
     #[test]
     fn ordering_and_hashing() {
         assert!(VertexId(1) < VertexId(2));
-        let set: HashSet<VertexId> = [VertexId(1), VertexId(1), VertexId(2)].into_iter().collect();
+        let set: HashSet<VertexId> = [VertexId(1), VertexId(1), VertexId(2)]
+            .into_iter()
+            .collect();
         assert_eq!(set.len(), 2);
     }
 

@@ -49,14 +49,14 @@ pub fn median_of_means(values: &[f64], groups: usize) -> f64 {
         return 0.0;
     }
     if groups <= 1 || values.len() <= groups {
-        return if groups <= 1 { mean(values) } else { median(values) };
+        return if groups <= 1 {
+            mean(values)
+        } else {
+            median(values)
+        };
     }
     let group_size = values.len() / groups;
-    let means: Vec<f64> = values
-        .chunks(group_size)
-        .take(groups)
-        .map(mean)
-        .collect();
+    let means: Vec<f64> = values.chunks(group_size).take(groups).map(mean).collect();
     median(&means)
 }
 
@@ -77,7 +77,13 @@ pub fn mean_deviation(estimates: &[f64], truth: f64) -> f64 {
     if estimates.is_empty() {
         return 0.0;
     }
-    100.0 * mean(&estimates.iter().map(|&e| relative_error(e, truth)).collect::<Vec<_>>())
+    100.0
+        * mean(
+            &estimates
+                .iter()
+                .map(|&e| relative_error(e, truth))
+                .collect::<Vec<_>>(),
+        )
 }
 
 /// Incremental (online) mean, usable when estimates are produced one at a

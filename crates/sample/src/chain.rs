@@ -48,7 +48,11 @@ impl<T> ChainSampler<T> {
     /// Panics if `window` is zero.
     pub fn new(window: u64) -> Self {
         assert!(window > 0, "window size must be positive");
-        Self { window, now: 0, chain: Vec::new() }
+        Self {
+            window,
+            now: 0,
+            chain: Vec::new(),
+        }
     }
 
     /// The window size `w`.
@@ -107,7 +111,11 @@ impl<T> ChainSampler<T> {
         // Expire chain elements that fell out of the window. Only a prefix
         // can expire because positions are strictly increasing along the
         // chain.
-        let expired = self.chain.iter().take_while(|e| e.position < oldest_allowed).count();
+        let expired = self
+            .chain
+            .iter()
+            .take_while(|e| e.position < oldest_allowed)
+            .count();
         if expired > 0 {
             self.chain.drain(0..expired);
         }
@@ -123,7 +131,11 @@ impl<T> ChainSampler<T> {
                 break;
             }
         }
-        self.chain.push(ChainEntry { position: self.now, priority, payload });
+        self.chain.push(ChainEntry {
+            position: self.now,
+            priority,
+            payload,
+        });
 
         self.chain.first().map(|e| e.position) != old_head_pos
     }

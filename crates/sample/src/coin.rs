@@ -92,7 +92,10 @@ mod tests {
             assert!((10..=15).contains(&v));
             seen[(v - 10) as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all values in [10,15] should appear");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values in [10,15] should appear"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl<T> Default for ReservoirOne<T> {
 impl<T> ReservoirOne<T> {
     /// Creates an empty reservoir.
     pub fn new() -> Self {
-        Self { item: None, seen: 0 }
+        Self {
+            item: None,
+            seen: 0,
+        }
     }
 
     /// Observes the next item in the stream. Returns `true` if the item was
@@ -82,7 +85,11 @@ impl<T> ReservoirK<T> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "reservoir capacity must be positive");
-        Self { capacity, items: Vec::with_capacity(capacity), seen: 0 }
+        Self {
+            capacity,
+            items: Vec::with_capacity(capacity),
+            seen: 0,
+        }
     }
 
     /// Observes the next item in the stream.

@@ -20,12 +20,21 @@ pub struct GeometricSkip {
     /// Index of the last success generated (0 = none yet). Indices are
     /// 1-based positions in the trial sequence.
     cursor: u64,
+    /// A success already drawn but beyond the limit of the
+    /// [`successes_up_to`](Self::successes_up_to) call that drew it. It must
+    /// be served first by the next draw — re-drawing instead would shift the
+    /// process and can even emit a position at or before the old limit.
+    pending: Option<u64>,
 }
 
 impl GeometricSkip {
     /// Creates a generator for success probability `p ∈ [0, 1]`.
     pub fn new(p: f64) -> Self {
-        Self { p: p.clamp(0.0, 1.0), cursor: 0 }
+        Self {
+            p: p.clamp(0.0, 1.0),
+            cursor: 0,
+            pending: None,
+        }
     }
 
     /// The success probability.
@@ -41,6 +50,9 @@ impl GeometricSkip {
         if self.p <= 0.0 {
             return None;
         }
+        if let Some(pos) = self.pending.take() {
+            return Some(pos);
+        }
         if self.p >= 1.0 {
             self.cursor += 1;
             return Some(self.cursor);
@@ -49,7 +61,11 @@ impl GeometricSkip {
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
         let gap = (u.ln() / (1.0 - self.p).ln()).ceil().max(1.0);
         // Saturate on astronomically large gaps rather than overflowing.
-        let gap = if gap >= u64::MAX as f64 { u64::MAX - self.cursor } else { gap as u64 };
+        let gap = if gap >= u64::MAX as f64 {
+            u64::MAX - self.cursor
+        } else {
+            gap as u64
+        };
         self.cursor = self.cursor.saturating_add(gap);
         Some(self.cursor)
     }
@@ -63,14 +79,12 @@ impl GeometricSkip {
             return out;
         }
         loop {
-            // Peek by cloning the cursor state: we must not consume a success
-            // that lies beyond `limit`, because the caller will ask for the
-            // next range later.
-            let saved = self.cursor;
             match self.next_success(rng) {
                 Some(pos) if pos <= limit => out.push(pos),
-                Some(_) => {
-                    self.cursor = saved;
+                Some(pos) => {
+                    // Already drawn, belongs to a later range: park it for
+                    // the next call instead of discarding the draw.
+                    self.pending = Some(pos);
                     break;
                 }
                 None => break,
@@ -83,6 +97,7 @@ impl GeometricSkip {
     /// when positions are interpreted relative to that batch).
     pub fn reset(&mut self) {
         self.cursor = 0;
+        self.pending = None;
     }
 }
 
@@ -162,6 +177,9 @@ mod tests {
         let _ = g.successes_up_to(&mut rg, 100);
         g.reset();
         let pos = g.next_success(&mut rg).unwrap();
-        assert!((1..50).contains(&pos), "after reset positions restart near 1, got {pos}");
+        assert!(
+            (1..50).contains(&pos),
+            "after reset positions restart near 1, got {pos}"
+        );
     }
 }

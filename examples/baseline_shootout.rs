@@ -24,19 +24,35 @@ fn main() {
     let stream = &stand_in.stream;
     let summary = GraphSummary::of_stream(stream);
     let truth = summary.triangles as f64;
-    println!("workload: {} -> {}", stand_in.kind.spec().name, summary.one_line());
+    println!(
+        "workload: {} -> {}",
+        stand_in.kind.spec().name,
+        summary.one_line()
+    );
     let r = 20_000usize;
     println!("estimators per algorithm: r = {r}\n");
 
     let start = Instant::now();
     let mut exact = ExactStreamingCounter::new();
     exact.process_edges(stream.edges());
-    report("exact streaming", truth, exact.triangles() as f64, start.elapsed().as_secs_f64(), "O(m) memory");
+    report(
+        "exact streaming",
+        truth,
+        exact.triangles() as f64,
+        start.elapsed().as_secs_f64(),
+        "O(m) memory",
+    );
 
     let start = Instant::now();
     let mut ours = BulkTriangleCounter::new(r, 3);
     ours.process_stream(stream.edges(), 8 * r);
-    report("neighborhood sampling", truth, ours.estimate(), start.elapsed().as_secs_f64(), "O(r) memory, O(m+r) time");
+    report(
+        "neighborhood sampling",
+        truth,
+        ours.estimate(),
+        start.elapsed().as_secs_f64(),
+        "O(r) memory, O(m+r) time",
+    );
 
     let start = Instant::now();
     let mut jg = JowhariGhodsiCounter::new(r, 3);
@@ -46,7 +62,10 @@ fn main() {
         truth,
         jg.estimate(),
         start.elapsed().as_secs_f64(),
-        &format!("O(r*Delta) memory ({} stored entries)", jg.total_stored_entries()),
+        &format!(
+            "O(r*Delta) memory ({} stored entries)",
+            jg.total_stored_entries()
+        ),
     );
 
     let start = Instant::now();
@@ -57,7 +76,10 @@ fn main() {
         truth,
         buriol.estimate(),
         start.elapsed().as_secs_f64(),
-        &format!("{} of {r} estimators found a triangle", buriol.estimators_with_triangle()),
+        &format!(
+            "{} of {r} estimators found a triangle",
+            buriol.estimators_with_triangle()
+        ),
     );
 
     let start = Instant::now();

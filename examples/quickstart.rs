@@ -14,7 +14,11 @@ fn main() {
     //    `EdgeStream`; here we use a generator with a known ground truth:
     //    300 planted triangles plus 600 triangle-free noise edges.
     let stream = tristream::gen::planted_triangles(300, 600, 42);
-    println!("stream: {} edges over {} vertices", stream.len(), stream.vertex_count());
+    println!(
+        "stream: {} edges over {} vertices",
+        stream.len(),
+        stream.vertex_count()
+    );
 
     // 2. Exact ground truth (offline, for comparison only).
     let summary = GraphSummary::of_stream(&stream);

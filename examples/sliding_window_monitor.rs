@@ -39,7 +39,10 @@ fn main() {
     let mut whole_stream = TriangleCounter::new(3_000, 7);
 
     println!("window = {window} edges, stream = {} edges", edges.len());
-    println!("{:>8}  {:>16}  {:>18}", "edges", "window tau-hat", "whole-stream tau-hat");
+    println!(
+        "{:>8}  {:>16}  {:>18}",
+        "edges", "window tau-hat", "whole-stream tau-hat"
+    );
 
     let step = edges.len() / checkpoints;
     for (i, &e) in edges.iter().enumerate() {

@@ -50,7 +50,11 @@ fn one_at_a_time_and_bulk_agree_with_each_other() {
 fn estimates_are_insensitive_to_stream_order() {
     let base = clustered_stream();
     let truth = exact::count_triangles(&Adjacency::from_stream(&base)) as f64;
-    for order in [StreamOrder::Natural, StreamOrder::Shuffled(9), StreamOrder::Reversed] {
+    for order in [
+        StreamOrder::Natural,
+        StreamOrder::Shuffled(9),
+        StreamOrder::Reversed,
+    ] {
         let stream = base.reordered(order);
         let mut counter = BulkTriangleCounter::new(30_000, 7);
         counter.process_stream(stream.edges(), 65_536);
@@ -83,7 +87,9 @@ fn sampled_triangles_exist_in_the_graph() {
     let triangles = exact::list_triangles(&Adjacency::from_stream(&stream));
     let mut sampler = TriangleSampler::new(6_000, 13);
     sampler.process_edges(stream.edges());
-    let samples = sampler.sample_k(5).expect("plenty of acceptances at this pool size");
+    let samples = sampler
+        .sample_k(5)
+        .expect("plenty of acceptances at this pool size");
     for t in samples {
         assert!(Edge::forms_triangle(&t[0], &t[1], &t[2]));
         let mut vs: Vec<VertexId> = t.iter().flat_map(|e| [e.u(), e.v()]).collect();
@@ -91,7 +97,10 @@ fn sampled_triangles_exist_in_the_graph() {
         vs.dedup();
         assert_eq!(vs.len(), 3);
         let as_exact = tristream::graph::exact::Triangle::new(vs[0], vs[1], vs[2]);
-        assert!(triangles.contains(&as_exact), "sampled triangle not in graph");
+        assert!(
+            triangles.contains(&as_exact),
+            "sampled triangle not in graph"
+        );
     }
 }
 
@@ -119,7 +128,9 @@ fn four_clique_pipeline_matches_exact_on_a_dense_community() {
 #[test]
 fn sliding_window_tracks_the_recent_suffix() {
     // Prefix of noise, suffix containing a dense K7; window covers the suffix.
-    let mut edges: Vec<Edge> = (0..500u64).map(|i| Edge::new(10_000 + i, 10_001 + i)).collect();
+    let mut edges: Vec<Edge> = (0..500u64)
+        .map(|i| Edge::new(10_000 + i, 10_001 + i))
+        .collect();
     for i in 0..7u64 {
         for j in (i + 1)..7 {
             edges.push(Edge::new(i, j));

@@ -17,12 +17,12 @@ fn geometric_skip_and_per_estimator_strategies_agree() {
     let stream = workload();
     let truth = exact::count_triangles(&Adjacency::from_stream(&stream)) as f64;
 
-    let mut per_estimator = BulkTriangleCounter::new(20_000, 3)
-        .with_level1_strategy(Level1Strategy::PerEstimator);
+    let mut per_estimator =
+        BulkTriangleCounter::new(20_000, 3).with_level1_strategy(Level1Strategy::PerEstimator);
     per_estimator.process_stream(stream.edges(), 16_384);
 
-    let mut geometric = BulkTriangleCounter::new(20_000, 3)
-        .with_level1_strategy(Level1Strategy::GeometricSkip);
+    let mut geometric =
+        BulkTriangleCounter::new(20_000, 3).with_level1_strategy(Level1Strategy::GeometricSkip);
     geometric.process_stream(stream.edges(), 16_384);
 
     for (name, est) in [
@@ -61,7 +61,10 @@ fn shared_pool_transitivity_matches_two_pool_variant() {
     let mut shared = TransitivityEstimator::new_shared_pool(15_000, 5);
     shared.process_edges(stream.edges());
 
-    for (name, est) in [("two-pool", two_pool.estimate()), ("shared-pool", shared.estimate())] {
+    for (name, est) in [
+        ("two-pool", two_pool.estimate()),
+        ("shared-pool", shared.estimate()),
+    ] {
         assert!(
             (est - kappa).abs() < 0.25 * kappa,
             "{name}: kappa-hat {est} vs exact {kappa}"

@@ -1,0 +1,344 @@
+//! Offline vendored stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness.
+//!
+//! The tristream build environment cannot reach crates.io, so this
+//! workspace-local crate keeps the five `crates/bench/benches/*.rs` files
+//! compiling and running unmodified. It reproduces the API shape, not the
+//! statistics: each benchmark is warmed up, then timed for a fixed number
+//! of samples, and the median/min/max per-iteration times are printed in a
+//! criterion-like `time: [low median high]` line.
+//!
+//! Differences from real criterion (all invisible at the call sites):
+//!
+//! * no outlier analysis, no regression baselines, no HTML reports;
+//! * `Throughput` is used to print elements/sec alongside the time;
+//! * under `cargo test` (cargo passes `--test` to `harness = false` bench
+//!   targets) every benchmark body runs exactly once, as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    /// Run each benchmark body once, without timing loops (`--test` mode).
+    test_mode: bool,
+    /// Substring filter from the CLI, as in `cargo bench -- <filter>`.
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        Self {
+            test_mode,
+            filter,
+            sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(name, None, sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&self, id: &str, throughput: Option<&Throughput>, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut bencher = Bencher {
+                mode: Mode::Once,
+                samples: Vec::new(),
+            };
+            f(&mut bencher);
+            println!("test-mode {id}: ok");
+            return;
+        }
+
+        let mut bencher = Bencher {
+            mode: Mode::Measure { samples },
+            samples: Vec::with_capacity(samples),
+        };
+        f(&mut bencher);
+        let mut times = bencher.samples;
+        if times.is_empty() {
+            println!("{id:<50} (no samples — bencher.iter never called)");
+            return;
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let low = times[0];
+        let high = times[times.len() - 1];
+        let rate = throughput.map(|t| t.describe(median)).unwrap_or_default();
+        println!(
+            "{id:<50} time: [{} {} {}]{rate}",
+            format_duration(low),
+            format_duration(median),
+            format_duration(high),
+        );
+    }
+}
+
+enum Mode {
+    /// `cargo test` smoke mode: run the closure once, untimed.
+    Once,
+    /// `cargo bench` mode: warm up, then record this many timed samples.
+    Measure { samples: usize },
+}
+
+/// Passed to each benchmark closure; its [`iter`](Bencher::iter) method
+/// runs and times the benchmarked routine.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Call `routine` repeatedly and record per-call wall-clock times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Once => {
+                black_box(routine());
+            }
+            Mode::Measure { samples } => {
+                // Warm-up: run until ~50 ms have elapsed (at least once).
+                let warmup_deadline = Instant::now() + Duration::from_millis(50);
+                loop {
+                    black_box(routine());
+                    if Instant::now() >= warmup_deadline {
+                        break;
+                    }
+                }
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    black_box(routine());
+                    self.samples.push(start.elapsed());
+                }
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix, sample size and
+/// throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotate benchmarks with input size so a rate is reported.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark `f` under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion
+            .run_one(&full, self.throughput.as_ref(), samples, f);
+        self
+    }
+
+    /// Benchmark `f` with an explicit input value, under
+    /// `group_name/function/parameter`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion
+            .run_one(&full, self.throughput.as_ref(), samples, |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing-only in this shim; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifies a benchmark as `function_name/parameter`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Input-size annotation used to report a processing rate.
+pub enum Throughput {
+    /// Number of logical elements (edges, for tristream) per iteration.
+    Elements(u64),
+    /// Number of bytes per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn describe(&self, per_iter: Duration) -> String {
+        let secs = per_iter.as_secs_f64().max(1e-12);
+        match self {
+            Throughput::Elements(n) => {
+                format!("  thrpt: {:.3} Melem/s", *n as f64 / secs / 1e6)
+            }
+            Throughput::Bytes(n) => {
+                format!("  thrpt: {:.3} MiB/s", *n as f64 / secs / (1024.0 * 1024.0))
+            }
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Define a benchmark group function. Supports both criterion invocation
+/// forms used in the wild:
+///
+/// ```ignore
+/// criterion_group!(benches, bench_a, bench_b);
+/// criterion_group!(name = benches; config = Criterion::default(); targets = bench_a);
+/// ```
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+            sample_size: 5,
+        };
+        let mut ran = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(10);
+            group.throughput(Throughput::Elements(100));
+            group.bench_function("f", |b| b.iter(|| ran += 1));
+            group.bench_with_input(BenchmarkId::new("with", 3), &3, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            group.finish();
+        }
+        assert!(
+            ran >= 10,
+            "warmup + samples should run the body, ran = {ran}"
+        );
+    }
+
+    #[test]
+    fn test_mode_runs_each_body_once() {
+        let c = Criterion {
+            test_mode: true,
+            filter: None,
+            sample_size: 30,
+        };
+        let mut ran = 0;
+        c.run_one("once", None, 30, |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let c = Criterion {
+            test_mode: true,
+            filter: Some("match-me".into()),
+            sample_size: 30,
+        };
+        let mut ran = 0;
+        c.run_one("other", None, 30, |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 0);
+        c.run_one("does/match-me", None, 30, |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Offline vendored stand-in for
+//! [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Supports the API subset used by `tests/property_based.rs`:
+//!
+//! * [`proptest!`] — the test-defining macro, with an optional leading
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`;
+//! * [`strategy::Strategy`] — value generation with [`prop_map`]
+//!   composition (integer ranges, strategy tuples, and
+//!   [`collection::vec()`]);
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`].
+//!
+//! Semantics match proptest where it matters for these tests: each case
+//! draws fresh inputs from every strategy, assumption failures skip the
+//! case without consuming the case budget, and failures report which case
+//! and RNG seed produced them. The major simplification is **no
+//! shrinking**: a failing input is reported as-is. Generation is
+//! deterministic — case `i` of every test uses seed `PROPTEST_BASE_SEED +
+//! i` (the base defaults to 0 and can be overridden via the
+//! `PROPTEST_BASE_SEED` environment variable to explore different input
+//! sets).
+//!
+//! [`prop_map`]: strategy::Strategy::prop_map
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirror of the real prelude's `prop` module of strategy factories.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Define property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// block becomes a normal `#[test]` that runs the body over `cases`
+/// freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr)
+        $(
+            #[test]
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                // Proptest rejects the whole test if too many cases are
+                // discarded; keep the same guard so vacuous tests fail.
+                let max_attempts = config.cases.saturating_mul(20).max(100);
+                let base_seed: u64 = std::env::var("PROPTEST_BASE_SEED")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0);
+                while accepted < config.cases {
+                    assert!(
+                        attempts < max_attempts,
+                        "{}: gave up after {} attempts with only {}/{} cases \
+                         accepted (too many prop_assume! rejections)",
+                        stringify!($name), attempts, accepted, config.cases,
+                    );
+                    let seed = base_seed.wrapping_add(attempts as u64);
+                    attempts += 1;
+                    let mut runner = $crate::test_runner::TestRunner::new(seed);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &$strategy,
+                            runner.rng(),
+                        );
+                    )+
+                    let case: $crate::test_runner::TestCaseResult =
+                        (|| { $body Ok(()) })();
+                    match case {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject) => continue,
+                        Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                            panic!(
+                                "{}: property failed at case {} (seed {}): {}",
+                                stringify!($name), accepted, seed, message,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Assert a condition inside a `proptest!` body, reporting the failing
+/// case instead of unwinding through the generation loop.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right,
+        );
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+        );
+    }};
+}
+
+/// Discard the current case (without failing) when its inputs don't
+/// satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vec_strategy_honours_size_and_element_ranges(
+            v in prop::collection::vec((0u64..=9, 0u64..=9), 1..20),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (a, b) in v {
+                prop_assert!(a <= 9 && b <= 9);
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(x in (0u64..10).prop_map(|v| v * 2)) {
+            prop_assert!(x % 2 == 0 && x < 20);
+            prop_assume!(x != 4); // exercise the rejection path
+            prop_assert_ne!(x, 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(x in 0u64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+}

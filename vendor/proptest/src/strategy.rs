@@ -1,0 +1,97 @@
+//! Value-generation strategies: the [`Strategy`] trait and the
+//! combinators the tristream test suite uses.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A recipe for generating random values of type
+/// [`Value`](Strategy::Value). Unlike real proptest there is no value
+/// tree and no shrinking — `generate` draws one concrete value.
+pub trait Strategy {
+    type Value;
+
+    /// Draw one value from the strategy.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Transform generated values with `f` (proptest's `prop_map`).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields clones of one value (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}

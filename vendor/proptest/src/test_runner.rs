@@ -1,0 +1,56 @@
+//! Per-case runner state and configuration.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` successful cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Real proptest defaults to 256 cases; so do we.
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; try another case for free.
+    Reject,
+    /// `prop_assert!`-family failure with a rendered message.
+    Fail(String),
+}
+
+/// Result type each generated case evaluates to inside `proptest!`.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Holds the seeded RNG for one generated case.
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// Runner whose strategy draws derive deterministically from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed ^ 0xC0FF_EE00_5EED_5EED),
+        }
+    }
+
+    /// The RNG strategies draw from.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}

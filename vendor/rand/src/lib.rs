@@ -1,0 +1,266 @@
+//! Offline vendored subset of the [`rand`](https://crates.io/crates/rand)
+//! 0.8 API.
+//!
+//! The tristream build environment has no access to crates.io, so this
+//! workspace-local crate provides the exact API surface the workspace uses,
+//! with the same call-site syntax as the real crate:
+//!
+//! * [`Rng`] — `gen`, `gen_range` (half-open and inclusive integer/float
+//!   ranges), `gen_bool`.
+//! * [`SeedableRng`] — `from_seed`, `seed_from_u64` (SplitMix64 expansion,
+//!   like the real `rand`).
+//! * [`rngs::SmallRng`] — a small fast non-cryptographic PRNG. The real
+//!   `rand` uses xoshiro256++ on 64-bit platforms; so does this shim, so
+//!   statistical quality matches the paper reproduction's needs.
+//! * [`seq::SliceRandom`] — `choose` and Fisher–Yates `shuffle`.
+//!
+//! Determinism: everything is seedable and produces a stable sequence for a
+//! given seed on every platform. The concrete streams differ from the real
+//! `rand` crate's (seeding and range-reduction constants differ), so
+//! seed-pinned test expectations are tied to this shim.
+//!
+//! Not implemented (not used by the workspace): `thread_rng`, OS entropy,
+//! distributions beyond uniform, weighted sampling, `fill_bytes`-based
+//! seeding of other RNGs.
+
+pub mod rngs;
+pub mod seq;
+
+/// A source of random `u64`/`u32` values. Mirrors `rand_core::RngCore`
+/// minus the byte-filling API, which the workspace never uses.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random number generator that can be explicitly seeded. Mirrors
+/// `rand_core::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array for every RNG in this shim).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build the RNG from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build the RNG from a single `u64`, expanded through SplitMix64 —
+    /// the same expansion scheme the real `rand` crate documents.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let value = splitmix64(&mut state);
+            let bytes = value.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64 step — used to expand small seeds into full RNG state.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types that [`Rng::gen`] can produce. Stand-in for sampling from the
+/// real crate's `Standard` distribution.
+pub trait Standard: Sized {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (the same
+    /// bits-to-float conversion the real crate uses).
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample from uniformly. Implemented
+/// for half-open and inclusive ranges of the integer and float types the
+/// workspace uses.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! uniform_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + uniform_u64_below(rng, span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain: every value is admissible.
+                    return start.wrapping_add(rng.next_u64() as $t);
+                }
+                start + uniform_u64_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = f64::generate(rng);
+        let value = self.start + (self.end - self.start) * unit;
+        // Guard against rounding up to the excluded endpoint.
+        if value >= self.end {
+            self.start
+        } else {
+            value
+        }
+    }
+}
+
+/// Uniform value in `[0, bound)` via Lemire's multiply-shift reduction
+/// (bias < 2⁻⁶⁴·bound, irrelevant at workspace scales).
+pub(crate) fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`]. Mirrors `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers uniform over the domain).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::generate(self)
+    }
+
+    /// Sample uniformly from `range` (e.g. `rng.gen_range(0..n)` or
+    /// `rng.gen_range(a..=b)`).
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p = {p} out of [0, 1]");
+        f64::generate(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(3u64..=17);
+            assert!((3..=17).contains(&y));
+            let z = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&z));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut sum = 0.0;
+        const N: usize = 100_000;
+        for _ in 0..N {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / N as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_choose_is_uniformish() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+
+        let items = [0usize, 1, 2, 3];
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[*items.choose(&mut rng).unwrap()] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (c as f64 / 40_000.0 - 0.25).abs() < 0.02,
+                "counts = {counts:?}"
+            );
+        }
+        let empty: [usize; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

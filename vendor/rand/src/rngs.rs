@@ -1,0 +1,48 @@
+//! Concrete RNG implementations. Only [`SmallRng`] — the one generator the
+//! workspace uses.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, non-cryptographic PRNG: xoshiro256++ (Blackman–Vigna),
+/// the same algorithm `rand 0.8`'s `SmallRng` uses on 64-bit platforms.
+/// Period 2²⁵⁶ − 1, passes BigCrush; never use for cryptography.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (lane, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *lane = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // xoshiro must not start from the all-zero state.
+        if s == [0; 4] {
+            let mut state = 0xDEAD_BEEF_CAFE_F00Du64;
+            for lane in &mut s {
+                *lane = crate::splitmix64(&mut state);
+            }
+        }
+        Self { s }
+    }
+}

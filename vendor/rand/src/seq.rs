@@ -1,0 +1,34 @@
+//! Sequence-related helpers: the subset of `rand::seq::SliceRandom` the
+//! workspace uses (`choose` and `shuffle`).
+
+use crate::{uniform_u64_below, RngCore};
+
+/// Extension trait adding random selection and shuffling to slices.
+pub trait SliceRandom {
+    type Item;
+
+    /// A uniformly random element, or `None` for an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(uniform_u64_below(rng, self.len() as u64) as usize)
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = uniform_u64_below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+}

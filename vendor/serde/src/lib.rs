@@ -1,0 +1,20 @@
+//! Offline vendored stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of plain
+//! data types ([`tristream-graph`]'s `Edge`, `VertexId`, `GraphSummary` and
+//! [`tristream-bench`]'s trial records) as forward-looking annotations — no
+//! code path serializes anything yet (bench CSV output is hand-rolled). So
+//! this shim only needs the trait names and the derive attributes to
+//! resolve. The derives (re-exported from the sibling vendored
+//! `serde_derive`) expand to empty marker impls.
+//!
+//! [`tristream-graph`]: ../tristream_graph/index.html
+//! [`tristream-bench`]: ../tristream_bench/index.html
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}

@@ -1,0 +1,65 @@
+//! Offline vendored stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` on plain data
+//! structs (no serialization is performed anywhere yet — CSV output in
+//! `tristream-bench` is hand-rolled), so these derives expand to marker
+//! impls of the empty traits in the sibling vendored `serde` crate. When a
+//! real registry is available, swapping in crates.io `serde` with the
+//! `derive` feature requires no source changes.
+
+use proc_macro::TokenStream;
+
+/// Parse just enough of a `struct`/`enum` item to recover its identifier,
+/// skipping attributes (`#[...]`) and visibility qualifiers.
+fn item_ident(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        match token {
+            proc_macro::TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute's bracketed group.
+                tokens.next();
+            }
+            proc_macro::TokenTree::Ident(ident) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" {
+                    if let Some(proc_macro::TokenTree::Ident(name)) = tokens.next() {
+                        return Some(name.to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Emit `impl serde::Trait for Name {}` when the item has no generic
+/// parameters (every derive site in this workspace); otherwise emit
+/// nothing, which is still sufficient because nothing bounds on the traits.
+fn marker_impl(trait_name: &str, input: TokenStream) -> TokenStream {
+    let Some(name) = item_ident(&input) else {
+        return TokenStream::new();
+    };
+    // A `<` right after the name would mean generics; detect it cheaply.
+    let source = input.to_string();
+    let after_name = source
+        .split_once(&name)
+        .map(|(_, rest)| rest.trim_start())
+        .unwrap_or("");
+    if after_name.starts_with('<') {
+        return TokenStream::new();
+    }
+    format!("impl serde::{trait_name} for {name} {{}}")
+        .parse()
+        .unwrap_or_default()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("Serialize", input)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("Deserialize", input)
+}
