@@ -1,0 +1,20 @@
+//! Races the two execution models of the sharded bulk counter —
+//! spawn-per-batch scoped threads (the pre-engine baseline, kept in
+//! `tristream_bench::spawn_baseline`) against the persistent worker pool
+//! (`tristream_core::engine`) — across batch sizes from 256 to 65 536
+//! edges. Small batches are where spawn-per-batch pays thread-creation
+//! cost per `w` edges; the persistent pool should win there and never lose
+//! on large batches.
+//!
+//! Honours `TRISTREAM_TRIALS` / `TRISTREAM_SEED`. Run in release mode:
+//! `cargo run --release -p tristream-bench --bin engine`.
+
+use tristream_bench::experiments;
+use tristream_bench::write_csv;
+
+fn main() {
+    let table = experiments::engine_throughput();
+    println!("{}", table.render());
+    let path = write_csv(&table, "engine_throughput");
+    println!("CSV written to {}", path.display());
+}

@@ -1,0 +1,98 @@
+//! The *spawn-per-batch* execution model, kept as a benchmark baseline.
+//!
+//! This is the first-cut parallelisation that
+//! [`ParallelBulkTriangleCounter`](tristream_core::ParallelBulkTriangleCounter)
+//! shipped with before the persistent [`ShardedEngine`](tristream_core::engine)
+//! replaced it: every batch spawns one fresh scoped OS thread per shard and
+//! joins them all before returning. Thread creation costs microseconds, so
+//! at small batch sizes (`w ≤ 1024` edges) the spawn/join overhead rivals
+//! the `O(r + w)` processing work itself. The `engine` experiment binary
+//! races this baseline against the persistent pool across batch sizes.
+//!
+//! Shard seeding matches the persistent counter exactly, so both models
+//! produce bit-identical estimates — the race measures pure execution
+//! overhead, never algorithmic differences.
+
+use tristream_core::{shard_counters, BulkTriangleCounter, Level1Strategy};
+use tristream_graph::Edge;
+use tristream_sample::mean;
+
+/// Sharded bulk counter that spawns and joins fresh scoped threads on
+/// every batch — the pre-engine execution model.
+#[derive(Debug)]
+pub struct SpawnPerBatchCounter {
+    shards: Vec<BulkTriangleCounter>,
+    edges_seen: u64,
+}
+
+impl SpawnPerBatchCounter {
+    /// Mirrors `ParallelBulkTriangleCounter::new` by construction: the
+    /// shard pool comes from the same [`shard_counters`] seeding contract,
+    /// so both models produce bit-identical estimates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `shards` is zero.
+    pub fn new(r: usize, shards: usize, seed: u64) -> Self {
+        Self {
+            shards: shard_counters(r, shards, seed, Level1Strategy::GeometricSkip),
+            edges_seen: 0,
+        }
+    }
+
+    /// Ingests one batch, spawning one scoped thread per shard and joining
+    /// them all before returning (the overhead under test).
+    pub fn process_batch(&mut self, batch: &[Edge]) {
+        if batch.is_empty() {
+            return;
+        }
+        std::thread::scope(|scope| {
+            for shard in &mut self.shards {
+                scope.spawn(|| shard.process_batch(batch));
+            }
+        });
+        self.edges_seen += batch.len() as u64;
+    }
+
+    /// Processes a whole stream in batches of `batch_size` edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn process_stream(&mut self, edges: &[Edge], batch_size: usize) {
+        assert!(batch_size > 0, "batch size must be positive");
+        for chunk in edges.chunks(batch_size) {
+            self.process_batch(chunk);
+        }
+    }
+
+    /// Number of edges observed so far.
+    pub fn edges_seen(&self) -> u64 {
+        self.edges_seen
+    }
+
+    /// The mean-aggregated triangle-count estimate over all shards.
+    pub fn estimate(&self) -> f64 {
+        let raw: Vec<f64> = self.shards.iter().flat_map(|s| s.raw_estimates()).collect();
+        mean(&raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tristream_core::ParallelBulkTriangleCounter;
+
+    #[test]
+    fn baseline_matches_the_persistent_pool_bit_for_bit() {
+        // The race is only fair if both models compute the same thing.
+        let stream = tristream_gen::planted_triangles(20, 60, 3);
+        let (r, shards, seed, batch) = (300, 3, 11, 64);
+        let mut baseline = SpawnPerBatchCounter::new(r, shards, seed);
+        baseline.process_stream(stream.edges(), batch);
+        let mut persistent = ParallelBulkTriangleCounter::new(r, shards, seed);
+        persistent.process_stream(stream.edges(), batch);
+        assert_eq!(baseline.edges_seen(), persistent.edges_seen());
+        assert_eq!(baseline.estimate(), persistent.estimate());
+    }
+}

@@ -15,6 +15,14 @@ pub enum CliError {
     /// A flag that needs a value did not get one, or the value failed to
     /// parse.
     BadFlagValue(String),
+    /// A flag's value parsed but is outside the accepted range (e.g.
+    /// `--batch 0`).
+    InvalidFlagValue {
+        /// The flag, e.g. `--batch`.
+        flag: &'static str,
+        /// Why the value is rejected.
+        reason: &'static str,
+    },
     /// An unrecognised flag was supplied.
     UnknownFlag(String),
 }
@@ -28,6 +36,9 @@ impl fmt::Display for CliError {
             }
             CliError::MissingArgument(what) => write!(f, "missing required argument: {what}"),
             CliError::BadFlagValue(flag) => write!(f, "flag {flag} needs a valid value"),
+            CliError::InvalidFlagValue { flag, reason } => {
+                write!(f, "invalid use of {flag}: {reason}")
+            }
             CliError::UnknownFlag(flag) => write!(f, "unknown flag {flag}"),
         }
     }
@@ -57,6 +68,12 @@ pub enum Command {
         seed: u64,
         /// Use the exact streaming counter instead of estimation.
         exact: bool,
+        /// Shard the estimator pool across persistent worker threads and
+        /// stream the file in batches instead of materialising it.
+        parallel: bool,
+        /// Number of shards for `--parallel` (defaults to the number of
+        /// available CPUs when `None`).
+        shards: Option<usize>,
     },
     /// Streaming transitivity-coefficient estimate.
     Transitivity {
@@ -98,10 +115,15 @@ tristream-cli — streaming triangle counting and sampling (Pavan et al., VLDB 2
 USAGE:
   tristream-cli summary      <EDGE_LIST>
   tristream-cli count        <EDGE_LIST> [--estimators N] [--batch W] [--seed S] [--exact]
+                                         [--parallel [--shards K]]
   tristream-cli transitivity <EDGE_LIST> [--estimators N] [--seed S]
   tristream-cli sample       <EDGE_LIST> [-k K] [--estimators N] [--seed S]
   tristream-cli generate     <DATASET>   [--scale D] [--seed S] --output FILE
   tristream-cli help
+
+`count --parallel` shards the estimator pool across K persistent worker
+threads (default: available CPUs) and streams the file batch by batch
+instead of loading it whole (duplicate edges are then kept as-is).
 
 Edge lists are SNAP-style text files: one `u v` pair per line, `#` comments.
 Datasets for `generate`: amazon, dblp, youtube, livejournal, orkut,
@@ -137,6 +159,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut batch = None;
             let mut seed = 1u64;
             let mut exact = false;
+            let mut parallel = false;
+            let mut shards = None;
             let mut i = 1;
             while i < rest.len() {
                 match rest[i].as_str() {
@@ -156,8 +180,43 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         exact = true;
                         i += 1;
                     }
+                    "--parallel" => {
+                        parallel = true;
+                        i += 1;
+                    }
+                    "--shards" => {
+                        shards = Some(parse_flag_value("--shards", rest.get(i + 1))?);
+                        i += 2;
+                    }
                     other => return Err(CliError::UnknownFlag(other.to_string())),
                 }
+            }
+            if batch == Some(0) {
+                return Err(CliError::InvalidFlagValue {
+                    flag: "--batch",
+                    reason: "batch size must be at least 1",
+                });
+            }
+            if shards == Some(0) {
+                return Err(CliError::InvalidFlagValue {
+                    flag: "--shards",
+                    reason: "shard count must be at least 1",
+                });
+            }
+            // Reject silently-ignored combinations rather than guessing:
+            // `--exact` has no parallel path, and `--shards` does nothing
+            // without `--parallel`.
+            if parallel && exact {
+                return Err(CliError::InvalidFlagValue {
+                    flag: "--parallel",
+                    reason: "cannot be combined with --exact",
+                });
+            }
+            if shards.is_some() && !parallel {
+                return Err(CliError::InvalidFlagValue {
+                    flag: "--shards",
+                    reason: "requires --parallel",
+                });
             }
             Ok(Command::Count {
                 input: PathBuf::from(input),
@@ -165,6 +224,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 batch,
                 seed,
                 exact,
+                parallel,
+                shards,
             })
         }
         "transitivity" => {
@@ -323,7 +384,9 @@ mod tests {
                 estimators: 100_000,
                 batch: None,
                 seed: 1,
-                exact: false
+                exact: false,
+                parallel: false,
+                shards: None
             }
         );
         let c = parse_args(&args(&[
@@ -337,7 +400,71 @@ mod tests {
                 estimators: 5_000,
                 batch: Some(4_096),
                 seed: 9,
-                exact: true
+                exact: true,
+                parallel: false,
+                shards: None
+            }
+        );
+    }
+
+    #[test]
+    fn count_parallel_flags_parse() {
+        let c = parse_args(&args(&["count", "g.txt", "--parallel", "--shards", "6"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Count {
+                input: PathBuf::from("g.txt"),
+                estimators: 100_000,
+                batch: None,
+                seed: 1,
+                exact: false,
+                parallel: true,
+                shards: Some(6)
+            }
+        );
+    }
+
+    #[test]
+    fn count_rejects_zero_batch_and_zero_shards_as_usage_errors() {
+        // Regression: `--batch 0` used to parse fine and then trip the
+        // `assert!(batch_size > 0)` inside `process_stream` — a panic, not
+        // a usage error.
+        let err = parse_args(&args(&["count", "g.txt", "--batch", "0"])).unwrap_err();
+        assert_eq!(
+            err,
+            CliError::InvalidFlagValue {
+                flag: "--batch",
+                reason: "batch size must be at least 1"
+            }
+        );
+        assert!(err.to_string().contains("--batch"));
+        assert!(err.to_string().contains("at least 1"));
+        let err = parse_args(&args(&["count", "g.txt", "--shards", "0"])).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::InvalidFlagValue {
+                flag: "--shards",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn count_rejects_silently_ignored_flag_combinations() {
+        let err = parse_args(&args(&["count", "g.txt", "--parallel", "--exact"])).unwrap_err();
+        assert_eq!(
+            err,
+            CliError::InvalidFlagValue {
+                flag: "--parallel",
+                reason: "cannot be combined with --exact"
+            }
+        );
+        let err = parse_args(&args(&["count", "g.txt", "--shards", "4"])).unwrap_err();
+        assert_eq!(
+            err,
+            CliError::InvalidFlagValue {
+                flag: "--shards",
+                reason: "requires --parallel"
             }
         );
     }

@@ -9,9 +9,11 @@ use crate::args::{Command, HELP};
 use std::error::Error;
 use std::time::Instant;
 use tristream_baselines::ExactStreamingCounter;
-use tristream_core::{BulkTriangleCounter, TransitivityEstimator, TriangleSampler};
+use tristream_core::{
+    BulkTriangleCounter, ParallelBulkTriangleCounter, TransitivityEstimator, TriangleSampler,
+};
 use tristream_gen::{DatasetKind, StandIn};
-use tristream_graph::io::{read_edge_list_file, write_edge_list_file};
+use tristream_graph::io::{read_edge_list_batched_file, read_edge_list_file, write_edge_list_file};
 use tristream_graph::{EdgeStream, GraphSummary};
 
 /// Executes a parsed command and returns the report to print.
@@ -29,7 +31,35 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             batch,
             seed,
             exact,
+            parallel,
+            shards,
         } => {
+            let batch = batch.unwrap_or_else(|| estimators.saturating_mul(8).max(1));
+            if parallel && !exact {
+                // Streaming path: the file is consumed batch by batch and
+                // never materialised whole; each batch is fed to the
+                // persistent sharded worker pool.
+                let shards = shards.unwrap_or_else(default_shards).max(1);
+                let start = Instant::now();
+                let mut counter = ParallelBulkTriangleCounter::new(estimators.max(1), shards, seed);
+                let mut edges = 0usize;
+                for next in read_edge_list_batched_file(&input, batch)? {
+                    let chunk = next?;
+                    edges += chunk.len();
+                    counter.process_batch(&chunk);
+                }
+                return Ok(format!(
+                    "estimated triangle count: {:.0} (r = {}, shards = {}, batch = {}, {} edges \
+                     in {:.3} s, {} estimators hold a triangle)\n",
+                    counter.estimate(),
+                    counter.num_estimators(),
+                    shards,
+                    batch,
+                    edges,
+                    start.elapsed().as_secs_f64(),
+                    counter.estimators_with_triangle()
+                ));
+            }
             let stream = read_edge_list_file(&input)?;
             if exact {
                 let start = Instant::now();
@@ -42,7 +72,6 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                     start.elapsed().as_secs_f64()
                 ))
             } else {
-                let batch = batch.unwrap_or_else(|| estimators.saturating_mul(8).max(1));
                 let start = Instant::now();
                 let mut counter = BulkTriangleCounter::new(estimators.max(1), seed);
                 counter.process_stream(stream.edges(), batch);
@@ -121,6 +150,14 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
     }
 }
 
+/// Default shard count for `count --parallel`: the number of available
+/// CPUs, or 1 when that cannot be determined.
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Maps a CLI dataset slug to its [`DatasetKind`].
 pub fn dataset_from_slug(slug: &str) -> Option<DatasetKind> {
     DatasetKind::all().into_iter().find(|k| k.slug() == slug)
@@ -164,6 +201,8 @@ mod tests {
             batch: None,
             seed: 3,
             exact: false,
+            parallel: false,
+            shards: None,
         })
         .unwrap();
         let exact = run(Command::Count {
@@ -172,6 +211,8 @@ mod tests {
             batch: None,
             seed: 0,
             exact: true,
+            parallel: false,
+            shards: None,
         })
         .unwrap();
         assert!(approx.contains("estimated triangle count"));
@@ -179,6 +220,24 @@ mod tests {
             exact.contains("exact triangle count: 1000")
                 || exact.contains("exact triangle count: 100")
         );
+    }
+
+    #[test]
+    fn count_parallel_streams_the_file_through_the_sharded_pool() {
+        let path = sample_graph_path();
+        let out = run(Command::Count {
+            input: path,
+            estimators: 20_000,
+            batch: Some(1_024),
+            seed: 3,
+            exact: false,
+            parallel: true,
+            shards: Some(3),
+        })
+        .unwrap();
+        assert!(out.contains("estimated triangle count"), "{out}");
+        assert!(out.contains("shards = 3"), "{out}");
+        assert!(out.contains("3000 edges"), "{out}");
     }
 
     #[test]

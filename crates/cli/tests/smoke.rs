@@ -105,6 +105,62 @@ fn generate_then_count_end_to_end() {
 }
 
 #[test]
+fn zero_batch_size_is_a_usage_error_not_a_panic() {
+    // Regression: `count --batch 0` used to reach the library's
+    // `assert!(batch_size > 0)` and abort with a panic message. It must be
+    // a normal usage error: exit code 2, explanation on stderr, no panic.
+    let output = run(&["count", "whatever.txt", "--batch", "0"]);
+    assert_eq!(output.status.code(), Some(2), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--batch") && stderr.contains("at least 1"),
+        "stderr should explain the invalid batch size:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "must not panic on --batch 0:\n{stderr}"
+    );
+}
+
+#[test]
+fn parallel_count_end_to_end() {
+    let edge_list = temp_path("parallel.txt");
+    let generate = run(&[
+        "generate",
+        "syn-3-reg",
+        "--scale",
+        "16",
+        "--seed",
+        "11",
+        "--output",
+        edge_list.to_str().unwrap(),
+    ]);
+    assert!(generate.status.success(), "generate failed: {generate:?}");
+
+    let output = run(&[
+        "count",
+        edge_list.to_str().unwrap(),
+        "--parallel",
+        "--shards",
+        "2",
+        "--estimators",
+        "8000",
+        "--batch",
+        "512",
+        "--seed",
+        "5",
+    ]);
+    assert!(output.status.success(), "parallel count failed: {output:?}");
+    let text = stdout(&output);
+    assert!(
+        text.contains("estimated triangle count") && text.contains("shards = 2"),
+        "parallel count output should report the estimate and shard count:\n{text}"
+    );
+
+    let _ = std::fs::remove_file(&edge_list);
+}
+
+#[test]
 fn summary_reports_graph_shape() {
     let edge_list = temp_path("summary.txt");
     std::fs::write(

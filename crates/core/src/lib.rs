@@ -27,7 +27,7 @@
 //! | §5.1 4-clique counting (Type I / Type II) | [`clique`] |
 //! | §5.2 sliding windows | [`sliding`] |
 //! | §4 geometric-skip level-1 optimisation | [`bulk::Level1Strategy`] |
-//! | §6 follow-up: multi-core sharded counting | [`parallel`] |
+//! | §6 follow-up: multi-core sharded counting | [`parallel`], [`engine`] |
 //!
 //! # Quick example
 //!
@@ -53,6 +53,7 @@
 pub mod bulk;
 pub mod clique;
 pub mod counter;
+pub mod engine;
 pub mod estimator;
 pub mod parallel;
 pub mod sampler;
@@ -63,8 +64,9 @@ pub mod transitivity;
 pub use bulk::{BulkTriangleCounter, Level1Strategy};
 pub use clique::FourCliqueCounter;
 pub use counter::{Aggregation, TriangleCounter};
+pub use engine::ShardedEngine;
 pub use estimator::{EstimatorState, NeighborhoodSampler, PositionedEdge};
-pub use parallel::ParallelBulkTriangleCounter;
+pub use parallel::{shard_counters, ParallelBulkTriangleCounter, SHARD_SEED_STRIDE};
 pub use sampler::TriangleSampler;
 pub use sliding::SlidingWindowTriangleCounter;
 pub use theory::{

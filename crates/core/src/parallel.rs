@@ -5,21 +5,62 @@
 //! a parallel, cache-efficient variant of neighborhood sampling. This module
 //! provides the natural shared-nothing parallelisation: the estimator pool
 //! is partitioned into independent shards, each shard advances over the same
-//! batch on its own OS thread (scoped threads, no extra dependencies), and
+//! batch on its own long-lived worker thread (see [`crate::engine`]), and
 //! queries aggregate across shards. Because estimators never interact, the
 //! sharded counter computes exactly the same *distribution* of estimates as
 //! the sequential one — each shard is simply a smaller, independent
 //! [`BulkTriangleCounter`].
+//!
+//! Worker threads are created **once**, when the counter is built, and are
+//! fed batches over channels; [`process_batch`](ParallelBulkTriangleCounter::process_batch)
+//! only copies the batch and enqueues it, so the per-batch hot path contains
+//! no thread spawn or join. Queries ([`estimate`](ParallelBulkTriangleCounter::estimate)
+//! and friends) synchronise with the workers first, so results are
+//! indistinguishable from fully synchronous processing.
 
 use crate::bulk::{BulkTriangleCounter, Level1Strategy};
 use crate::counter::Aggregation;
+use crate::engine::ShardedEngine;
 use tristream_graph::Edge;
 use tristream_sample::{mean, median_of_means};
 
-/// A bulk triangle counter whose estimator pool is sharded across threads.
+/// Multiplier used to decorrelate per-shard seeds (the golden-ratio mixing
+/// constant). Part of the counter's deterministic seeding contract: shard
+/// `i` is seeded with `seed + i * SHARD_SEED_STRIDE`.
+pub const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9;
+
+/// Builds the shard pool behind a [`ParallelBulkTriangleCounter`]:
+/// `ceil(r / shards)` estimators per shard, shard `i` seeded
+/// `seed + i * `[`SHARD_SEED_STRIDE`]. This *is* the counter's seeding
+/// contract — exposed so reference implementations (e.g. the
+/// spawn-per-batch benchmark baseline) stay estimate-for-estimate
+/// comparable by construction rather than by copying the recipe.
+///
+/// # Panics
+///
+/// Panics if `r` or `shards` is zero.
+pub fn shard_counters(
+    r: usize,
+    shards: usize,
+    seed: u64,
+    strategy: Level1Strategy,
+) -> Vec<BulkTriangleCounter> {
+    assert!(r > 0, "at least one estimator is required");
+    assert!(shards > 0, "at least one shard is required");
+    let per_shard = r.div_ceil(shards);
+    (0..shards)
+        .map(|i| {
+            BulkTriangleCounter::new(per_shard, seed.wrapping_add(i as u64 * SHARD_SEED_STRIDE))
+                .with_level1_strategy(strategy)
+        })
+        .collect()
+}
+
+/// A bulk triangle counter whose estimator pool is sharded across a pool of
+/// persistent worker threads.
 #[derive(Debug, Clone)]
 pub struct ParallelBulkTriangleCounter {
-    shards: Vec<BulkTriangleCounter>,
+    engine: ShardedEngine,
     aggregation: Aggregation,
     edges_seen: u64,
 }
@@ -48,28 +89,51 @@ impl ParallelBulkTriangleCounter {
         if let Aggregation::MedianOfMeans { groups } = aggregation {
             assert!(groups > 0, "median-of-means needs at least one group");
         }
-        let per_shard = r.div_ceil(shards);
-        let shards = (0..shards)
-            .map(|i| {
-                BulkTriangleCounter::new(per_shard, seed.wrapping_add(i as u64 * 0x9E37_79B9))
-                    .with_level1_strategy(Level1Strategy::GeometricSkip)
-            })
-            .collect();
+        let counters = shard_counters(r, shards, seed, Level1Strategy::GeometricSkip);
         Self {
-            shards,
+            engine: ShardedEngine::new(counters),
             aggregation,
             edges_seen: 0,
         }
     }
 
-    /// Number of shards (worker threads used per batch).
+    /// Selects how level-1 resampling iterates over each shard's pool,
+    /// mirroring [`BulkTriangleCounter::with_level1_strategy`]; returns
+    /// `self` for builder-style chaining. The default is
+    /// [`Level1Strategy::GeometricSkip`].
+    ///
+    /// Intended to be called at construction time; state already processed
+    /// is preserved (the shards are snapshotted into a fresh worker pool).
+    pub fn with_level1_strategy(self, strategy: Level1Strategy) -> Self {
+        let counters = self
+            .engine
+            .snapshot()
+            .into_iter()
+            .map(|counter| counter.with_level1_strategy(strategy))
+            .collect();
+        Self {
+            engine: ShardedEngine::new(counters),
+            aggregation: self.aggregation,
+            edges_seen: self.edges_seen,
+        }
+    }
+
+    /// The level-1 resampling strategy shards use.
+    pub fn level1_strategy(&self) -> Level1Strategy {
+        self.engine.map_shards(|shard| shard.level1_strategy())[0]
+    }
+
+    /// Number of shards (persistent worker threads).
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.engine.num_shards()
     }
 
     /// Total number of estimators across shards.
     pub fn num_estimators(&self) -> usize {
-        self.shards.iter().map(|s| s.num_estimators()).sum()
+        self.engine
+            .map_shards(|shard| shard.num_estimators())
+            .iter()
+            .sum()
     }
 
     /// Number of edges observed so far.
@@ -77,21 +141,14 @@ impl ParallelBulkTriangleCounter {
         self.edges_seen
     }
 
-    /// Ingests one batch of edges: every shard advances over the batch on
-    /// its own thread.
+    /// Ingests one batch of edges: the batch is enqueued on every shard's
+    /// persistent worker and this call returns without waiting, so the
+    /// caller can overlap producing the next batch with processing.
     pub fn process_batch(&mut self, batch: &[Edge]) {
         if batch.is_empty() {
             return;
         }
-        if self.shards.len() == 1 {
-            self.shards[0].process_batch(batch);
-        } else {
-            std::thread::scope(|scope| {
-                for shard in &mut self.shards {
-                    scope.spawn(|| shard.process_batch(batch));
-                }
-            });
-        }
+        self.engine.submit(batch);
         self.edges_seen += batch.len() as u64;
     }
 
@@ -107,12 +164,18 @@ impl ParallelBulkTriangleCounter {
         }
     }
 
-    /// Per-estimator raw estimates across all shards.
+    /// Per-estimator raw estimates across all shards (waits for in-flight
+    /// batches first).
     pub fn raw_estimates(&self) -> Vec<f64> {
-        self.shards.iter().flat_map(|s| s.raw_estimates()).collect()
+        self.engine
+            .map_shards(|shard| shard.raw_estimates())
+            .into_iter()
+            .flatten()
+            .collect()
     }
 
-    /// The aggregated triangle-count estimate over all shards.
+    /// The aggregated triangle-count estimate over all shards (waits for
+    /// in-flight batches first).
     pub fn estimate(&self) -> f64 {
         let raw = self.raw_estimates();
         match self.aggregation {
@@ -123,9 +186,9 @@ impl ParallelBulkTriangleCounter {
 
     /// Number of estimators (across all shards) currently holding a triangle.
     pub fn estimators_with_triangle(&self) -> usize {
-        self.shards
+        self.engine
+            .map_shards(|shard| shard.estimators_with_triangle())
             .iter()
-            .map(|s| s.estimators_with_triangle())
             .sum()
     }
 }
@@ -182,6 +245,80 @@ mod tests {
             BulkTriangleCounter::new(512, 7).with_level1_strategy(Level1Strategy::GeometricSkip);
         sequential.process_stream(stream.edges(), 64);
         assert_eq!(parallel.estimate(), sequential.estimate());
+    }
+
+    #[test]
+    fn single_shard_per_estimator_strategy_matches_the_sequential_counter() {
+        // API-parity satellite: selecting PerEstimator on the parallel
+        // counter must reproduce the sequential PerEstimator counter
+        // bit-for-bit on a single shard (same seed, same batching).
+        let stream = tristream_gen::planted_triangles(20, 60, 17);
+        let mut parallel = ParallelBulkTriangleCounter::new(256, 1, 13)
+            .with_level1_strategy(Level1Strategy::PerEstimator);
+        assert_eq!(parallel.level1_strategy(), Level1Strategy::PerEstimator);
+        parallel.process_stream(stream.edges(), 37);
+        let mut sequential = BulkTriangleCounter::new(256, 13);
+        assert_eq!(sequential.level1_strategy(), Level1Strategy::PerEstimator);
+        sequential.process_stream(stream.edges(), 37);
+        assert_eq!(parallel.raw_estimates(), sequential.raw_estimates());
+        assert_eq!(parallel.estimate(), sequential.estimate());
+    }
+
+    /// The pre-refactor execution model: fresh scoped threads per batch over
+    /// the same per-shard counters. Kept as a reference implementation for
+    /// the equivalence tests below.
+    fn scoped_thread_estimates(
+        r: usize,
+        shards: usize,
+        seed: u64,
+        edges: &[Edge],
+        batch_size: usize,
+    ) -> Vec<f64> {
+        let mut pool = shard_counters(r, shards, seed, Level1Strategy::GeometricSkip);
+        for batch in edges.chunks(batch_size) {
+            std::thread::scope(|scope| {
+                for shard in &mut pool {
+                    scope.spawn(|| shard.process_batch(batch));
+                }
+            });
+        }
+        pool.iter().flat_map(|s| s.raw_estimates()).collect()
+    }
+
+    #[test]
+    fn persistent_pool_matches_scoped_threads_and_sequential_shards_exactly() {
+        // Distributional-equivalence guarantee, checked at the strongest
+        // possible level: same seeds ⇒ bit-identical per-estimator
+        // estimates across all three execution models.
+        let stream = tristream_gen::holme_kim(250, 3, 0.5, 19);
+        let (r, shards, seed, batch) = (600, 3, 23, 113);
+
+        let mut persistent = ParallelBulkTriangleCounter::new(r, shards, seed);
+        persistent.process_stream(stream.edges(), batch);
+        let persistent_raw = persistent.raw_estimates();
+
+        let scoped_raw = scoped_thread_estimates(r, shards, seed, stream.edges(), batch);
+
+        let mut sequential_raw = Vec::new();
+        for mut counter in shard_counters(r, shards, seed, Level1Strategy::GeometricSkip) {
+            counter.process_stream(stream.edges(), batch);
+            sequential_raw.extend(counter.raw_estimates());
+        }
+
+        assert_eq!(persistent_raw, scoped_raw);
+        assert_eq!(persistent_raw, sequential_raw);
+    }
+
+    #[test]
+    fn clone_is_independent_of_the_original() {
+        let stream = tristream_gen::planted_triangles(15, 45, 6);
+        let mut a = ParallelBulkTriangleCounter::new(128, 2, 3);
+        a.process_stream(stream.edges(), 32);
+        let b = a.clone();
+        assert_eq!(a.raw_estimates(), b.raw_estimates());
+        a.process_batch(stream.edges());
+        assert_eq!(b.edges_seen(), stream.len() as u64);
+        assert_eq!(a.edges_seen(), 2 * stream.len() as u64);
     }
 
     #[test]

@@ -13,9 +13,36 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+/// Parses one edge-list line. Returns `Ok(None)` for lines that carry no
+/// edge (blank lines, `#`/`%` comments, self-loops). `line_no` is 1-based
+/// and used only for error reporting. Trimming also strips the `\r` of
+/// CRLF line endings, so Windows-style SNAP/KONECT exports parse cleanly.
+fn parse_edge_line(line: &str, line_no: usize) -> Result<Option<Edge>, GraphError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+        return Ok(None);
+    }
+    let parse_error = || GraphError::Parse {
+        line: line_no,
+        content: line.to_string(),
+    };
+    let mut parts = trimmed.split_whitespace();
+    let (a, b) = match (parts.next(), parts.next()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(parse_error()),
+    };
+    let a: u64 = a.parse().map_err(|_| parse_error())?;
+    let b: u64 = b.parse().map_err(|_| parse_error())?;
+    if a == b {
+        return Ok(None); // self-loop: the model assumes a simple graph
+    }
+    Ok(Some(Edge::new(a, b)))
+}
+
 /// Reads an edge list from any reader.
 ///
-/// * Lines starting with `#` or `%` and blank lines are skipped.
+/// * Lines starting with `#` or `%` and blank lines are skipped; CRLF line
+///   endings are accepted.
 /// * Each remaining line must contain two integers separated by whitespace
 ///   (tabs or spaces); anything after the second integer is ignored.
 /// * Self-loops are skipped (the model assumes a simple graph).
@@ -26,37 +53,106 @@ pub fn read_edge_list<R: Read>(reader: R, dedup: bool) -> Result<EdgeStream, Gra
     let mut seen = std::collections::HashSet::new();
     for (idx, line) in buf.lines().enumerate() {
         let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
-            continue;
-        }
-        let mut parts = trimmed.split_whitespace();
-        let (a, b) = match (parts.next(), parts.next()) {
-            (Some(a), Some(b)) => (a, b),
-            _ => {
-                return Err(GraphError::Parse {
-                    line: idx + 1,
-                    content: line.clone(),
-                });
+        if let Some(e) = parse_edge_line(&line, idx + 1)? {
+            if !dedup || seen.insert(e) {
+                edges.push(e);
             }
-        };
-        let a: u64 = a.parse().map_err(|_| GraphError::Parse {
-            line: idx + 1,
-            content: line.clone(),
-        })?;
-        let b: u64 = b.parse().map_err(|_| GraphError::Parse {
-            line: idx + 1,
-            content: line.clone(),
-        })?;
-        if a == b {
-            continue;
-        }
-        let e = Edge::new(a, b);
-        if !dedup || seen.insert(e) {
-            edges.push(e);
         }
     }
     Ok(EdgeStream::new(edges))
+}
+
+/// Streaming batched reader over an edge list: yields `Vec<Edge>` batches
+/// of at most `batch_size` edges without ever materialising the whole
+/// stream, so arbitrarily large files can be fed straight into the bulk /
+/// parallel counters' `process_batch`.
+///
+/// Line handling matches [`read_edge_list`] (comments, blank lines, CRLF,
+/// self-loops), except that **no deduplication** is performed — a streaming
+/// reader cannot remember every edge in bounded memory. Inputs are expected
+/// to describe simple graphs, as the adjacency-stream model assumes.
+///
+/// Iteration stops permanently after the first error.
+///
+/// # Panics
+///
+/// Panics if `batch_size` is zero.
+pub fn read_edge_list_batched<R: Read>(
+    reader: R,
+    batch_size: usize,
+) -> EdgeListBatches<BufReader<R>> {
+    assert!(batch_size > 0, "batch size must be positive");
+    EdgeListBatches {
+        lines: BufReader::new(reader).lines(),
+        batch_size,
+        next_line: 1,
+        done: false,
+    }
+}
+
+/// Opens `path` and returns a [streaming batched reader](read_edge_list_batched)
+/// over its edge list.
+///
+/// # Panics
+///
+/// Panics if `batch_size` is zero.
+pub fn read_edge_list_batched_file<P: AsRef<Path>>(
+    path: P,
+    batch_size: usize,
+) -> Result<EdgeListBatches<BufReader<File>>, GraphError> {
+    let file = File::open(path)?;
+    Ok(read_edge_list_batched(file, batch_size))
+}
+
+/// Iterator of `Vec<Edge>` batches produced by [`read_edge_list_batched`].
+#[derive(Debug)]
+pub struct EdgeListBatches<B> {
+    lines: std::io::Lines<B>,
+    batch_size: usize,
+    /// 1-based number of the next line to read, for error reporting.
+    next_line: usize,
+    /// Set after EOF or the first error; the iterator is fused.
+    done: bool,
+}
+
+impl<B: BufRead> Iterator for EdgeListBatches<B> {
+    type Item = Result<Vec<Edge>, GraphError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut batch = Vec::with_capacity(self.batch_size);
+        while batch.len() < self.batch_size {
+            let line_no = self.next_line;
+            match self.lines.next() {
+                None => {
+                    self.done = true;
+                    break;
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+                Some(Ok(line)) => {
+                    self.next_line += 1;
+                    match parse_edge_line(&line, line_no) {
+                        Ok(Some(e)) => batch.push(e),
+                        Ok(None) => {}
+                        Err(e) => {
+                            self.done = true;
+                            return Some(Err(e));
+                        }
+                    }
+                }
+            }
+        }
+        if batch.is_empty() {
+            None
+        } else {
+            Some(Ok(batch))
+        }
+    }
 }
 
 /// Reads an edge list from a file path, deduplicating edges.
@@ -110,6 +206,18 @@ mod tests {
     }
 
     #[test]
+    fn parses_crlf_line_endings_and_comment_styles() {
+        // Real SNAP exports use `#` headers; KONECT uses `%`; files edited
+        // on Windows carry CRLF endings. All must load.
+        let text = "# SNAP header\r\n% KONECT header\r\n1 2\r\n2\t3\r\n\r\n3 1\r\n";
+        let s = read_edge_list(text.as_bytes(), true).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.edges()[0], Edge::new(1u64, 2u64));
+        assert_eq!(s.edges()[1], Edge::new(2u64, 3u64));
+        assert_eq!(s.edges()[2], Edge::new(1u64, 3u64));
+    }
+
+    #[test]
     fn ignores_trailing_columns() {
         let text = "1 2 0.5 extra\n3 4 1.0\n";
         let s = read_edge_list(text.as_bytes(), true).unwrap();
@@ -153,5 +261,82 @@ mod tests {
     fn missing_file_is_an_io_error() {
         let err = read_edge_list_file("/nonexistent/definitely/not/here.txt").unwrap_err();
         assert!(matches!(err, GraphError::Io(_)));
+    }
+
+    #[test]
+    fn batched_reader_covers_the_stream_without_overlap() {
+        let mut text = String::from("# header\n");
+        for i in 0u64..10 {
+            text.push_str(&format!("{} {}\n", i, i + 100));
+        }
+        let batches: Vec<Vec<Edge>> = read_edge_list_batched(text.as_bytes(), 4)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(
+            batches.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
+        let flat: Vec<Edge> = batches.into_iter().flatten().collect();
+        let whole = read_edge_list(text.as_bytes(), false).unwrap();
+        assert_eq!(flat, whole.edges());
+    }
+
+    #[test]
+    fn batched_reader_skips_comments_loops_and_crlf() {
+        let text = "# c\r\n% c\r\n1 2\r\n5 5\r\n\r\n2 3\r\n";
+        let batches: Vec<Vec<Edge>> = read_edge_list_batched(text.as_bytes(), 1)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(
+            batches,
+            vec![vec![Edge::new(1u64, 2u64)], vec![Edge::new(2u64, 3u64)]]
+        );
+    }
+
+    #[test]
+    fn batched_reader_reports_parse_errors_with_line_numbers_and_fuses() {
+        let text = "1 2\n2 3\nbogus\n4 5\n";
+        let mut it = read_edge_list_batched(text.as_bytes(), 2);
+        assert_eq!(it.next().unwrap().unwrap().len(), 2);
+        match it.next() {
+            Some(Err(GraphError::Parse { line, content })) => {
+                assert_eq!(line, 3);
+                assert_eq!(content, "bogus");
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+        assert!(it.next().is_none(), "the iterator fuses after an error");
+    }
+
+    #[test]
+    fn batched_reader_on_an_empty_or_comment_only_input_yields_nothing() {
+        assert!(read_edge_list_batched("".as_bytes(), 8).next().is_none());
+        assert!(read_edge_list_batched("# only\n% comments\n".as_bytes(), 8)
+            .next()
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn batched_reader_rejects_zero_batch_size() {
+        let _ = read_edge_list_batched("1 2\n".as_bytes(), 0);
+    }
+
+    #[test]
+    fn batched_file_reader_round_trips() {
+        let dir = std::env::temp_dir().join("tristream-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("batched.txt");
+        let original = EdgeStream::from_pairs_dedup((0u64..57).map(|i| (i, i + 1)));
+        write_edge_list_file(&original, &path).unwrap();
+        let flat: Vec<Edge> = read_edge_list_batched_file(&path, 10)
+            .unwrap()
+            .collect::<Result<Vec<Vec<Edge>>, _>>()
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(flat, original.edges());
+        std::fs::remove_file(&path).ok();
     }
 }

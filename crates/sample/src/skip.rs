@@ -29,9 +29,20 @@ pub struct GeometricSkip {
 
 impl GeometricSkip {
     /// Creates a generator for success probability `p ∈ [0, 1]`.
+    ///
+    /// Out-of-range values are clamped; non-finite values (NaN, ±∞) are
+    /// treated as 0, i.e. the generator never succeeds. A plain `clamp`
+    /// would pass NaN through, and NaN then falls past both the `p <= 0`
+    /// and `p >= 1` guards in [`next_success`](Self::next_success) into the
+    /// inverse-transform math, producing garbage positions.
     pub fn new(p: f64) -> Self {
+        let p = if p.is_finite() {
+            p.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         Self {
-            p: p.clamp(0.0, 1.0),
+            p,
             cursor: 0,
             pending: None,
         }
@@ -117,6 +128,23 @@ mod tests {
         let mut g = GeometricSkip::new(0.0);
         assert_eq!(g.next_success(&mut rg), None);
         assert!(g.successes_up_to(&mut rg, 1_000).is_empty());
+    }
+
+    #[test]
+    fn non_finite_probabilities_are_treated_as_zero() {
+        // Regression: `p.clamp(0.0, 1.0)` passes NaN through, and NaN falls
+        // past both the `p <= 0` and `p >= 1` guards in `next_success` into
+        // the inverse-transform math, producing garbage positions.
+        let mut rg = rng(7);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut g = GeometricSkip::new(bad);
+            assert_eq!(g.p(), 0.0, "p = {bad} must be treated as 0");
+            assert_eq!(g.next_success(&mut rg), None);
+            assert!(g.successes_up_to(&mut rg, 1_000).is_empty());
+        }
+        // Out-of-range finite values are still clamped, not zeroed.
+        assert_eq!(GeometricSkip::new(2.5).p(), 1.0);
+        assert_eq!(GeometricSkip::new(-0.5).p(), 0.0);
     }
 
     #[test]

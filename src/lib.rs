@@ -51,8 +51,8 @@ pub mod prelude {
     pub use tristream_baselines::ExactStreamingCounter;
     pub use tristream_core::counter::Aggregation;
     pub use tristream_core::{
-        BulkTriangleCounter, FourCliqueCounter, SlidingWindowTriangleCounter,
-        TransitivityEstimator, TriangleCounter, TriangleSampler,
+        BulkTriangleCounter, FourCliqueCounter, ParallelBulkTriangleCounter,
+        SlidingWindowTriangleCounter, TransitivityEstimator, TriangleCounter, TriangleSampler,
     };
     pub use tristream_gen::{DatasetKind, StandIn};
     pub use tristream_graph::{Adjacency, Edge, EdgeStream, GraphSummary, StreamOrder, VertexId};

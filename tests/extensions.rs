@@ -98,16 +98,32 @@ fn cli_pipeline_counts_a_generated_file() {
         batch: None,
         seed: 0,
         exact: true,
+        parallel: false,
+        shards: None,
     })
     .unwrap();
     let approx_out = run(Command::Count {
-        input: path,
+        input: path.clone(),
         estimators: 30_000,
         batch: None,
         seed: 11,
         exact: false,
+        parallel: false,
+        shards: None,
+    })
+    .unwrap();
+    let parallel_out = run(Command::Count {
+        input: path,
+        estimators: 30_000,
+        batch: Some(2_048),
+        seed: 11,
+        exact: false,
+        parallel: true,
+        shards: Some(2),
     })
     .unwrap();
     assert!(exact_out.contains("exact triangle count"));
     assert!(approx_out.contains("estimated triangle count"));
+    assert!(parallel_out.contains("estimated triangle count"));
+    assert!(parallel_out.contains("shards = 2"));
 }
