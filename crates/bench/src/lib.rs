@@ -19,11 +19,15 @@
 pub mod experiments;
 pub mod report;
 pub mod spawn_baseline;
+pub mod suite;
 pub mod trial;
 pub mod workloads;
 
-pub use report::{write_csv, ExperimentTable};
+pub use report::{
+    write_csv, BenchReport, ExperimentTable, WorkloadKind, WorkloadResult, BENCH_SCHEMA_VERSION,
+};
 pub use spawn_baseline::SpawnPerBatchCounter;
+pub use suite::{run_suite, BenchConfig};
 pub use trial::{run_trials, ThroughputSummary, TrialOutcome, TrialSummary};
 pub use workloads::{
     env_scale_factor, env_seed, env_trials, load_standin, load_standin_scaled, Workload,

@@ -1,9 +1,45 @@
-//! Rendering experiment results: fixed-width tables on stdout and CSV files
-//! under `target/experiments/`.
+//! Rendering experiment results: fixed-width tables on stdout, CSV files
+//! under `target/experiments/`, and the versioned machine-readable
+//! `BENCH.json` report emitted by `tristream-cli bench`.
+//!
+//! # `BENCH.json` schema (version 1)
+//!
+//! The schema is additive-only: new fields may appear in later versions,
+//! existing fields keep their name, type and meaning, and
+//! `schema_version` is bumped on any change. Field by field:
+//!
+//! * `schema` (string) — always `"tristream-bench"`.
+//! * `schema_version` (integer) — `1`.
+//! * `mode` (string) — `"smoke"` or `"full"`.
+//! * `seed` (integer) — base RNG seed the whole suite derives from.
+//! * `workloads` (array) — one object per named workload:
+//!   * `name` (string) — stable workload identifier, e.g.
+//!     `"ingest-binary"`, `"engine-persistent-w4096"`.
+//!   * `kind` (string) — `"ingest"`, `"engine"` or `"accuracy"`.
+//!   * `edges` (integer) — edges processed per trial.
+//!   * `trials` (integer) — number of timed trials.
+//!   * `batch` (integer | null) — batch size `w`, when the workload has one.
+//!   * `shards` (integer | null) — worker shards, when parallel.
+//!   * `estimators` (integer | null) — estimator-pool size `r`, when the
+//!     workload runs an estimator.
+//!   * `p50_latency_secs` / `p95_latency_secs` (number) — nearest-rank
+//!     percentiles of per-trial wall-clock seconds.
+//!   * `edges_per_sec` (number) — `edges / p50_latency_secs`.
+//!   * `mean_rel_error` (number | null) — mean relative estimate error
+//!     across trials (`|est − truth| / truth`), for accuracy workloads.
+//!   * `error_bound` (number | null) — the documented accuracy bound the
+//!     CI gate enforces; `mean_rel_error > error_bound` fails the gate.
+//! * `derived` (object):
+//!   * `binary_vs_text_ingest_speedup` (number | null) — `edges_per_sec`
+//!     of `ingest-binary` over `ingest-text`, when both ran.
+//!
+//! Deterministic seeding makes `mean_rel_error` identical run-to-run, so
+//! the accuracy gate is stable; only the latency fields vary with the
+//! machine.
 
 use std::fs;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// A simple column-aligned table: a header row plus data rows, rendered to
 /// stdout by the experiment binaries and to CSV for EXPERIMENTS.md.
@@ -129,6 +165,292 @@ pub fn write_csv(table: &ExperimentTable, name: &str) -> PathBuf {
     path
 }
 
+/// What a named workload measures; serialised as the `kind` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// File-ingestion throughput (reader + decode, no estimator).
+    Ingest,
+    /// Execution-model throughput (spawn-per-batch vs persistent engine).
+    Engine,
+    /// Estimate accuracy against exact ground truth.
+    Accuracy,
+}
+
+impl WorkloadKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            WorkloadKind::Ingest => "ingest",
+            WorkloadKind::Engine => "engine",
+            WorkloadKind::Accuracy => "accuracy",
+        }
+    }
+}
+
+/// One named workload's results — one element of the `workloads` array of
+/// `BENCH.json` (schema documented at [module level](self)).
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Stable identifier, e.g. `ingest-binary` or `engine-persistent-w4096`.
+    pub name: String,
+    /// What the workload measures.
+    pub kind: WorkloadKind,
+    /// Edges processed per trial.
+    pub edges: u64,
+    /// Number of timed trials.
+    pub trials: usize,
+    /// Batch size `w`, when the workload has one.
+    pub batch: Option<usize>,
+    /// Worker shards, when parallel.
+    pub shards: Option<usize>,
+    /// Estimator-pool size `r`, when the workload runs an estimator.
+    pub estimators: Option<usize>,
+    /// Nearest-rank p50 of per-trial wall-clock seconds.
+    pub p50_latency_secs: f64,
+    /// Nearest-rank p95 of per-trial wall-clock seconds.
+    pub p95_latency_secs: f64,
+    /// `edges / p50_latency_secs`.
+    pub edges_per_sec: f64,
+    /// Mean relative estimate error across trials, for accuracy workloads.
+    pub mean_rel_error: Option<f64>,
+    /// Documented accuracy bound the CI gate enforces.
+    pub error_bound: Option<f64>,
+}
+
+impl WorkloadResult {
+    /// Whether this workload violates its documented accuracy bound. An
+    /// incomparable error (NaN) counts as a violation — a gate must never
+    /// pass on garbage.
+    pub fn exceeds_bound(&self) -> bool {
+        match (self.mean_rel_error, self.error_bound) {
+            (Some(error), Some(bound)) => !matches!(
+                error.partial_cmp(&bound),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            ),
+            _ => false,
+        }
+    }
+}
+
+/// Nearest-rank percentile of per-trial latencies (`q` in `[0, 1]`).
+/// Returns 0.0 for an empty slice.
+pub fn percentile(sorted_ascending: &[f64], q: f64) -> f64 {
+    if sorted_ascending.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted_ascending.len() as f64).ceil() as usize;
+    sorted_ascending[rank.clamp(1, sorted_ascending.len()) - 1]
+}
+
+/// Builds a [`WorkloadResult`] from raw per-trial latencies.
+#[allow(clippy::too_many_arguments)]
+pub fn summarize_workload(
+    name: &str,
+    kind: WorkloadKind,
+    edges: u64,
+    latencies_secs: &[f64],
+    batch: Option<usize>,
+    shards: Option<usize>,
+    estimators: Option<usize>,
+    accuracy: Option<(f64, f64)>,
+) -> WorkloadResult {
+    let mut sorted = latencies_secs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let p50 = percentile(&sorted, 0.50);
+    let p95 = percentile(&sorted, 0.95);
+    let (mean_rel_error, error_bound) = match accuracy {
+        Some((error, bound)) => (Some(error), Some(bound)),
+        None => (None, None),
+    };
+    WorkloadResult {
+        name: name.to_string(),
+        kind,
+        edges,
+        trials: latencies_secs.len(),
+        batch,
+        shards,
+        estimators,
+        p50_latency_secs: p50,
+        p95_latency_secs: p95,
+        edges_per_sec: if p50 > 0.0 { edges as f64 / p50 } else { 0.0 },
+        mean_rel_error,
+        error_bound,
+    }
+}
+
+/// The versioned machine-readable report emitted as `BENCH.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// `"smoke"` or `"full"`.
+    pub mode: String,
+    /// Base RNG seed the whole suite derives from.
+    pub seed: u64,
+    /// One entry per named workload, in execution order.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+/// The schema version this module writes.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+impl BenchReport {
+    /// Looks up a workload by name.
+    pub fn workload(&self, name: &str) -> Option<&WorkloadResult> {
+        self.workloads.iter().find(|w| w.name == name)
+    }
+
+    /// `edges_per_sec` ratio of workload `numerator` over `denominator`,
+    /// when both ran and the denominator is non-zero.
+    pub fn speedup(&self, numerator: &str, denominator: &str) -> Option<f64> {
+        let over = self.workload(numerator)?.edges_per_sec;
+        let under = self.workload(denominator)?.edges_per_sec;
+        (under > 0.0).then_some(over / under)
+    }
+
+    /// Names of workloads whose mean relative error exceeds their
+    /// documented bound — the CI accuracy gate fails when non-empty.
+    pub fn gate_failures(&self) -> Vec<String> {
+        self.workloads
+            .iter()
+            .filter(|w| w.exceeds_bound())
+            .map(|w| w.name.clone())
+            .collect()
+    }
+
+    /// Renders the report as pretty-printed JSON in the documented schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"tristream-bench\",\n");
+        out.push_str(&format!("  \"schema_version\": {BENCH_SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"mode\": {},\n", json_string(&self.mode)));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"workloads\": [\n");
+        for (i, w) in self.workloads.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": {},\n", json_string(&w.name)));
+            out.push_str(&format!(
+                "      \"kind\": {},\n",
+                json_string(w.kind.as_str())
+            ));
+            out.push_str(&format!("      \"edges\": {},\n", w.edges));
+            out.push_str(&format!("      \"trials\": {},\n", w.trials));
+            out.push_str(&format!("      \"batch\": {},\n", json_opt_usize(w.batch)));
+            out.push_str(&format!(
+                "      \"shards\": {},\n",
+                json_opt_usize(w.shards)
+            ));
+            out.push_str(&format!(
+                "      \"estimators\": {},\n",
+                json_opt_usize(w.estimators)
+            ));
+            out.push_str(&format!(
+                "      \"p50_latency_secs\": {},\n",
+                json_f64(w.p50_latency_secs)
+            ));
+            out.push_str(&format!(
+                "      \"p95_latency_secs\": {},\n",
+                json_f64(w.p95_latency_secs)
+            ));
+            out.push_str(&format!(
+                "      \"edges_per_sec\": {},\n",
+                json_f64(w.edges_per_sec)
+            ));
+            out.push_str(&format!(
+                "      \"mean_rel_error\": {},\n",
+                json_opt_f64(w.mean_rel_error)
+            ));
+            out.push_str(&format!(
+                "      \"error_bound\": {}\n",
+                json_opt_f64(w.error_bound)
+            ));
+            out.push_str(if i + 1 == self.workloads.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"derived\": {\n");
+        out.push_str(&format!(
+            "    \"binary_vs_text_ingest_speedup\": {}\n",
+            json_opt_f64(self.speedup("ingest-binary", "ingest-text"))
+        ));
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the JSON rendering to `path`.
+    pub fn write_json_file<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+
+    /// A human-readable summary table of the same results, for stdout.
+    pub fn to_table(&self) -> ExperimentTable {
+        let mut table = ExperimentTable::new(
+            &format!("bench ({} mode, seed {})", self.mode, self.seed),
+            &[
+                "workload", "edges", "p50 s", "p95 s", "edges/s", "rel err", "bound",
+            ],
+        );
+        for w in &self.workloads {
+            let fmt_opt = |v: Option<f64>| v.map_or_else(|| "-".into(), |x| format!("{x:.4}"));
+            table.push_row(vec![
+                w.name.clone(),
+                w.edges.to_string(),
+                format!("{:.4}", w.p50_latency_secs),
+                format!("{:.4}", w.p95_latency_secs),
+                format!("{:.0}", w.edges_per_sec),
+                fmt_opt(w.mean_rel_error),
+                fmt_opt(w.error_bound),
+            ]);
+        }
+        table
+    }
+}
+
+/// JSON string literal with the escapes the report can ever need.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite floats render via `Display` (never scientific, always valid
+/// JSON); non-finite values become `null`.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        // Ensure a decimal point so the value reads as a float, not an int.
+        let s = format!("{x}");
+        if s.contains('.') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt_f64(x: Option<f64>) -> String {
+    x.map_or_else(|| "null".to_string(), json_f64)
+}
+
+fn json_opt_usize(x: Option<usize>) -> String {
+    x.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,5 +504,253 @@ mod tests {
         assert_eq!(t.len(), 0);
         assert!(t.render().contains("Empty"));
         assert_eq!(t.to_csv(), "a,b\n");
+    }
+
+    // ------------------------------------------------------------------
+    // BENCH.json schema tests, validated with a minimal JSON parser so a
+    // malformed emitter (unbalanced braces, bare NaN, trailing comma)
+    // fails here instead of in whatever tool consumes the artifact.
+    // ------------------------------------------------------------------
+
+    /// Parses one JSON value starting at `i`, returning the index one past
+    /// its end. Panics (failing the test) on malformed input.
+    fn parse_json_value(bytes: &[u8], mut i: usize) -> usize {
+        let skip_ws = |bytes: &[u8], mut i: usize| {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            i
+        };
+        i = skip_ws(bytes, i);
+        assert!(i < bytes.len(), "unexpected end of JSON");
+        match bytes[i] {
+            b'{' | b'[' => {
+                let (open, close) = if bytes[i] == b'{' {
+                    (b'{', b'}')
+                } else {
+                    (b'[', b']')
+                };
+                i += 1;
+                i = skip_ws(bytes, i);
+                if bytes[i] == close {
+                    return i + 1;
+                }
+                loop {
+                    if open == b'{' {
+                        i = skip_ws(bytes, i);
+                        assert_eq!(bytes[i], b'"', "object key must be a string");
+                        i = parse_json_value(bytes, i);
+                        i = skip_ws(bytes, i);
+                        assert_eq!(bytes[i], b':', "missing ':' after key");
+                        i += 1;
+                    }
+                    i = parse_json_value(bytes, i);
+                    i = skip_ws(bytes, i);
+                    match bytes[i] {
+                        b',' => i += 1,
+                        c if c == close => return i + 1,
+                        c => panic!("expected ',' or '{}', got '{}'", close as char, c as char),
+                    }
+                }
+            }
+            b'"' => {
+                i += 1;
+                while bytes[i] != b'"' {
+                    if bytes[i] == b'\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i + 1
+            }
+            b't' => {
+                assert_eq!(&bytes[i..i + 4], b"true");
+                i + 4
+            }
+            b'f' => {
+                assert_eq!(&bytes[i..i + 5], b"false");
+                i + 5
+            }
+            b'n' => {
+                assert_eq!(&bytes[i..i + 4], b"null");
+                i + 4
+            }
+            c if c == b'-' || c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || matches!(bytes[i], b'-' | b'+' | b'.' | b'e' | b'E'))
+                {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).unwrap();
+                text.parse::<f64>().expect("valid JSON number");
+                i
+            }
+            c => panic!("unexpected character '{}' in JSON", c as char),
+        }
+    }
+
+    /// Asserts `text` is exactly one valid JSON value.
+    fn assert_valid_json(text: &str) {
+        let bytes = text.as_bytes();
+        let mut end = parse_json_value(bytes, 0);
+        while end < bytes.len() {
+            assert!(
+                bytes[end].is_ascii_whitespace(),
+                "trailing garbage after JSON value"
+            );
+            end += 1;
+        }
+    }
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            mode: "smoke".into(),
+            seed: 7,
+            workloads: vec![
+                summarize_workload(
+                    "ingest-text",
+                    WorkloadKind::Ingest,
+                    1_000_000,
+                    &[0.5, 0.4, 0.6],
+                    Some(65_536),
+                    None,
+                    None,
+                    None,
+                ),
+                summarize_workload(
+                    "ingest-binary",
+                    WorkloadKind::Ingest,
+                    1_000_000,
+                    &[0.05, 0.04, 0.06],
+                    Some(65_536),
+                    None,
+                    None,
+                    None,
+                ),
+                summarize_workload(
+                    "accuracy-bulk-syn3reg",
+                    WorkloadKind::Accuracy,
+                    3_000,
+                    &[0.1],
+                    Some(8_192),
+                    None,
+                    Some(1_024),
+                    Some((0.031, 0.15)),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn bench_report_json_is_valid_and_carries_every_documented_field() {
+        let json = sample_report().to_json();
+        assert_valid_json(&json);
+        for field in [
+            "\"schema\"",
+            "\"schema_version\"",
+            "\"mode\"",
+            "\"seed\"",
+            "\"workloads\"",
+            "\"name\"",
+            "\"kind\"",
+            "\"edges\"",
+            "\"trials\"",
+            "\"batch\"",
+            "\"shards\"",
+            "\"estimators\"",
+            "\"p50_latency_secs\"",
+            "\"p95_latency_secs\"",
+            "\"edges_per_sec\"",
+            "\"mean_rel_error\"",
+            "\"error_bound\"",
+            "\"derived\"",
+            "\"binary_vs_text_ingest_speedup\"",
+        ] {
+            assert!(
+                json.contains(field),
+                "missing schema field {field}:\n{json}"
+            );
+        }
+        assert!(json.contains(&format!("\"schema_version\": {BENCH_SCHEMA_VERSION}")));
+        assert!(json.contains("\"tristream-bench\""));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&sorted, 0.50), 3.0);
+        assert_eq!(percentile(&sorted, 0.95), 5.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&[2.5], 0.95), 2.5);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn summaries_derive_throughput_from_p50() {
+        let w = summarize_workload(
+            "x",
+            WorkloadKind::Ingest,
+            1_000,
+            &[0.5, 0.1, 0.2],
+            None,
+            None,
+            None,
+            None,
+        );
+        assert_eq!(w.p50_latency_secs, 0.2);
+        assert_eq!(w.p95_latency_secs, 0.5);
+        assert_eq!(w.edges_per_sec, 5_000.0);
+        assert!(!w.exceeds_bound(), "no accuracy fields, no gate");
+    }
+
+    #[test]
+    fn gate_flags_only_workloads_over_their_bound() {
+        let mut report = sample_report();
+        assert!(report.gate_failures().is_empty());
+        report.workloads[2].mean_rel_error = Some(0.2);
+        assert_eq!(report.gate_failures(), vec!["accuracy-bulk-syn3reg"]);
+        // A NaN error must fail the gate, not slip through a `<` compare.
+        report.workloads[2].mean_rel_error = Some(f64::NAN);
+        assert_eq!(report.gate_failures().len(), 1);
+    }
+
+    #[test]
+    fn speedup_compares_ingest_workloads() {
+        let report = sample_report();
+        let speedup = report.speedup("ingest-binary", "ingest-text").unwrap();
+        assert!((speedup - 10.0).abs() < 1e-9, "0.5s vs 0.05s → 10x");
+        assert!(report.speedup("ingest-binary", "nope").is_none());
+        let json = report.to_json();
+        assert!(json.contains("\"binary_vs_text_ingest_speedup\": 10"));
+    }
+
+    #[test]
+    fn json_floats_are_always_valid_json() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(0.25), "0.25");
+        assert_valid_json(&json_f64(1234567890.125));
+    }
+
+    #[test]
+    fn report_table_mirrors_the_workloads() {
+        let t = sample_report().to_table();
+        assert_eq!(t.len(), 3);
+        assert!(t.render().contains("ingest-binary"));
+    }
+
+    #[test]
+    fn write_json_file_round_trips() {
+        let path = std::env::temp_dir().join(format!(
+            "tristream-bench-report-{}.json",
+            std::process::id()
+        ));
+        sample_report().write_json_file(&path).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_valid_json(&text);
+        fs::remove_file(&path).ok();
     }
 }

@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::path::PathBuf;
+use tristream_graph::binary::is_tsb_path;
 
 /// Errors produced while parsing the command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,6 +96,30 @@ pub enum Command {
         /// RNG seed.
         seed: u64,
     },
+    /// Convert an edge-stream file between the text and `.tsb` binary
+    /// codecs (direction inferred from the extensions).
+    Convert {
+        /// Source file (text edge list, or `.tsb`).
+        input: PathBuf,
+        /// Destination file (`.tsb`, or text edge list).
+        output: PathBuf,
+        /// When converting *to* `.tsb`: also write the timestamp column,
+        /// filled with each edge's 1-based stream position.
+        timestamps: bool,
+    },
+    /// Run the named benchmark workloads and write `BENCH.json`.
+    Bench {
+        /// Use the smoke configuration (CI-sized) instead of the full one.
+        smoke: bool,
+        /// Exit non-zero if any workload exceeds its accuracy bound.
+        check: bool,
+        /// Base RNG seed for the whole suite.
+        seed: u64,
+        /// Where to write the JSON report.
+        output: PathBuf,
+        /// Override the ingest stream size (mainly for tests).
+        edges: Option<usize>,
+    },
     /// Generate a dataset stand-in and write it as an edge list.
     Generate {
         /// Dataset slug (e.g. `orkut`, `dblp`, `syn-3-reg`).
@@ -118,6 +143,9 @@ USAGE:
                                          [--parallel [--shards K]]
   tristream-cli transitivity <EDGE_LIST> [--estimators N] [--seed S]
   tristream-cli sample       <EDGE_LIST> [-k K] [--estimators N] [--seed S]
+  tristream-cli convert      <INPUT> --output FILE [--timestamps]
+  tristream-cli bench        [--smoke] [--check] [--seed S] [--output FILE]
+                             [--edges N]
   tristream-cli generate     <DATASET>   [--scale D] [--seed S] --output FILE
   tristream-cli help
 
@@ -126,6 +154,16 @@ threads (default: available CPUs) and streams the file batch by batch
 instead of loading it whole (duplicate edges are then kept as-is).
 
 Edge lists are SNAP-style text files: one `u v` pair per line, `#` comments.
+Files with the `.tsb` extension use the tristream binary edge-stream format
+instead, which every subcommand reads transparently; `convert` translates
+between the two (exactly one side must be `.tsb`, and `--timestamps` adds a
+stream-position timestamp column when writing `.tsb`).
+
+`bench` runs the named perf workloads (text vs binary ingest, spawn vs
+persistent engine, accuracy vs exact) and writes a machine-readable
+BENCH.json (default path: BENCH.json); `--check` makes an accuracy-bound
+violation a non-zero exit, which is how CI gates.
+
 Datasets for `generate`: amazon, dblp, youtube, livejournal, orkut,
 syn-d-regular, hep-th, syn-3-reg.
 ";
@@ -280,6 +318,98 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 k,
                 estimators,
                 seed,
+            })
+        }
+        "convert" => {
+            let input = positional(&rest, 0, "input path")?;
+            let mut output: Option<PathBuf> = None;
+            let mut timestamps = false;
+            let mut i = 1;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--output" | "-o" => {
+                        output = Some(PathBuf::from(
+                            rest.get(i + 1)
+                                .ok_or_else(|| CliError::BadFlagValue("--output".into()))?,
+                        ));
+                        i += 2;
+                    }
+                    "--timestamps" => {
+                        timestamps = true;
+                        i += 1;
+                    }
+                    other => return Err(CliError::UnknownFlag(other.to_string())),
+                }
+            }
+            let input = PathBuf::from(input);
+            let output = output.ok_or(CliError::MissingArgument("--output FILE"))?;
+            // The conversion direction comes from the extensions, so an
+            // ambiguous pair is a usage error, not a guess.
+            if is_tsb_path(&input) == is_tsb_path(&output) {
+                return Err(CliError::InvalidFlagValue {
+                    flag: "--output",
+                    reason: "exactly one of INPUT and OUTPUT must have the .tsb extension",
+                });
+            }
+            if timestamps && !is_tsb_path(&output) {
+                return Err(CliError::InvalidFlagValue {
+                    flag: "--timestamps",
+                    reason: "requires a .tsb OUTPUT (text edge lists have no timestamp column)",
+                });
+            }
+            Ok(Command::Convert {
+                input,
+                output,
+                timestamps,
+            })
+        }
+        "bench" => {
+            let mut smoke = false;
+            let mut check = false;
+            let mut seed = 1u64;
+            let mut output = PathBuf::from("BENCH.json");
+            let mut edges = None;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--smoke" => {
+                        smoke = true;
+                        i += 1;
+                    }
+                    "--check" => {
+                        check = true;
+                        i += 1;
+                    }
+                    "--seed" => {
+                        seed = parse_flag_value("--seed", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    "--output" | "-o" => {
+                        output = PathBuf::from(
+                            rest.get(i + 1)
+                                .ok_or_else(|| CliError::BadFlagValue("--output".into()))?,
+                        );
+                        i += 2;
+                    }
+                    "--edges" => {
+                        edges = Some(parse_flag_value("--edges", rest.get(i + 1))?);
+                        i += 2;
+                    }
+                    other => return Err(CliError::UnknownFlag(other.to_string())),
+                }
+            }
+            if edges == Some(0) {
+                return Err(CliError::InvalidFlagValue {
+                    flag: "--edges",
+                    reason: "the ingest stream needs at least one edge",
+                });
+            }
+            Ok(Command::Bench {
+                smoke,
+                check,
+                seed,
+                output,
+                edges,
             })
         }
         "generate" => {
@@ -514,6 +644,118 @@ mod tests {
                 seed: 3
             }
         );
+    }
+
+    #[test]
+    fn convert_infers_direction_from_extensions() {
+        let c = parse_args(&args(&["convert", "g.txt", "--output", "g.tsb"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Convert {
+                input: PathBuf::from("g.txt"),
+                output: PathBuf::from("g.tsb"),
+                timestamps: false
+            }
+        );
+        let c = parse_args(&args(&["convert", "g.tsb", "-o", "g.txt"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Convert {
+                input: PathBuf::from("g.tsb"),
+                output: PathBuf::from("g.txt"),
+                timestamps: false
+            }
+        );
+        let c = parse_args(&args(&[
+            "convert",
+            "g.txt",
+            "--output",
+            "g.tsb",
+            "--timestamps",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Convert {
+                timestamps: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn convert_rejects_ambiguous_or_invalid_usage() {
+        assert!(matches!(
+            parse_args(&args(&["convert", "g.txt"])).unwrap_err(),
+            CliError::MissingArgument(_)
+        ));
+        // Neither side is .tsb.
+        let err = parse_args(&args(&["convert", "a.txt", "--output", "b.txt"])).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::InvalidFlagValue {
+                flag: "--output",
+                ..
+            }
+        ));
+        // Both sides are .tsb.
+        assert!(parse_args(&args(&["convert", "a.tsb", "--output", "b.tsb"])).is_err());
+        // Timestamps only make sense when writing .tsb.
+        let err = parse_args(&args(&[
+            "convert",
+            "a.tsb",
+            "--output",
+            "b.txt",
+            "--timestamps",
+        ]))
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::InvalidFlagValue {
+                flag: "--timestamps",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bench_defaults_and_flags() {
+        let b = parse_args(&args(&["bench"])).unwrap();
+        assert_eq!(
+            b,
+            Command::Bench {
+                smoke: false,
+                check: false,
+                seed: 1,
+                output: PathBuf::from("BENCH.json"),
+                edges: None
+            }
+        );
+        let b = parse_args(&args(&[
+            "bench", "--smoke", "--check", "--seed", "9", "--output", "out.json", "--edges", "5000",
+        ]))
+        .unwrap();
+        assert_eq!(
+            b,
+            Command::Bench {
+                smoke: true,
+                check: true,
+                seed: 9,
+                output: PathBuf::from("out.json"),
+                edges: Some(5_000)
+            }
+        );
+        assert!(matches!(
+            parse_args(&args(&["bench", "--edges", "0"])).unwrap_err(),
+            CliError::InvalidFlagValue {
+                flag: "--edges",
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_args(&args(&["bench", "--bogus"])).unwrap_err(),
+            CliError::UnknownFlag(_)
+        ));
     }
 
     #[test]

@@ -7,21 +7,56 @@
 
 use crate::args::{Command, HELP};
 use std::error::Error;
+use std::path::Path;
 use std::time::Instant;
 use tristream_baselines::ExactStreamingCounter;
+use tristream_bench::{run_suite, BenchConfig};
 use tristream_core::{
     BulkTriangleCounter, ParallelBulkTriangleCounter, TransitivityEstimator, TriangleSampler,
 };
 use tristream_gen::{DatasetKind, StandIn};
+use tristream_graph::binary::{
+    is_tsb_path, read_edges_binary_batched_file, read_edges_binary_file, write_edges_binary_file,
+    write_edges_binary_timestamped_file,
+};
 use tristream_graph::io::{read_edge_list_batched_file, read_edge_list_file, write_edge_list_file};
-use tristream_graph::{EdgeStream, GraphSummary};
+use tristream_graph::{Edge, EdgeStream, GraphError, GraphSummary};
+
+/// Reads a whole edge-stream file, picking the codec from the extension:
+/// `.tsb` files use the binary reader (duplicates preserved — binary
+/// streams are machine-written), everything else the SNAP text reader
+/// (deduplicating, as before).
+fn read_stream_auto<P: AsRef<Path>>(path: P) -> Result<EdgeStream, GraphError> {
+    if is_tsb_path(&path) {
+        read_edges_binary_file(path)
+    } else {
+        read_edge_list_file(path)
+    }
+}
+
+/// A boxed *batch source* — the shape `ParallelBulkTriangleCounter::
+/// process_source` ingests.
+type BatchSource = Box<dyn Iterator<Item = Result<Vec<Edge>, GraphError>>>;
+
+/// Opens a file as a [batch source](BatchSource) (the engine-side ingestion
+/// boundary), picking the codec from the extension.
+fn open_batched_auto<P: AsRef<Path>>(
+    path: P,
+    batch_size: usize,
+) -> Result<BatchSource, GraphError> {
+    if is_tsb_path(&path) {
+        Ok(Box::new(read_edges_binary_batched_file(path, batch_size)?))
+    } else {
+        Ok(Box::new(read_edge_list_batched_file(path, batch_size)?))
+    }
+}
 
 /// Executes a parsed command and returns the report to print.
 pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
     match command {
         Command::Help => Ok(HELP.to_string()),
         Command::Summary { input } => {
-            let stream = read_edge_list_file(&input)?;
+            let stream = read_stream_auto(&input)?;
             let summary = GraphSummary::of_stream_with_order(&stream);
             Ok(format!("{}\n{}\n", input.display(), summary.one_line()))
         }
@@ -42,12 +77,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 let shards = shards.unwrap_or_else(default_shards).max(1);
                 let start = Instant::now();
                 let mut counter = ParallelBulkTriangleCounter::new(estimators.max(1), shards, seed);
-                let mut edges = 0usize;
-                for next in read_edge_list_batched_file(&input, batch)? {
-                    let chunk = next?;
-                    edges += chunk.len();
-                    counter.process_batch(&chunk);
-                }
+                let edges = counter.process_source(open_batched_auto(&input, batch)?)?;
                 return Ok(format!(
                     "estimated triangle count: {:.0} (r = {}, shards = {}, batch = {}, {} edges \
                      in {:.3} s, {} estimators hold a triangle)\n",
@@ -60,7 +90,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                     counter.estimators_with_triangle()
                 ));
             }
-            let stream = read_edge_list_file(&input)?;
+            let stream = read_stream_auto(&input)?;
             if exact {
                 let start = Instant::now();
                 let mut counter = ExactStreamingCounter::new();
@@ -92,7 +122,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             estimators,
             seed,
         } => {
-            let stream = read_edge_list_file(&input)?;
+            let stream = read_stream_auto(&input)?;
             let mut est = TransitivityEstimator::new(estimators.max(1), seed);
             est.process_edges(stream.edges());
             Ok(format!(
@@ -108,7 +138,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             estimators,
             seed,
         } => {
-            let stream = read_edge_list_file(&input)?;
+            let stream = read_stream_auto(&input)?;
             let mut sampler = TriangleSampler::new(estimators.max(1), seed);
             sampler.process_edges(stream.edges());
             match sampler.sample_k(k.max(1)) {
@@ -125,6 +155,83 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                         .to_string(),
                 ),
             }
+        }
+        Command::Convert {
+            input,
+            output,
+            timestamps,
+        } => {
+            if is_tsb_path(&output) {
+                // Text → binary. The text reader deduplicates, matching
+                // every other text-reading subcommand.
+                let stream = read_edge_list_file(&input)?;
+                if timestamps {
+                    let records: Vec<(Edge, u64)> =
+                        stream.iter_positioned().map(|(pos, e)| (e, pos)).collect();
+                    write_edges_binary_timestamped_file(&records, &output)?;
+                } else {
+                    write_edges_binary_file(stream.edges(), &output)?;
+                }
+                Ok(format!(
+                    "wrote {} edges to {} (.tsb v1{})\n",
+                    stream.len(),
+                    output.display(),
+                    if timestamps {
+                        ", with stream-position timestamps"
+                    } else {
+                        ""
+                    }
+                ))
+            } else {
+                // Binary → text (timestamps, if any, are dropped — the
+                // text format has no column for them).
+                let stream = read_edges_binary_file(&input)?;
+                write_edge_list_file(&stream, &output)?;
+                Ok(format!(
+                    "wrote {} edges to {} (SNAP-style text)\n",
+                    stream.len(),
+                    output.display()
+                ))
+            }
+        }
+        Command::Bench {
+            smoke,
+            check,
+            seed,
+            output,
+            edges,
+        } => {
+            let mut config = if smoke {
+                BenchConfig::smoke(seed)
+            } else {
+                BenchConfig::full(seed)
+            };
+            if let Some(edges) = edges {
+                config.ingest_edges = edges;
+            }
+            let report = run_suite(&config)?;
+            report.write_json_file(&output)?;
+            let mut out = report.to_table().render();
+            if let Some(speedup) = report.speedup("ingest-binary", "ingest-text") {
+                out.push_str(&format!("binary vs text ingest speedup: {speedup:.2}x\n"));
+            }
+            out.push_str(&format!("wrote {}\n", output.display()));
+            let failures = report.gate_failures();
+            if failures.is_empty() {
+                out.push_str("accuracy gate: ok\n");
+            } else {
+                out.push_str(&format!("accuracy gate: FAILED for {failures:?}\n"));
+                if check {
+                    // The report is already on disk, so CI can upload the
+                    // artifact even though the gate fails the job.
+                    print!("{out}");
+                    return Err(format!(
+                        "accuracy gate failed: {failures:?} exceeded the documented error bound"
+                    )
+                    .into());
+                }
+            }
+            Ok(out)
         }
         Command::Generate {
             dataset,
@@ -276,6 +383,146 @@ mod tests {
         assert!(g.contains("wrote"));
         let s = run(Command::Summary { input: out_path }).unwrap();
         assert!(s.contains("m=3000"));
+    }
+
+    #[test]
+    fn convert_round_trips_text_to_tsb_and_back() {
+        let text_in = sample_graph_path();
+        let dir = std::env::temp_dir().join("tristream-cli-tests");
+        let tsb = dir.join("roundtrip.tsb");
+        let text_out = dir.join("roundtrip-back.txt");
+
+        let out = run(Command::Convert {
+            input: text_in.clone(),
+            output: tsb.clone(),
+            timestamps: false,
+        })
+        .unwrap();
+        assert!(out.contains("3000 edges"), "{out}");
+        assert!(out.contains(".tsb"), "{out}");
+
+        let out = run(Command::Convert {
+            input: tsb.clone(),
+            output: text_out.clone(),
+            timestamps: false,
+        })
+        .unwrap();
+        assert!(out.contains("3000 edges"), "{out}");
+
+        let original = tristream_graph::io::read_edge_list_file(&text_in).unwrap();
+        let round_tripped = tristream_graph::io::read_edge_list_file(&text_out).unwrap();
+        assert_eq!(original.edges(), round_tripped.edges());
+    }
+
+    #[test]
+    fn converted_tsb_is_read_transparently_by_every_subcommand() {
+        let text_in = sample_graph_path();
+        let tsb = std::env::temp_dir()
+            .join("tristream-cli-tests")
+            .join("transparent.tsb");
+        run(Command::Convert {
+            input: text_in.clone(),
+            output: tsb.clone(),
+            timestamps: false,
+        })
+        .unwrap();
+
+        let summary = run(Command::Summary { input: tsb.clone() }).unwrap();
+        assert!(summary.contains("n=2000"), "{summary}");
+        assert!(summary.contains("m=3000"), "{summary}");
+
+        // Sequential count from .tsb must match the count from text: the
+        // same stream feeds the same seeded counter. Only the elapsed-time
+        // field may differ between the two reports.
+        let count = |input: std::path::PathBuf| {
+            run(Command::Count {
+                input,
+                estimators: 5_000,
+                batch: None,
+                seed: 3,
+                exact: false,
+                parallel: false,
+                shards: None,
+            })
+            .unwrap()
+        };
+        let without_elapsed = |report: String| {
+            let (head, tail) = report.split_once(" in ").expect("report has a time field");
+            let (_, tail) = tail.split_once(" s, ").expect("report has a time field");
+            format!("{head} … {tail}")
+        };
+        assert_eq!(
+            without_elapsed(count(tsb.clone())),
+            without_elapsed(count(text_in))
+        );
+
+        // Parallel count streams the binary file through the engine.
+        let parallel = run(Command::Count {
+            input: tsb,
+            estimators: 5_000,
+            batch: Some(512),
+            seed: 3,
+            exact: false,
+            parallel: true,
+            shards: Some(2),
+        })
+        .unwrap();
+        assert!(parallel.contains("3000 edges"), "{parallel}");
+    }
+
+    #[test]
+    fn convert_with_timestamps_preserves_stream_positions() {
+        let text_in = sample_graph_path();
+        let tsb = std::env::temp_dir()
+            .join("tristream-cli-tests")
+            .join("timestamped.tsb");
+        let out = run(Command::Convert {
+            input: text_in,
+            output: tsb.clone(),
+            timestamps: true,
+        })
+        .unwrap();
+        assert!(out.contains("timestamps"), "{out}");
+        let records = tristream_graph::binary::read_edges_binary_timestamped_file(&tsb).unwrap();
+        assert_eq!(records.len(), 3_000);
+        assert!(records
+            .iter()
+            .enumerate()
+            .all(|(i, &(_, ts))| ts == i as u64 + 1));
+    }
+
+    #[test]
+    fn corrupt_tsb_input_is_an_error_not_a_panic() {
+        let dir = std::env::temp_dir().join("tristream-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bogus = dir.join("bogus.tsb");
+        std::fs::write(&bogus, b"definitely not a tsb stream").unwrap();
+        let err = run(Command::Summary { input: bogus }).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn bench_writes_a_report_and_gates_on_accuracy() {
+        let dir = std::env::temp_dir().join("tristream-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join(format!("bench-{}.json", std::process::id()));
+        let out = run(Command::Bench {
+            smoke: true,
+            check: true,
+            seed: 1,
+            output: json_path.clone(),
+            // Tiny ingest stream: this is a debug-mode unit test; the CI
+            // perf-smoke job runs the real 1M-edge stream in release.
+            edges: Some(2_000),
+        })
+        .unwrap();
+        assert!(out.contains("accuracy gate: ok"), "{out}");
+        assert!(out.contains("ingest speedup"), "{out}");
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"schema\": \"tristream-bench\""), "{json}");
+        assert!(json.contains("\"mode\": \"smoke\""), "{json}");
+        assert!(json.contains("\"engine-persistent-w65536\""), "{json}");
+        std::fs::remove_file(&json_path).ok();
     }
 
     #[test]

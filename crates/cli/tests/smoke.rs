@@ -187,3 +187,104 @@ fn missing_file_fails_cleanly() {
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("error"), "stderr should explain:\n{stderr}");
 }
+
+#[test]
+fn convert_and_binary_count_end_to_end() {
+    let text_list = temp_path("convert.txt");
+    let tsb = temp_path("convert.tsb");
+
+    let generate = run(&[
+        "generate",
+        "syn-3-reg",
+        "--scale",
+        "16",
+        "--seed",
+        "3",
+        "--output",
+        text_list.to_str().unwrap(),
+    ]);
+    assert!(generate.status.success(), "generate failed: {generate:?}");
+
+    let convert = run(&[
+        "convert",
+        text_list.to_str().unwrap(),
+        "--output",
+        tsb.to_str().unwrap(),
+    ]);
+    assert!(convert.status.success(), "convert failed: {convert:?}");
+    assert!(
+        stdout(&convert).contains(".tsb"),
+        "convert should name the format:\n{}",
+        stdout(&convert)
+    );
+    assert!(tsb.is_file(), "convert should write {tsb:?}");
+
+    // The binary file feeds the parallel streaming path directly.
+    let count = run(&[
+        "count",
+        tsb.to_str().unwrap(),
+        "--parallel",
+        "--shards",
+        "2",
+        "--estimators",
+        "8000",
+        "--batch",
+        "512",
+        "--seed",
+        "5",
+    ]);
+    assert!(count.status.success(), "binary count failed: {count:?}");
+    assert!(
+        stdout(&count).contains("estimated triangle count"),
+        "{}",
+        stdout(&count)
+    );
+
+    // An ambiguous conversion (neither side .tsb) is a usage error.
+    let ambiguous = run(&[
+        "convert",
+        text_list.to_str().unwrap(),
+        "--output",
+        "also-text.txt",
+    ]);
+    assert_eq!(ambiguous.status.code(), Some(2), "{ambiguous:?}");
+
+    let _ = std::fs::remove_file(&text_list);
+    let _ = std::fs::remove_file(&tsb);
+}
+
+#[test]
+fn bench_smoke_emits_machine_readable_json() {
+    let json_path = temp_path("bench.json");
+    // `--edges 2000` keeps the debug-mode integration test quick; CI runs
+    // the full 1M-edge smoke configuration in release.
+    let bench = run(&[
+        "bench",
+        "--smoke",
+        "--check",
+        "--seed",
+        "1",
+        "--edges",
+        "2000",
+        "--output",
+        json_path.to_str().unwrap(),
+    ]);
+    assert!(bench.status.success(), "bench failed: {bench:?}");
+    let text = stdout(&bench);
+    assert!(text.contains("accuracy gate: ok"), "{text}");
+    let json = std::fs::read_to_string(&json_path).expect("bench wrote the report");
+    for field in [
+        "\"schema\": \"tristream-bench\"",
+        "\"schema_version\": 1",
+        "\"ingest-text\"",
+        "\"ingest-binary\"",
+        "\"engine-spawn-w256\"",
+        "\"engine-persistent-w65536\"",
+        "\"accuracy-bulk-syn3reg\"",
+        "\"accuracy-parallel-planted\"",
+        "\"binary_vs_text_ingest_speedup\"",
+    ] {
+        assert!(json.contains(field), "BENCH.json missing {field}:\n{json}");
+    }
+    let _ = std::fs::remove_file(&json_path);
+}

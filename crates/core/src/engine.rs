@@ -205,6 +205,29 @@ impl ShardedEngine {
         self.batches_submitted += 1;
     }
 
+    /// Drains a *batch source* — any fallible iterator of edge batches,
+    /// e.g. the text reader's `EdgeListBatches` or the binary reader's
+    /// `TsbBatches` — submitting every batch in order, and returns the
+    /// total number of edges submitted. Stops at (and propagates) the
+    /// source's first error; batches submitted before the error stay
+    /// submitted, matching the semantics of feeding the stream by hand.
+    ///
+    /// This is the ingestion boundary: producers only need to speak
+    /// `Result<Vec<Edge>, E>`, and the engine overlaps their I/O with
+    /// processing via its bounded queues.
+    pub fn consume<E>(
+        &mut self,
+        source: impl IntoIterator<Item = Result<Vec<Edge>, E>>,
+    ) -> Result<u64, E> {
+        let mut edges = 0u64;
+        for batch in source {
+            let batch = batch?;
+            edges += batch.len() as u64;
+            self.submit(&batch);
+        }
+        Ok(edges)
+    }
+
     /// Blocks until every shard has processed every submitted batch.
     pub fn sync(&self) {
         let target = self.batches_submitted;
@@ -300,6 +323,39 @@ mod tests {
         engine.submit(&[]);
         assert_eq!(engine.batches_submitted(), 0);
         assert_eq!(engine.map_shards(|shard| shard.edges_seen()), vec![0, 0]);
+    }
+
+    #[test]
+    fn consume_drains_a_batch_source_like_manual_submission() {
+        let stream = tristream_gen::planted_triangles(20, 50, 3);
+        let source = stream
+            .batches(64)
+            .map(|b| Ok::<_, std::io::Error>(b.to_vec()));
+        let mut fed = ShardedEngine::new(shard_counters(32, 2, 9));
+        let edges = fed.consume(source).unwrap();
+        assert_eq!(edges, stream.len() as u64);
+
+        let mut manual = ShardedEngine::new(shard_counters(32, 2, 9));
+        for batch in stream.batches(64) {
+            manual.submit(batch);
+        }
+        assert_eq!(
+            fed.map_shards(|shard| shard.raw_estimates()),
+            manual.map_shards(|shard| shard.raw_estimates()),
+        );
+    }
+
+    #[test]
+    fn consume_stops_at_the_first_source_error_but_keeps_prior_batches() {
+        let good: Vec<Edge> = (0..10u64).map(|i| Edge::new(i, i + 1)).collect();
+        let source = vec![
+            Ok(good.clone()),
+            Err("disk on fire"),
+            Ok(good.clone()), // must never be submitted
+        ];
+        let mut engine = ShardedEngine::new(shard_counters(8, 2, 1));
+        assert_eq!(engine.consume(source), Err("disk on fire"));
+        assert_eq!(engine.map_shards(|shard| shard.edges_seen()), vec![10, 10]);
     }
 
     #[test]

@@ -164,6 +164,25 @@ impl ParallelBulkTriangleCounter {
         }
     }
 
+    /// Ingests a whole *batch source* — any fallible iterator of edge
+    /// batches, such as
+    /// `tristream_graph::io::read_edge_list_batched_file` or
+    /// `tristream_graph::binary::read_edges_binary_batched_file` — and
+    /// returns the number of edges ingested. The source's first error is
+    /// propagated; edges ingested before it remain counted.
+    pub fn process_source<E>(
+        &mut self,
+        source: impl IntoIterator<Item = Result<Vec<Edge>, E>>,
+    ) -> Result<u64, E> {
+        let mut edges = 0u64;
+        for batch in source {
+            let batch = batch?;
+            edges += batch.len() as u64;
+            self.process_batch(&batch);
+        }
+        Ok(edges)
+    }
+
     /// Per-estimator raw estimates across all shards (waits for in-flight
     /// batches first).
     pub fn raw_estimates(&self) -> Vec<f64> {
@@ -327,6 +346,33 @@ mod tests {
         c.process_batch(&[]);
         assert_eq!(c.edges_seen(), 0);
         assert_eq!(c.estimate(), 0.0);
+    }
+
+    #[test]
+    fn process_source_matches_process_stream_bit_for_bit() {
+        let stream = tristream_gen::planted_triangles(25, 50, 9);
+        let mut by_stream = ParallelBulkTriangleCounter::new(512, 2, 7);
+        by_stream.process_stream(stream.edges(), 64);
+        let mut by_source = ParallelBulkTriangleCounter::new(512, 2, 7);
+        let edges = by_source
+            .process_source(
+                stream
+                    .batches(64)
+                    .map(|b| Ok::<_, std::io::Error>(b.to_vec())),
+            )
+            .unwrap();
+        assert_eq!(edges, stream.len() as u64);
+        assert_eq!(by_source.edges_seen(), by_stream.edges_seen());
+        assert_eq!(by_source.raw_estimates(), by_stream.raw_estimates());
+    }
+
+    #[test]
+    fn process_source_propagates_errors_and_keeps_the_prefix_counted() {
+        let good: Vec<Edge> = (0..8u64).map(|i| Edge::new(i, i + 1)).collect();
+        let mut c = ParallelBulkTriangleCounter::new(64, 2, 3);
+        let result = c.process_source(vec![Ok(good.clone()), Err("gone"), Ok(good)]);
+        assert_eq!(result, Err("gone"));
+        assert_eq!(c.edges_seen(), 8, "prefix before the error stays counted");
     }
 
     #[test]

@@ -270,6 +270,91 @@ mod tests {
     }
 
     #[test]
+    fn window_of_one_never_holds_a_triangle() {
+        // Eviction boundary: a window of a single edge can never contain a
+        // triangle (it needs three), so the estimate is 0 at every step of
+        // a triangle-dense stream.
+        let mut c = SlidingWindowTriangleCounter::new(64, 1, 3);
+        for e in k_n_edges(0, 6) {
+            c.process_edge(e);
+            assert_eq!(c.window_edges(), 1);
+            assert_eq!(c.estimate(), 0.0, "one edge is never a triangle");
+        }
+        assert_eq!(c.edges_seen(), 15);
+    }
+
+    #[test]
+    fn edge_exactly_at_the_window_boundary_is_evicted() {
+        // The window is the most recent `w` edges: after `n` arrivals it
+        // covers positions `n-w+1 ..= n`, so the edge at position `n-w` is
+        // *exactly* one step outside. Build a stream whose only triangle
+        // needs its first edge at position 1: a window of `n-1` must
+        // estimate 0 (the triangle just broke), a window of `n` must see it.
+        let mut edges = vec![Edge::new(1u64, 2u64)];
+        for i in 0..30u64 {
+            edges.push(Edge::new(100 + i, 101 + i)); // triangle-free filler
+        }
+        edges.push(Edge::new(2u64, 3u64));
+        edges.push(Edge::new(1u64, 3u64));
+        let n = edges.len() as u64; // 33
+
+        let mut evicted = SlidingWindowTriangleCounter::new(4_000, n - 1, 7);
+        evicted.process_edges(&edges);
+        assert_eq!(
+            evicted.estimate(),
+            0.0,
+            "the triangle's first edge sits exactly one position outside the window"
+        );
+
+        let mut kept = SlidingWindowTriangleCounter::new(4_000, n, 7);
+        kept.process_edges(&edges);
+        assert!(
+            kept.estimate() > 0.0,
+            "widening the window by one edge brings the triangle back"
+        );
+    }
+
+    #[test]
+    fn timestamped_tsb_replay_reproduces_the_in_memory_estimate() {
+        // Persist a stream as a timestamped `.tsb` (timestamp = 1-based
+        // stream position), replay it, and check the replayed counter is
+        // bit-identical to one fed the in-memory stream directly.
+        use tristream_graph::binary::{
+            read_edges_binary_timestamped, write_edges_binary_timestamped,
+        };
+
+        let mut edges = k_n_edges(0, 7);
+        edges.extend((0..40u64).map(|i| Edge::new(500 + i, 501 + i)));
+        let records: Vec<(Edge, u64)> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, i as u64 + 1))
+            .collect();
+        let mut buf = Vec::new();
+        write_edges_binary_timestamped(&records, &mut buf).unwrap();
+        let replayed = read_edges_binary_timestamped(buf.as_slice()).unwrap();
+        assert_eq!(replayed, records, "the timestamp column must round-trip");
+
+        let (r, w, seed) = (512, 25u64, 11);
+        let mut in_memory = SlidingWindowTriangleCounter::new(r, w, seed);
+        in_memory.process_edges(&edges);
+        let mut from_replay = SlidingWindowTriangleCounter::new(r, w, seed);
+        for (i, &(e, ts)) in replayed.iter().enumerate() {
+            from_replay.process_edge(e);
+            assert_eq!(
+                ts,
+                from_replay.edges_seen(),
+                "record {i}: timestamp must equal the stream position"
+            );
+        }
+        assert_eq!(from_replay.estimate(), in_memory.estimate());
+        assert_eq!(
+            from_replay.average_chain_length(),
+            in_memory.average_chain_length()
+        );
+    }
+
+    #[test]
     fn chain_length_stays_logarithmic() {
         let mut c = SlidingWindowTriangleCounter::new(32, 512, 13);
         for i in 0..5_000u64 {

@@ -20,6 +20,15 @@ pub enum GraphError {
         /// The offending line content.
         content: String,
     },
+    /// A binary `.tsb` stream was malformed (bad magic, unsupported
+    /// version, unknown flags, truncated or trailing record data, or an
+    /// invalid record).
+    Binary {
+        /// Byte offset of the malformed header field or record.
+        offset: u64,
+        /// What was wrong at that offset.
+        reason: &'static str,
+    },
     /// An underlying I/O failure while reading or writing an edge list.
     Io(io::Error),
     /// An operation required a non-empty graph or stream but got an empty one.
@@ -37,6 +46,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::Parse { line, content } => {
                 write!(f, "cannot parse edge-list line {line}: {content:?}")
+            }
+            GraphError::Binary { offset, reason } => {
+                write!(f, "malformed .tsb stream at byte {offset}: {reason}")
             }
             GraphError::Io(e) => write!(f, "I/O error: {e}"),
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
@@ -79,6 +91,13 @@ mod tests {
 
         let e = GraphError::EmptyGraph;
         assert!(e.to_string().contains("non-empty"));
+
+        let e = GraphError::Binary {
+            offset: 40,
+            reason: "truncated record data",
+        };
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("truncated"));
     }
 
     #[test]

@@ -263,6 +263,29 @@ mod tests {
         assert!(matches!(err, GraphError::Io(_)));
     }
 
+    use crate::test_util::CountingWriter;
+
+    #[test]
+    fn writer_is_buffered_not_one_write_per_line() {
+        // 10,000 edges would mean >10,000 underlying writes if each
+        // `writeln!` went straight to the file. The BufWriter must
+        // collapse them into a handful of block writes.
+        let stream = EdgeStream::from_pairs_dedup((0u64..10_000).map(|i| (i, i + 1)));
+        let mut writes = 0usize;
+        write_edge_list(
+            &stream,
+            CountingWriter {
+                writes: &mut writes,
+            },
+        )
+        .unwrap();
+        assert!(writes > 0);
+        assert!(
+            writes < 100,
+            "10k lines reached the writer in {writes} writes — buffering is broken"
+        );
+    }
+
     #[test]
     fn batched_reader_covers_the_stream_without_overlap() {
         let mut text = String::from("# header\n");

@@ -20,9 +20,13 @@
 //!   tangle coefficient γ(G) of a stream order (§3.2.1), and 4-/k-clique
 //!   counts.
 //! * [`io`] — SNAP-style edge-list text I/O.
+//! * [`binary`] — the compact `.tsb` binary edge-stream codec (fixed-width
+//!   little-endian records, optional timestamp column) that the batched
+//!   readers decode at memcpy speed.
 //! * [`stats`] — one-call graph summaries (the left-hand panel of Figure 3).
 
 pub mod adjacency;
+pub mod binary;
 pub mod degree;
 pub mod edge;
 pub mod error;
@@ -30,6 +34,8 @@ pub mod exact;
 pub mod io;
 pub mod stats;
 pub mod stream;
+#[cfg(test)]
+mod test_util;
 pub mod vertex;
 
 pub use adjacency::Adjacency;

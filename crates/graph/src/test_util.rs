@@ -1,0 +1,22 @@
+//! Test-only helpers shared across this crate's unit tests.
+
+use std::io::Write;
+
+/// Counts how many times the underlying writer is hit — each `write` on a
+/// raw `File` is a syscall, so this is the throughput-visible quantity
+/// buffering exists to keep small. Used by the buffering tests of both the
+/// text ([`crate::io`]) and binary ([`crate::binary`]) writers.
+pub struct CountingWriter<'a> {
+    pub writes: &'a mut usize,
+}
+
+impl Write for CountingWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        *self.writes += 1;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}

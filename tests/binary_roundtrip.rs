@@ -1,0 +1,106 @@
+//! Property-based tests for the `.tsb` binary edge-stream codec: random
+//! streams must round-trip bit-identically through every reader (whole,
+//! timestamped, batched), and random corruption must surface as a
+//! `GraphError`, never a panic.
+
+use proptest::prelude::*;
+use tristream::graph::binary::{
+    read_edges_binary, read_edges_binary_batched, read_edges_binary_timestamped,
+    write_edges_binary, write_edges_binary_timestamped,
+};
+use tristream::graph::GraphError;
+use tristream::prelude::*;
+
+/// Strategy: a random edge stream (duplicates allowed, as in a real
+/// stream) over a wide vertex-id range, including huge ids near `u64::MAX`.
+fn random_edges(max_edges: usize) -> impl Strategy<Value = Vec<Edge>> {
+    prop::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 0..max_edges).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| Edge::new(a, b))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_streams_round_trip_bit_identically(edges in random_edges(200)) {
+        let mut buf = Vec::new();
+        write_edges_binary(&edges, &mut buf).unwrap();
+        let reread = read_edges_binary(buf.as_slice()).unwrap();
+        prop_assert_eq!(reread.edges(), edges.as_slice());
+        // Encoding the decoded stream reproduces the exact bytes.
+        let mut again = Vec::new();
+        write_edges_binary(reread.edges(), &mut again).unwrap();
+        prop_assert_eq!(again, buf);
+    }
+
+    #[test]
+    fn random_timestamped_streams_round_trip(
+        edges in random_edges(120),
+        ts_seed in 0u64..u64::MAX,
+    ) {
+        // Arbitrary (not even monotone) timestamps: the column is opaque.
+        let records: Vec<(Edge, u64)> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, ts_seed.wrapping_mul(i as u64 + 1)))
+            .collect();
+        let mut buf = Vec::new();
+        write_edges_binary_timestamped(&records, &mut buf).unwrap();
+        prop_assert_eq!(read_edges_binary_timestamped(buf.as_slice()).unwrap(), records);
+    }
+
+    #[test]
+    fn batched_reads_cover_random_streams_for_any_batch_size(
+        edges in random_edges(150),
+        batch_size in 1usize..64,
+    ) {
+        let mut buf = Vec::new();
+        write_edges_binary(&edges, &mut buf).unwrap();
+        let batches: Vec<Vec<Edge>> = read_edges_binary_batched(buf.as_slice(), batch_size)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        for batch in &batches {
+            prop_assert!(!batch.is_empty());
+            prop_assert!(batch.len() <= batch_size);
+        }
+        let flat: Vec<Edge> = batches.into_iter().flatten().collect();
+        prop_assert_eq!(flat, edges);
+    }
+
+    #[test]
+    fn truncation_anywhere_errors_instead_of_panicking(
+        edges in random_edges(60),
+        cut_permille in 0usize..1000,
+    ) {
+        let mut buf = Vec::new();
+        write_edges_binary(&edges, &mut buf).unwrap();
+        let cut = buf.len() * cut_permille / 1000;
+        if cut < buf.len() {
+            let result = read_edges_binary(&buf[..cut]);
+            prop_assert!(
+                matches!(result, Err(GraphError::Binary { .. })),
+                "truncation to {cut} bytes must be a binary-format error"
+            );
+        }
+    }
+
+    #[test]
+    fn appended_garbage_errors_instead_of_being_decoded(
+        edges in random_edges(60),
+        garbage in prop::collection::vec(0u8..=255, 1..40),
+    ) {
+        let mut buf = Vec::new();
+        write_edges_binary(&edges, &mut buf).unwrap();
+        buf.extend_from_slice(&garbage);
+        prop_assert!(matches!(
+            read_edges_binary(buf.as_slice()),
+            Err(GraphError::Binary { .. })
+        ));
+    }
+}
