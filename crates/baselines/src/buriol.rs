@@ -181,6 +181,44 @@ impl BuriolCounter {
             .filter(|e| e.found_triangle())
             .count()
     }
+
+    /// Words one estimator costs (registry sizing unit). The discovered
+    /// vertex set is shared across the pool and accounted separately in
+    /// [`TriangleEstimator::memory_words`].
+    pub fn words_per_estimator() -> usize {
+        tristream_core::words_for_bytes(std::mem::size_of::<BuriolEstimator>())
+    }
+}
+
+use tristream_core::TriangleEstimator;
+
+impl TriangleEstimator for BuriolCounter {
+    fn process_edge(&mut self, edge: Edge) {
+        BuriolCounter::process_edge(self, edge);
+    }
+
+    fn process_edges(&mut self, edges: &[Edge]) {
+        BuriolCounter::process_edges(self, edges);
+    }
+
+    /// Returns `0.0` until both closing edges of some estimator's sampled
+    /// (edge, vertex) pair have arrived — on an empty stream `m = 0` and
+    /// every per-estimator term is the literal `0.0`, never a `0/0`.
+    fn estimate(&self) -> f64 {
+        BuriolCounter::estimate(self)
+    }
+
+    fn edges_seen(&self) -> u64 {
+        BuriolCounter::edges_seen(self)
+    }
+
+    /// `r` fixed-size estimators plus the shared discovered-vertex
+    /// reservoir domain (one word per vertex id), which the original
+    /// algorithm assumes as given.
+    fn memory_words(&self) -> usize {
+        self.estimators.len() * Self::words_per_estimator()
+            + self.vertices.len() * tristream_core::words_for_bytes(std::mem::size_of::<VertexId>())
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,11 @@ use tristream_graph::{Edge, VertexId};
 pub struct ExactStreamingCounter {
     adjacency: HashMap<VertexId, HashSet<VertexId>>,
     edges_seen: u64,
+    /// Every ingested edge, duplicates included — the stream-length `m`
+    /// the [`TriangleEstimator`] contract reports (while
+    /// [`ExactStreamingCounter::edges_seen`] keeps counting *distinct*
+    /// edges, as the simple-graph model always has).
+    edges_ingested: u64,
     triangles: u64,
     wedges: u64,
 }
@@ -29,6 +34,7 @@ impl ExactStreamingCounter {
     /// Processes the next edge. Duplicate edges are ignored (the model
     /// assumes a simple graph); self-loops cannot be constructed as [`Edge`]s.
     pub fn process_edge(&mut self, edge: Edge) {
+        self.edges_ingested += 1;
         let (u, v) = edge.endpoints();
         if self.adjacency.get(&u).is_some_and(|n| n.contains(&v)) {
             return; // duplicate
@@ -95,6 +101,40 @@ impl ExactStreamingCounter {
     /// The maximum degree Δ seen so far.
     pub fn max_degree(&self) -> usize {
         self.adjacency.values().map(|n| n.len()).max().unwrap_or(0)
+    }
+}
+
+use tristream_core::TriangleEstimator;
+
+impl TriangleEstimator for ExactStreamingCounter {
+    fn process_edge(&mut self, edge: Edge) {
+        ExactStreamingCounter::process_edge(self, edge);
+    }
+
+    fn process_edges(&mut self, edges: &[Edge]) {
+        ExactStreamingCounter::process_edges(self, edges);
+    }
+
+    /// The exact count — trivially `0.0` on an empty stream.
+    fn estimate(&self) -> f64 {
+        self.triangles() as f64
+    }
+
+    /// Every ingested edge, duplicates included (the inherent
+    /// [`ExactStreamingCounter::edges_seen`] counts distinct edges). The
+    /// name/field mismatch is the point: the trait reports the stream
+    /// length `m`, not the deduplicated edge count.
+    #[allow(clippy::misnamed_getters)]
+    fn edges_seen(&self) -> u64 {
+        self.edges_ingested
+    }
+
+    /// The full adjacency structure: two neighbor-set entries per distinct
+    /// edge plus one key word per vertex — the `O(m)` cost the streaming
+    /// estimators exist to avoid.
+    fn memory_words(&self) -> usize {
+        let entry_words = tristream_core::words_for_bytes(std::mem::size_of::<VertexId>());
+        (2 * self.edges_seen as usize + self.adjacency.len()) * entry_words
     }
 }
 

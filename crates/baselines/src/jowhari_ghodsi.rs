@@ -141,6 +141,43 @@ impl JowhariGhodsiCounter {
     pub fn total_stored_entries(&self) -> usize {
         self.estimators.iter().map(|e| e.stored_entries()).sum()
     }
+
+    /// Words one estimator costs *before* any apex entries accrue
+    /// (registry sizing unit); the dynamic `O(Δ)` part is measured by
+    /// [`TriangleEstimator::memory_words`].
+    pub fn words_per_estimator() -> usize {
+        tristream_core::words_for_bytes(std::mem::size_of::<JgEstimator>())
+    }
+}
+
+use tristream_core::TriangleEstimator;
+
+impl TriangleEstimator for JowhariGhodsiCounter {
+    fn process_edge(&mut self, edge: Edge) {
+        JowhariGhodsiCounter::process_edge(self, edge);
+    }
+
+    fn process_edges(&mut self, edges: &[Edge]) {
+        JowhariGhodsiCounter::process_edges(self, edges);
+    }
+
+    /// `mean(m·Xᵢ)`: the empty stream gives `m = 0` and `X = 0`, so the
+    /// estimate is the literal `0.0`.
+    fn estimate(&self) -> f64 {
+        JowhariGhodsiCounter::estimate(self)
+    }
+
+    fn edges_seen(&self) -> u64 {
+        JowhariGhodsiCounter::edges_seen(self)
+    }
+
+    /// `r` sampled-edge records plus the measured apex tables — the
+    /// `O(r·Δ)` space the paper's neighborhood sampling reduces to `O(r)`.
+    fn memory_words(&self) -> usize {
+        let apex_bytes = self.total_stored_entries() * std::mem::size_of::<(VertexId, ApexSeen)>();
+        self.estimators.len() * Self::words_per_estimator()
+            + tristream_core::words_for_bytes(apex_bytes)
+    }
 }
 
 #[cfg(test)]

@@ -17,13 +17,24 @@
 //!   Tsourakakis (IPL 2012), adapted to the adjacency-stream setting: color
 //!   vertices randomly, keep monochromatic edges, count exactly on the
 //!   sparsified graph and rescale.
+//!
+//! All four baselines (and the paper's own counters, via
+//! `tristream-core`) implement
+//! [`TriangleEstimator`](tristream_core::TriangleEstimator) and are
+//! registered in [`mod@registry`], which is what `tristream-cli count --algo`
+//! and the bench suite's equal-memory head-to-head iterate over.
 
 pub mod buriol;
 pub mod exact_stream;
 pub mod jowhari_ghodsi;
 pub mod pagh_tsourakakis;
+pub mod registry;
 
 pub use buriol::BuriolCounter;
 pub use exact_stream::ExactStreamingCounter;
 pub use jowhari_ghodsi::JowhariGhodsiCounter;
 pub use pagh_tsourakakis::ColorfulTriangleCounter;
+pub use registry::{
+    algo_names, algo_names_joined, find_algo, registry, AlgoParams, AlgoSpec, StreamHint,
+    DEFAULT_SLIDING_WINDOW,
+};

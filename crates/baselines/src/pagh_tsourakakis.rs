@@ -123,6 +123,36 @@ impl ColorfulTriangleCounter {
     }
 }
 
+use tristream_core::TriangleEstimator;
+
+impl TriangleEstimator for ColorfulTriangleCounter {
+    fn process_edge(&mut self, edge: Edge) {
+        ColorfulTriangleCounter::process_edge(self, edge);
+    }
+
+    fn process_edges(&mut self, edges: &[Edge]) {
+        ColorfulTriangleCounter::process_edges(self, edges);
+    }
+
+    /// `τ(sparsified) · N²` — an integer times a finite constant, so `0.0`
+    /// (not NaN) on an empty or fully-filtered stream.
+    fn estimate(&self) -> f64 {
+        ColorfulTriangleCounter::estimate(self)
+    }
+
+    fn edges_seen(&self) -> u64 {
+        ColorfulTriangleCounter::edges_seen(self)
+    }
+
+    /// The monochromatic subgraph: each kept edge appears in two neighbor
+    /// sets (one word per endpoint entry) plus one key word per resident
+    /// vertex. Expected `O(m/N)` — the memory/variance knob `N` trades.
+    fn memory_words(&self) -> usize {
+        let entry_words = tristream_core::words_for_bytes(std::mem::size_of::<VertexId>());
+        (2 * self.kept_edges as usize + self.adjacency.len()) * entry_words
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

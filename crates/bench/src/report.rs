@@ -2,26 +2,38 @@
 //! under `target/experiments/`, and the versioned machine-readable
 //! `BENCH.json` report emitted by `tristream-cli bench`.
 //!
-//! # `BENCH.json` schema (version 1)
+//! # `BENCH.json` schema (version 2)
 //!
 //! The schema is additive-only: new fields may appear in later versions,
 //! existing fields keep their name, type and meaning, and
-//! `schema_version` is bumped on any change. Field by field:
+//! `schema_version` is bumped on any change. Version 2 added the
+//! equal-memory head-to-head fields `algo`, `memory_words` and
+//! `budget_words`. Field by field:
 //!
 //! * `schema` (string) — always `"tristream-bench"`.
-//! * `schema_version` (integer) — `1`.
+//! * `schema_version` (integer) — `2`.
 //! * `mode` (string) — `"smoke"` or `"full"`.
 //! * `seed` (integer) — base RNG seed the whole suite derives from.
 //! * `workloads` (array) — one object per named workload:
 //!   * `name` (string) — stable workload identifier, e.g.
-//!     `"ingest-binary"`, `"engine-persistent-w4096"`.
+//!     `"ingest-binary"`, `"engine-persistent-w4096"`,
+//!     `"accuracy-jowhari-ghodsi"`.
 //!   * `kind` (string) — `"ingest"`, `"engine"` or `"accuracy"`.
 //!   * `edges` (integer) — edges processed per trial.
 //!   * `trials` (integer) — number of timed trials.
 //!   * `batch` (integer | null) — batch size `w`, when the workload has one.
 //!   * `shards` (integer | null) — worker shards, when parallel.
-//!   * `estimators` (integer | null) — estimator-pool size `r`, when the
-//!     workload runs an estimator.
+//!   * `estimators` (integer | null) — the algorithm's space parameter
+//!     (estimator-pool size `r`; color count `N` for `pagh-tsourakakis`),
+//!     when the workload runs an estimator.
+//!   * `algo` (string | null) — registry name of the algorithm, for the
+//!     equal-memory `accuracy-<algo>` head-to-head family.
+//!   * `memory_words` (integer | null) — the estimator's *measured*
+//!     `memory_words()` after the stream (8-byte words, see
+//!     `tristream_core::traits`), for head-to-head workloads.
+//!   * `budget_words` (integer | null) — the memory budget the workload's
+//!     space parameter was sized for; comparing against `memory_words`
+//!     shows how close the equal-space setup landed.
 //!   * `p50_latency_secs` / `p95_latency_secs` (number) — nearest-rank
 //!     percentiles of per-trial wall-clock seconds.
 //!   * `edges_per_sec` (number) — `edges / p50_latency_secs`.
@@ -202,8 +214,15 @@ pub struct WorkloadResult {
     pub batch: Option<usize>,
     /// Worker shards, when parallel.
     pub shards: Option<usize>,
-    /// Estimator-pool size `r`, when the workload runs an estimator.
+    /// The algorithm's space parameter (estimator-pool size `r`, or color
+    /// count `N`), when the workload runs an estimator.
     pub estimators: Option<usize>,
+    /// Registry name of the algorithm (head-to-head workloads).
+    pub algo: Option<String>,
+    /// Measured `memory_words()` after the stream (head-to-head).
+    pub memory_words: Option<u64>,
+    /// Memory budget the space parameter was sized for (head-to-head).
+    pub budget_words: Option<u64>,
     /// Nearest-rank p50 of per-trial wall-clock seconds.
     pub p50_latency_secs: f64,
     /// Nearest-rank p95 of per-trial wall-clock seconds.
@@ -269,6 +288,9 @@ pub fn summarize_workload(
         batch,
         shards,
         estimators,
+        algo: None,
+        memory_words: None,
+        budget_words: None,
         p50_latency_secs: p50,
         p95_latency_secs: p95,
         edges_per_sec: if p50 > 0.0 { edges as f64 / p50 } else { 0.0 },
@@ -288,8 +310,9 @@ pub struct BenchReport {
     pub workloads: Vec<WorkloadResult>,
 }
 
-/// The schema version this module writes.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+/// The schema version this module writes. Version 2 added `algo`,
+/// `memory_words` and `budget_words` (all nullable — additive only).
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 impl BenchReport {
     /// Looks up a workload by name.
@@ -343,6 +366,22 @@ impl BenchReport {
                 json_opt_usize(w.estimators)
             ));
             out.push_str(&format!(
+                "      \"algo\": {},\n",
+                w.algo
+                    .as_deref()
+                    .map_or_else(|| "null".to_string(), json_string)
+            ));
+            out.push_str(&format!(
+                "      \"memory_words\": {},\n",
+                w.memory_words
+                    .map_or_else(|| "null".to_string(), |v| v.to_string())
+            ));
+            out.push_str(&format!(
+                "      \"budget_words\": {},\n",
+                w.budget_words
+                    .map_or_else(|| "null".to_string(), |v| v.to_string())
+            ));
+            out.push_str(&format!(
                 "      \"p50_latency_secs\": {},\n",
                 json_f64(w.p50_latency_secs)
             ));
@@ -389,7 +428,14 @@ impl BenchReport {
         let mut table = ExperimentTable::new(
             &format!("bench ({} mode, seed {})", self.mode, self.seed),
             &[
-                "workload", "edges", "p50 s", "p95 s", "edges/s", "rel err", "bound",
+                "workload",
+                "edges",
+                "p50 s",
+                "p95 s",
+                "edges/s",
+                "rel err",
+                "bound",
+                "mem words",
             ],
         );
         for w in &self.workloads {
@@ -402,6 +448,7 @@ impl BenchReport {
                 format!("{:.0}", w.edges_per_sec),
                 fmt_opt(w.mean_rel_error),
                 fmt_opt(w.error_bound),
+                w.memory_words.map_or_else(|| "-".into(), |v| v.to_string()),
             ]);
         }
         table
@@ -639,6 +686,22 @@ mod tests {
                     Some(1_024),
                     Some((0.031, 0.15)),
                 ),
+                {
+                    let mut w = summarize_workload(
+                        "accuracy-jowhari-ghodsi",
+                        WorkloadKind::Accuracy,
+                        3_000,
+                        &[0.1],
+                        None,
+                        None,
+                        Some(380),
+                        Some((0.2, 0.9)),
+                    );
+                    w.algo = Some("jowhari-ghodsi".into());
+                    w.memory_words = Some(7_900);
+                    w.budget_words = Some(8_192);
+                    w
+                },
             ],
         }
     }
@@ -660,6 +723,9 @@ mod tests {
             "\"batch\"",
             "\"shards\"",
             "\"estimators\"",
+            "\"algo\"",
+            "\"memory_words\"",
+            "\"budget_words\"",
             "\"p50_latency_secs\"",
             "\"p95_latency_secs\"",
             "\"edges_per_sec\"",
@@ -738,8 +804,25 @@ mod tests {
     #[test]
     fn report_table_mirrors_the_workloads() {
         let t = sample_report().to_table();
-        assert_eq!(t.len(), 3);
-        assert!(t.render().contains("ingest-binary"));
+        assert_eq!(t.len(), 4);
+        let rendered = t.render();
+        assert!(rendered.contains("ingest-binary"));
+        assert!(
+            rendered.contains("7900"),
+            "head-to-head rows show measured memory words:\n{rendered}"
+        );
+    }
+
+    #[test]
+    fn head_to_head_fields_serialise_with_values_and_as_null() {
+        let json = sample_report().to_json();
+        assert_valid_json(&json);
+        assert!(json.contains("\"algo\": \"jowhari-ghodsi\""), "{json}");
+        assert!(json.contains("\"memory_words\": 7900"), "{json}");
+        assert!(json.contains("\"budget_words\": 8192"), "{json}");
+        // Workloads outside the family carry explicit nulls.
+        assert!(json.contains("\"algo\": null"), "{json}");
+        assert!(json.contains("\"memory_words\": null"), "{json}");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::path::PathBuf;
+use tristream_baselines::registry::algo_names_joined;
 use tristream_graph::binary::is_tsb_path;
 
 /// Errors produced while parsing the command line.
@@ -24,6 +25,10 @@ pub enum CliError {
         /// Why the value is rejected.
         reason: &'static str,
     },
+    /// Invalid use of `--algo`: either an unregistered algorithm name or a
+    /// flag combination that contradicts it. The rendered message always
+    /// lists the registered names.
+    AlgoUsage(String),
     /// An unrecognised flag was supplied.
     UnknownFlag(String),
 }
@@ -39,6 +44,9 @@ impl fmt::Display for CliError {
             CliError::BadFlagValue(flag) => write!(f, "flag {flag} needs a valid value"),
             CliError::InvalidFlagValue { flag, reason } => {
                 write!(f, "invalid use of {flag}: {reason}")
+            }
+            CliError::AlgoUsage(what) => {
+                write!(f, "{what}; registered algorithms: {}", algo_names_joined())
             }
             CliError::UnknownFlag(flag) => write!(f, "unknown flag {flag}"),
         }
@@ -61,8 +69,10 @@ pub enum Command {
     Count {
         /// Path to the edge-list file.
         input: PathBuf,
-        /// Number of estimators.
-        estimators: usize,
+        /// Space parameter: estimator count for the sampling algorithms,
+        /// color count for `pagh-tsourakakis`. `None` means "the
+        /// algorithm's default" (100 000 for the default counter).
+        estimators: Option<usize>,
         /// Batch size (defaults to 8 × estimators when `None`).
         batch: Option<usize>,
         /// RNG seed.
@@ -75,6 +85,12 @@ pub enum Command {
         /// Number of shards for `--parallel` (defaults to the number of
         /// available CPUs when `None`).
         shards: Option<usize>,
+        /// Which registered algorithm to run (`None`: the default
+        /// neighborhood-sampling bulk counter). Validated against the
+        /// registry at parse time.
+        algo: Option<String>,
+        /// Sliding-window size; only valid with `--algo sliding`.
+        window: Option<u64>,
     },
     /// Streaming transitivity-coefficient estimate.
     Transitivity {
@@ -140,7 +156,7 @@ tristream-cli — streaming triangle counting and sampling (Pavan et al., VLDB 2
 USAGE:
   tristream-cli summary      <EDGE_LIST>
   tristream-cli count        <EDGE_LIST> [--estimators N] [--batch W] [--seed S] [--exact]
-                                         [--parallel [--shards K]]
+                                         [--algo NAME [--window W]] [--parallel [--shards K]]
   tristream-cli transitivity <EDGE_LIST> [--estimators N] [--seed S]
   tristream-cli sample       <EDGE_LIST> [-k K] [--estimators N] [--seed S]
   tristream-cli convert      <INPUT> --output FILE [--timestamps]
@@ -148,6 +164,14 @@ USAGE:
                              [--edges N]
   tristream-cli generate     <DATASET>   [--scale D] [--seed S] --output FILE
   tristream-cli help
+
+`count --algo NAME` selects the counting algorithm from the registry:
+neighborhood, neighborhood-bulk (the default), sliding, exact, buriol,
+jowhari-ghodsi, pagh-tsourakakis. `--estimators` sets the algorithm's
+space parameter (estimator count; color count N for pagh-tsourakakis),
+and `--window` sets the sliding-window size for `--algo sliding`. Every
+algorithm works over text and .tsb inputs, sequentially or sharded with
+`--parallel`.
 
 `count --parallel` shards the estimator pool across K persistent worker
 threads (default: available CPUs) and streams the file batch by batch
@@ -193,17 +217,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }
         "count" => {
             let input = positional(&rest, 0, "edge-list path")?;
-            let mut estimators = 100_000usize;
+            let mut estimators = None;
             let mut batch = None;
             let mut seed = 1u64;
             let mut exact = false;
             let mut parallel = false;
             let mut shards = None;
+            let mut algo: Option<String> = None;
+            let mut window = None;
             let mut i = 1;
             while i < rest.len() {
                 match rest[i].as_str() {
                     "--estimators" | "-r" => {
-                        estimators = parse_flag_value("--estimators", rest.get(i + 1))?;
+                        estimators = Some(parse_flag_value("--estimators", rest.get(i + 1))?);
                         i += 2;
                     }
                     "--batch" | "-w" => {
@@ -226,6 +252,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         shards = Some(parse_flag_value("--shards", rest.get(i + 1))?);
                         i += 2;
                     }
+                    "--algo" | "-a" => {
+                        algo = Some(
+                            rest.get(i + 1)
+                                .ok_or_else(|| CliError::BadFlagValue("--algo".into()))?
+                                .clone(),
+                        );
+                        i += 2;
+                    }
+                    "--window" => {
+                        window = Some(parse_flag_value("--window", rest.get(i + 1))?);
+                        i += 2;
+                    }
                     other => return Err(CliError::UnknownFlag(other.to_string())),
                 }
             }
@@ -239,6 +277,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 return Err(CliError::InvalidFlagValue {
                     flag: "--shards",
                     reason: "shard count must be at least 1",
+                });
+            }
+            if window == Some(0) {
+                return Err(CliError::InvalidFlagValue {
+                    flag: "--window",
+                    reason: "the window must contain at least one edge",
                 });
             }
             // Reject silently-ignored combinations rather than guessing:
@@ -256,6 +300,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     reason: "requires --parallel",
                 });
             }
+            // `--algo` is validated against the registry here, at parse
+            // time, so misuse is a usage error (exit 2) whose message can
+            // enumerate the registered names.
+            if let Some(name) = &algo {
+                if tristream_baselines::registry::find_algo(name).is_none() {
+                    return Err(CliError::AlgoUsage(format!("unknown algorithm {name:?}")));
+                }
+                if exact {
+                    return Err(CliError::AlgoUsage(
+                        "--algo cannot be combined with --exact (use `--algo exact`)".into(),
+                    ));
+                }
+            }
+            if window.is_some() && algo.as_deref() != Some("sliding") {
+                return Err(CliError::InvalidFlagValue {
+                    flag: "--window",
+                    reason: "requires --algo sliding",
+                });
+            }
             Ok(Command::Count {
                 input: PathBuf::from(input),
                 estimators,
@@ -264,6 +327,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 exact,
                 parallel,
                 shards,
+                algo,
+                window,
             })
         }
         "transitivity" => {
@@ -511,12 +576,14 @@ mod tests {
             c,
             Command::Count {
                 input: PathBuf::from("g.txt"),
-                estimators: 100_000,
+                estimators: None,
                 batch: None,
                 seed: 1,
                 exact: false,
                 parallel: false,
-                shards: None
+                shards: None,
+                algo: None,
+                window: None
             }
         );
         let c = parse_args(&args(&[
@@ -527,12 +594,14 @@ mod tests {
             c,
             Command::Count {
                 input: PathBuf::from("g.txt"),
-                estimators: 5_000,
+                estimators: Some(5_000),
                 batch: Some(4_096),
                 seed: 9,
                 exact: true,
                 parallel: false,
-                shards: None
+                shards: None,
+                algo: None,
+                window: None
             }
         );
     }
@@ -544,14 +613,95 @@ mod tests {
             c,
             Command::Count {
                 input: PathBuf::from("g.txt"),
-                estimators: 100_000,
+                estimators: None,
                 batch: None,
                 seed: 1,
                 exact: false,
                 parallel: true,
-                shards: Some(6)
+                shards: Some(6),
+                algo: None,
+                window: None
             }
         );
+    }
+
+    #[test]
+    fn count_algo_flags_parse_for_every_registered_algorithm() {
+        for name in tristream_baselines::algo_names() {
+            let c = parse_args(&args(&["count", "g.txt", "--algo", name])).unwrap();
+            assert!(
+                matches!(&c, Command::Count { algo: Some(a), .. } if a == name),
+                "{name}: {c:?}"
+            );
+        }
+        let c = parse_args(&args(&[
+            "count", "g.txt", "-a", "sliding", "--window", "500", "-r", "64",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Count {
+                algo: Some(_),
+                window: Some(500),
+                estimators: Some(64),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn count_rejects_unknown_algo_with_the_registered_names_listed() {
+        let err = parse_args(&args(&["count", "g.txt", "--algo", "frobnicate"])).unwrap_err();
+        assert!(matches!(err, CliError::AlgoUsage(_)));
+        let message = err.to_string();
+        assert!(message.contains("frobnicate"), "{message}");
+        for name in tristream_baselines::algo_names() {
+            assert!(message.contains(name), "{message} must list {name}");
+        }
+    }
+
+    #[test]
+    fn count_rejects_algo_combined_with_exact_listing_the_names() {
+        let err =
+            parse_args(&args(&["count", "g.txt", "--algo", "buriol", "--exact"])).unwrap_err();
+        assert!(matches!(err, CliError::AlgoUsage(_)));
+        let message = err.to_string();
+        assert!(message.contains("--exact"), "{message}");
+        assert!(message.contains("jowhari-ghodsi"), "{message}");
+    }
+
+    #[test]
+    fn count_window_requires_the_sliding_algo() {
+        let err = parse_args(&args(&["count", "g.txt", "--window", "10"])).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::InvalidFlagValue {
+                flag: "--window",
+                ..
+            }
+        ));
+        let err = parse_args(&args(&[
+            "count", "g.txt", "--algo", "exact", "--window", "10",
+        ]))
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::InvalidFlagValue {
+                flag: "--window",
+                ..
+            }
+        ));
+        let err = parse_args(&args(&[
+            "count", "g.txt", "--algo", "sliding", "--window", "0",
+        ]))
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::InvalidFlagValue {
+                flag: "--window",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -9,10 +9,13 @@ use crate::args::{Command, HELP};
 use std::error::Error;
 use std::path::Path;
 use std::time::Instant;
+use tristream_baselines::registry::{find_algo, AlgoParams};
 use tristream_baselines::ExactStreamingCounter;
 use tristream_bench::{run_suite, BenchConfig};
+use tristream_core::engine::drain_batch_source;
 use tristream_core::{
-    BulkTriangleCounter, ParallelBulkTriangleCounter, TransitivityEstimator, TriangleSampler,
+    BulkTriangleCounter, ParallelBulkTriangleCounter, ShardedEstimator, TransitivityEstimator,
+    TriangleEstimator, TriangleSampler,
 };
 use tristream_gen::{DatasetKind, StandIn};
 use tristream_graph::binary::{
@@ -68,7 +71,21 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             exact,
             parallel,
             shards,
+            algo,
+            window,
         } => {
+            if let Some(name) = algo {
+                return run_count_algo(
+                    &input, &name, estimators, batch, seed, parallel, shards, window,
+                );
+            }
+            // Default pool size comes from the registry's entry for the
+            // algorithm this path runs, so the two stay in sync.
+            let estimators = estimators.unwrap_or_else(|| {
+                find_algo("neighborhood-bulk")
+                    .expect("the default algorithm is registered")
+                    .default_space
+            });
             let batch = batch.unwrap_or_else(|| estimators.saturating_mul(8).max(1));
             if parallel && !exact {
                 // Streaming path: the file is consumed batch by batch and
@@ -257,6 +274,92 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
     }
 }
 
+/// `count --algo <name>`: runs any registry algorithm over the input —
+/// text or `.tsb`, sequential or sharded across the generic engine.
+#[allow(clippy::too_many_arguments)]
+fn run_count_algo(
+    input: &Path,
+    name: &str,
+    estimators: Option<usize>,
+    batch: Option<usize>,
+    seed: u64,
+    parallel: bool,
+    shards: Option<usize>,
+    window: Option<u64>,
+) -> Result<String, Box<dyn Error>> {
+    let spec = find_algo(name)
+        .ok_or_else(|| format!("unknown algorithm {name:?}; see `tristream-cli help`"))?;
+    let space = estimators.unwrap_or(spec.default_space);
+    // Sampling pools want the paper's w ≈ 8r; small-space algorithms
+    // (e.g. a handful of colors) still deserve real batches.
+    let batch = batch.unwrap_or_else(|| space.saturating_mul(8).clamp(4_096, 1 << 20));
+    let start = Instant::now();
+    if parallel {
+        let shards = shards.unwrap_or_else(default_shards).max(1);
+        // Pool sizes split across shards exactly as the non-algo
+        // `--parallel` path does (`ceil(r / shards)` per shard), so
+        // `--estimators` keeps one meaning and total space stays roughly
+        // constant; per-instance parameters (colors) go to every shard
+        // whole.
+        let shard_space = if spec.splits_across_shards {
+            space.div_ceil(shards)
+        } else {
+            space
+        };
+        let mut counter = ShardedEstimator::from_factory(shards, seed, |shard_seed| {
+            spec.build(&AlgoParams {
+                space: shard_space,
+                seed: shard_seed,
+                window,
+            })
+        });
+        let edges = counter.process_source(open_batched_auto(input, batch)?)?;
+        return Ok(format!(
+            "estimated triangle count: {:.0} (algo = {}, space = {}, shards = {}, batch = {}, \
+             {} edges in {:.3} s, memory = {} words)\n",
+            counter.estimate(),
+            spec.name,
+            space,
+            shards,
+            batch,
+            edges,
+            start.elapsed().as_secs_f64(),
+            counter.memory_words()
+        ));
+    }
+    let mut counter = spec.build(&AlgoParams {
+        space,
+        seed,
+        window,
+    });
+    // `.tsb` inputs stream batch by batch (the batched and whole-file
+    // binary readers produce identical streams, so this changes peak
+    // memory, not results); text inputs go through the whole-file reader
+    // to keep its deduplicating semantics.
+    let edges = if is_tsb_path(input) {
+        drain_batch_source(open_batched_auto(input, batch)?, |chunk| {
+            counter.process_edges(chunk)
+        })?
+    } else {
+        let stream = read_stream_auto(input)?;
+        for chunk in stream.edges().chunks(batch) {
+            counter.process_edges(chunk);
+        }
+        stream.len() as u64
+    };
+    Ok(format!(
+        "estimated triangle count: {:.0} (algo = {}, space = {}, batch = {}, {} edges in \
+         {:.3} s, memory = {} words)\n",
+        counter.estimate(),
+        spec.name,
+        space,
+        batch,
+        edges,
+        start.elapsed().as_secs_f64(),
+        counter.memory_words()
+    ))
+}
+
 /// Default shard count for `count --parallel`: the number of available
 /// CPUs, or 1 when that cannot be determined.
 fn default_shards() -> usize {
@@ -304,22 +407,26 @@ mod tests {
         let path = sample_graph_path();
         let approx = run(Command::Count {
             input: path.clone(),
-            estimators: 20_000,
+            estimators: Some(20_000),
             batch: None,
             seed: 3,
             exact: false,
             parallel: false,
             shards: None,
+            algo: None,
+            window: None,
         })
         .unwrap();
         let exact = run(Command::Count {
             input: path,
-            estimators: 0,
+            estimators: Some(0),
             batch: None,
             seed: 0,
             exact: true,
             parallel: false,
             shards: None,
+            algo: None,
+            window: None,
         })
         .unwrap();
         assert!(approx.contains("estimated triangle count"));
@@ -334,17 +441,152 @@ mod tests {
         let path = sample_graph_path();
         let out = run(Command::Count {
             input: path,
-            estimators: 20_000,
+            estimators: Some(20_000),
             batch: Some(1_024),
             seed: 3,
             exact: false,
             parallel: true,
             shards: Some(3),
+            algo: None,
+            window: None,
         })
         .unwrap();
         assert!(out.contains("estimated triangle count"), "{out}");
         assert!(out.contains("shards = 3"), "{out}");
         assert!(out.contains("3000 edges"), "{out}");
+    }
+
+    #[test]
+    fn count_algo_runs_every_registry_algorithm_sequentially_and_sharded() {
+        // ~1000 triangles in the syn-3-reg stand-in; every registered
+        // algorithm must produce a report through both execution paths.
+        let path = sample_graph_path();
+        for spec in tristream_baselines::registry() {
+            for parallel in [false, true] {
+                let out = run(Command::Count {
+                    input: path.clone(),
+                    estimators: Some(2_000),
+                    batch: Some(1_024),
+                    seed: 5,
+                    exact: false,
+                    parallel,
+                    shards: parallel.then_some(2),
+                    algo: Some(spec.name.to_string()),
+                    window: None,
+                })
+                .unwrap();
+                assert!(
+                    out.contains(&format!("algo = {}", spec.name)),
+                    "{}: {out}",
+                    spec.name
+                );
+                assert!(out.contains("memory = "), "{}: {out}", spec.name);
+                if parallel {
+                    assert!(out.contains("shards = 2"), "{}: {out}", spec.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_algo_parallel_splits_pool_sizes_across_shards_like_the_default_path() {
+        // `--estimators` must mean the same thing with and without
+        // `--parallel`: a pool of r split as ceil(r/shards) per shard, so
+        // total memory stays ~constant instead of multiplying by the
+        // shard count.
+        let path = sample_graph_path();
+        let memory_of = |parallel: bool| {
+            let out = run(Command::Count {
+                input: path.clone(),
+                estimators: Some(2_000),
+                batch: Some(1_024),
+                seed: 5,
+                exact: false,
+                parallel,
+                shards: parallel.then_some(4),
+                algo: Some("neighborhood-bulk".into()),
+                window: None,
+            })
+            .unwrap();
+            let words: u64 = out
+                .split("memory = ")
+                .nth(1)
+                .unwrap()
+                .split(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            words
+        };
+        assert_eq!(
+            memory_of(false),
+            memory_of(true),
+            "2000 estimators across 4 shards must not become 8000"
+        );
+    }
+
+    #[test]
+    fn count_algo_exact_matches_the_exact_flag_and_estimates_agree() {
+        let path = sample_graph_path();
+        let by_algo = run(Command::Count {
+            input: path.clone(),
+            estimators: None,
+            batch: None,
+            seed: 1,
+            exact: false,
+            parallel: false,
+            shards: None,
+            algo: Some("exact".into()),
+            window: None,
+        })
+        .unwrap();
+        let by_flag = run(Command::Count {
+            input: path,
+            estimators: None,
+            batch: None,
+            seed: 1,
+            exact: true,
+            parallel: false,
+            shards: None,
+            algo: None,
+            window: None,
+        })
+        .unwrap();
+        // Same count, different report shapes.
+        let count_of = |report: &str| {
+            report
+                .split("triangle count: ")
+                .nth(1)
+                .unwrap()
+                .split([' ', '\n'])
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(count_of(&by_algo), count_of(&by_flag));
+    }
+
+    #[test]
+    fn count_algo_sliding_honours_the_window() {
+        // A window of 1 can never hold a triangle, whatever the stream.
+        let path = sample_graph_path();
+        let out = run(Command::Count {
+            input: path,
+            estimators: Some(256),
+            batch: None,
+            seed: 3,
+            exact: false,
+            parallel: false,
+            shards: None,
+            algo: Some("sliding".into()),
+            window: Some(1),
+        })
+        .unwrap();
+        assert!(
+            out.contains("estimated triangle count: 0 "),
+            "window of one edge must estimate zero: {out}"
+        );
     }
 
     #[test]
@@ -437,12 +679,14 @@ mod tests {
         let count = |input: std::path::PathBuf| {
             run(Command::Count {
                 input,
-                estimators: 5_000,
+                estimators: Some(5_000),
                 batch: None,
                 seed: 3,
                 exact: false,
                 parallel: false,
                 shards: None,
+                algo: None,
+                window: None,
             })
             .unwrap()
         };
@@ -459,12 +703,14 @@ mod tests {
         // Parallel count streams the binary file through the engine.
         let parallel = run(Command::Count {
             input: tsb,
-            estimators: 5_000,
+            estimators: Some(5_000),
             batch: Some(512),
             seed: 3,
             exact: false,
             parallel: true,
             shards: Some(2),
+            algo: None,
+            window: None,
         })
         .unwrap();
         assert!(parallel.contains("3000 edges"), "{parallel}");

@@ -161,6 +161,116 @@ fn parallel_count_end_to_end() {
 }
 
 #[test]
+fn unknown_algo_is_a_usage_error_listing_the_registered_names() {
+    // Satellite: `--algo` misuse must be a usage error (exit 2) whose
+    // message enumerates the registry, so users can self-correct.
+    let output = run(&["count", "whatever.txt", "--algo", "frobnicate"]);
+    assert_eq!(output.status.code(), Some(2), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("frobnicate"), "{stderr}");
+    for name in [
+        "neighborhood",
+        "neighborhood-bulk",
+        "sliding",
+        "exact",
+        "buriol",
+        "jowhari-ghodsi",
+        "pagh-tsourakakis",
+    ] {
+        assert!(
+            stderr.contains(name),
+            "stderr must list registered algorithm {name}:\n{stderr}"
+        );
+    }
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn algo_combined_with_exact_is_a_usage_error_listing_the_names() {
+    let output = run(&["count", "whatever.txt", "--algo", "buriol", "--exact"]);
+    assert_eq!(output.status.code(), Some(2), "{output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--exact"), "{stderr}");
+    assert!(
+        stderr.contains("pagh-tsourakakis") && stderr.contains("jowhari-ghodsi"),
+        "stderr must list the registered algorithms:\n{stderr}"
+    );
+}
+
+#[test]
+fn count_algo_end_to_end_over_text_and_binary_inputs() {
+    let edge_list = temp_path("algo.txt");
+    let tsb = temp_path("algo.tsb");
+    let generate = run(&[
+        "generate",
+        "syn-3-reg",
+        "--scale",
+        "16",
+        "--seed",
+        "13",
+        "--output",
+        edge_list.to_str().unwrap(),
+    ]);
+    assert!(generate.status.success(), "generate failed: {generate:?}");
+    let convert = run(&[
+        "convert",
+        edge_list.to_str().unwrap(),
+        "--output",
+        tsb.to_str().unwrap(),
+    ]);
+    assert!(convert.status.success(), "convert failed: {convert:?}");
+
+    for input in [&edge_list, &tsb] {
+        // Sequential registry path.
+        let sequential = run(&[
+            "count",
+            input.to_str().unwrap(),
+            "--algo",
+            "jowhari-ghodsi",
+            "--estimators",
+            "500",
+            "--seed",
+            "7",
+        ]);
+        assert!(
+            sequential.status.success(),
+            "sequential algo count failed on {input:?}: {sequential:?}"
+        );
+        let text = stdout(&sequential);
+        assert!(
+            text.contains("algo = jowhari-ghodsi") && text.contains("memory = "),
+            "{text}"
+        );
+        // The same algorithm through the generic sharded engine.
+        let parallel = run(&[
+            "count",
+            input.to_str().unwrap(),
+            "--algo",
+            "jowhari-ghodsi",
+            "--estimators",
+            "500",
+            "--seed",
+            "7",
+            "--parallel",
+            "--shards",
+            "2",
+        ]);
+        assert!(
+            parallel.status.success(),
+            "parallel algo count failed on {input:?}: {parallel:?}"
+        );
+        let text = stdout(&parallel);
+        assert!(
+            text.contains("algo = jowhari-ghodsi") && text.contains("shards = 2"),
+            "{text}"
+        );
+    }
+
+    let _ = std::fs::remove_file(&edge_list);
+    let _ = std::fs::remove_file(&tsb);
+}
+
+#[test]
 fn summary_reports_graph_shape() {
     let edge_list = temp_path("summary.txt");
     std::fs::write(
@@ -275,13 +385,21 @@ fn bench_smoke_emits_machine_readable_json() {
     let json = std::fs::read_to_string(&json_path).expect("bench wrote the report");
     for field in [
         "\"schema\": \"tristream-bench\"",
-        "\"schema_version\": 1",
+        "\"schema_version\": 2",
         "\"ingest-text\"",
         "\"ingest-binary\"",
         "\"engine-spawn-w256\"",
         "\"engine-persistent-w65536\"",
         "\"accuracy-bulk-syn3reg\"",
         "\"accuracy-parallel-planted\"",
+        "\"accuracy-neighborhood-bulk\"",
+        "\"accuracy-sliding\"",
+        "\"accuracy-exact\"",
+        "\"accuracy-buriol\"",
+        "\"accuracy-jowhari-ghodsi\"",
+        "\"accuracy-pagh-tsourakakis\"",
+        "\"memory_words\"",
+        "\"budget_words\"",
         "\"binary_vs_text_ingest_speedup\"",
     ] {
         assert!(json.contains(field), "BENCH.json missing {field}:\n{json}");

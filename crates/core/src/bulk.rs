@@ -362,6 +362,35 @@ impl BulkTriangleCounter {
     }
 }
 
+impl crate::traits::TriangleEstimator for BulkTriangleCounter {
+    /// A single edge is a batch of one — distributionally identical to the
+    /// one-at-a-time counter (the property `bulk::tests` checks).
+    fn process_edge(&mut self, edge: Edge) {
+        self.process_batch(&[edge]);
+    }
+
+    /// One call, one batch: callers control the batch boundary, so feeding
+    /// the same chunks through the trait or through
+    /// [`BulkTriangleCounter::process_batch`] is bit-identical per seed.
+    fn process_edges(&mut self, edges: &[Edge]) {
+        self.process_batch(edges);
+    }
+
+    fn estimate(&self) -> f64 {
+        BulkTriangleCounter::estimate(self)
+    }
+
+    fn edges_seen(&self) -> u64 {
+        BulkTriangleCounter::edges_seen(self)
+    }
+
+    /// `r` fixed-size [`EstimatorState`]s; the `O(w)` per-batch scratch is
+    /// transient and therefore excluded by the convention.
+    fn memory_words(&self) -> usize {
+        crate::traits::words_for_bytes(self.estimator_memory_bytes())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

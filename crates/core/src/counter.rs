@@ -146,6 +146,35 @@ impl TriangleCounter {
     pub fn estimators_with_triangle(&self) -> usize {
         self.estimators.iter().filter(|e| e.has_triangle()).count()
     }
+
+    /// Words of [`EstimatorState`] one estimator costs — the sizing unit
+    /// the algorithm registry uses for equal-memory comparisons.
+    pub fn words_per_estimator() -> usize {
+        crate::traits::words_for_bytes(std::mem::size_of::<EstimatorState>())
+    }
+}
+
+impl crate::traits::TriangleEstimator for TriangleCounter {
+    fn process_edge(&mut self, edge: Edge) {
+        TriangleCounter::process_edge(self, edge);
+    }
+
+    fn process_edges(&mut self, edges: &[Edge]) {
+        TriangleCounter::process_edges(self, edges);
+    }
+
+    fn estimate(&self) -> f64 {
+        TriangleCounter::estimate(self)
+    }
+
+    fn edges_seen(&self) -> u64 {
+        TriangleCounter::edges_seen(self)
+    }
+
+    /// `r` fixed-size [`EstimatorState`]s — the `O(r)` space of Theorem 3.3.
+    fn memory_words(&self) -> usize {
+        self.estimators.len() * Self::words_per_estimator()
+    }
 }
 
 #[cfg(test)]

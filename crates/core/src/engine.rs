@@ -13,10 +13,11 @@
 //! long-lived workers fed by channels:
 //!
 //! * **One worker thread per shard, created once.** Each worker owns (via a
-//!   mutex it holds only while processing) an independent
-//!   [`BulkTriangleCounter`]; shards never exchange data, so the sharded
-//!   pool computes exactly the same *distribution* of estimates as a
-//!   sequential pool of the same size and seeds.
+//!   mutex it holds only while processing) an independent estimator — any
+//!   [`TriangleEstimator`] `+ Send`, by default a [`BulkTriangleCounter`];
+//!   shards never exchange data, so the sharded pool computes exactly the
+//!   same *distribution* of estimates as a sequential pool of the same
+//!   size and seeds.
 //! * **Batches travel over channels.** [`ShardedEngine::submit`] copies the
 //!   batch once into an `Arc<[Edge]>` and sends the (cheap) `Arc` clone to
 //!   every shard — `O(w)` work, no thread spawn, no join.
@@ -39,10 +40,35 @@
 //! as a poisoned-shard error on the next query or submission.
 
 use crate::bulk::BulkTriangleCounter;
+use crate::traits::TriangleEstimator;
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use tristream_graph::Edge;
+
+/// Drains a *batch source* — any fallible iterator of edge batches — into
+/// `sink`, one call per batch in order, and returns the total number of
+/// edges handed over. Stops at (and propagates) the source's first error;
+/// batches sunk before the error stay sunk, matching the semantics of
+/// feeding the stream by hand. The single implementation behind
+/// [`ShardedEngine::consume`],
+/// [`ParallelBulkTriangleCounter::process_source`] and
+/// [`ShardedEstimator::process_source`].
+///
+/// [`ParallelBulkTriangleCounter::process_source`]: crate::ParallelBulkTriangleCounter::process_source
+/// [`ShardedEstimator::process_source`]: crate::ShardedEstimator::process_source
+pub fn drain_batch_source<E>(
+    source: impl IntoIterator<Item = Result<Vec<Edge>, E>>,
+    mut sink: impl FnMut(&[Edge]),
+) -> Result<u64, E> {
+    let mut edges = 0u64;
+    for batch in source {
+        let batch = batch?;
+        edges += batch.len() as u64;
+        sink(&batch);
+    }
+    Ok(edges)
+}
 
 /// Per-shard channel capacity, in batches. Bounded channels give
 /// [`ShardedEngine::submit`] backpressure: a producer that outruns the
@@ -53,19 +79,18 @@ use tristream_graph::Edge;
 const CHANNEL_DEPTH: usize = 4;
 
 /// State shared between the engine front end and its worker threads.
-#[derive(Debug)]
-struct Shared {
-    /// One independent bulk counter per shard. A worker locks its own slot
+struct Shared<C> {
+    /// One independent estimator per shard. A worker locks its own slot
     /// only while processing a batch; the front end locks slots only while
     /// reading state (after synchronising).
-    counters: Vec<Mutex<BulkTriangleCounter>>,
+    counters: Vec<Mutex<C>>,
     /// Number of batches fully processed by each shard.
     progress: Mutex<Vec<u64>>,
     /// Signalled by workers whenever a batch completes.
     progress_cv: Condvar,
 }
 
-impl Shared {
+impl<C> Shared<C> {
     /// Marks one batch complete for `shard` and wakes synchronising callers.
     /// Uses `into_inner` on poisoning so a panicking worker still reports
     /// progress instead of deadlocking the front end.
@@ -79,20 +104,24 @@ impl Shared {
     }
 }
 
-/// Advances the shard's progress count even if `process_batch` panics, so
+/// Advances the shard's progress count even if batch processing panics, so
 /// `ShardedEngine::sync` never waits forever on a dead worker.
-struct CompletionGuard<'a> {
-    shared: &'a Shared,
+struct CompletionGuard<'a, C> {
+    shared: &'a Shared<C>,
     shard: usize,
 }
 
-impl Drop for CompletionGuard<'_> {
+impl<C> Drop for CompletionGuard<'_, C> {
     fn drop(&mut self) {
         self.shared.complete_batch(self.shard);
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, shard: usize, batches: Receiver<Arc<[Edge]>>) {
+fn worker_loop<C: TriangleEstimator + Send>(
+    shared: Arc<Shared<C>>,
+    shard: usize,
+    batches: Receiver<Arc<[Edge]>>,
+) {
     while let Ok(batch) = batches.recv() {
         let _guard = CompletionGuard {
             shared: &shared,
@@ -101,17 +130,25 @@ fn worker_loop(shared: Arc<Shared>, shard: usize, batches: Receiver<Arc<[Edge]>>
         let mut counter = shared.counters[shard]
             .lock()
             .expect("shard poisoned by an earlier worker panic");
-        counter.process_batch(&batch);
+        // One submitted batch = one `process_edges` call, so batch
+        // boundaries — which bulk algorithms are sensitive to — are exactly
+        // the caller's `submit` boundaries.
+        counter.process_edges(&batch);
     }
 }
 
 /// A pool of long-lived worker threads, one per shard, each owning an
-/// independent [`BulkTriangleCounter`] and fed batches over a channel.
+/// independent [`TriangleEstimator`] and fed batches over a channel.
 ///
-/// This is the execution substrate of
-/// [`ParallelBulkTriangleCounter`](crate::ParallelBulkTriangleCounter);
-/// it can also be used directly when the caller wants to manage shard
-/// seeding or aggregation itself.
+/// The engine is generic over the per-shard estimator `C` — any
+/// `TriangleEstimator + Send` works, including boxed trait objects from
+/// the algorithm registry — and defaults to [`BulkTriangleCounter`], the
+/// substrate of
+/// [`ParallelBulkTriangleCounter`](crate::ParallelBulkTriangleCounter).
+/// It can also be used directly when the caller wants to manage shard
+/// seeding or aggregation itself; for the common
+/// "same algorithm per shard, decorrelated seeds" case see
+/// [`ShardedEstimator`](crate::ShardedEstimator).
 ///
 /// ```
 /// use tristream_core::engine::ShardedEngine;
@@ -127,9 +164,8 @@ fn worker_loop(shared: Arc<Shared>, shard: usize, batches: Receiver<Arc<[Edge]>>
 /// assert_eq!(estimates.len(), 4);
 /// // Workers are joined when `engine` goes out of scope.
 /// ```
-#[derive(Debug)]
-pub struct ShardedEngine {
-    shared: Arc<Shared>,
+pub struct ShardedEngine<C: TriangleEstimator + Send + 'static = BulkTriangleCounter> {
+    shared: Arc<Shared<C>>,
     /// One batch channel per shard. Dropped (closed) before joining, which
     /// is what tells each worker to exit its receive loop.
     senders: Vec<SyncSender<Arc<[Edge]>>>,
@@ -137,14 +173,23 @@ pub struct ShardedEngine {
     batches_submitted: u64,
 }
 
-impl ShardedEngine {
+impl<C: TriangleEstimator + Send + 'static> std::fmt::Debug for ShardedEngine<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.num_shards())
+            .field("batches_submitted", &self.batches_submitted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<C: TriangleEstimator + Send + 'static> ShardedEngine<C> {
     /// Spawns one worker thread per counter. The workers live until the
     /// engine is dropped.
     ///
     /// # Panics
     ///
     /// Panics if `counters` is empty.
-    pub fn new(counters: Vec<BulkTriangleCounter>) -> Self {
+    pub fn new(counters: Vec<C>) -> Self {
         assert!(!counters.is_empty(), "at least one shard is required");
         let shards = counters.len();
         let shared = Arc::new(Shared {
@@ -219,13 +264,7 @@ impl ShardedEngine {
         &mut self,
         source: impl IntoIterator<Item = Result<Vec<Edge>, E>>,
     ) -> Result<u64, E> {
-        let mut edges = 0u64;
-        for batch in source {
-            let batch = batch?;
-            edges += batch.len() as u64;
-            self.submit(&batch);
-        }
-        Ok(edges)
+        drain_batch_source(source, |batch| self.submit(batch))
     }
 
     /// Blocks until every shard has processed every submitted batch.
@@ -245,7 +284,7 @@ impl ShardedEngine {
         }
     }
 
-    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, BulkTriangleCounter> {
+    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, C> {
         self.shared.counters[shard]
             .lock()
             .expect("shard poisoned by a worker panic")
@@ -253,21 +292,24 @@ impl ShardedEngine {
 
     /// Synchronises, then applies `f` to every shard's counter in shard
     /// order, returning the collected results.
-    pub fn map_shards<T>(&self, mut f: impl FnMut(&BulkTriangleCounter) -> T) -> Vec<T> {
+    pub fn map_shards<T>(&self, mut f: impl FnMut(&C) -> T) -> Vec<T> {
         self.sync();
         (0..self.num_shards())
             .map(|shard| f(&self.lock_shard(shard)))
             .collect()
     }
+}
 
+impl<C: TriangleEstimator + Send + Clone + 'static> ShardedEngine<C> {
     /// Synchronises and clones every shard's counter — the building block
-    /// for cloning or re-configuring a running engine.
-    pub fn snapshot(&self) -> Vec<BulkTriangleCounter> {
+    /// for cloning or re-configuring a running engine. Only available when
+    /// the shard estimator is `Clone` (boxed trait objects are not).
+    pub fn snapshot(&self) -> Vec<C> {
         self.map_shards(|shard| shard.clone())
     }
 }
 
-impl Clone for ShardedEngine {
+impl<C: TriangleEstimator + Send + Clone + 'static> Clone for ShardedEngine<C> {
     /// Clones the engine by snapshotting shard state into a fresh worker
     /// pool. The clone starts with its own threads and an independent
     /// progress count, but identical counter state.
@@ -276,7 +318,7 @@ impl Clone for ShardedEngine {
     }
 }
 
-impl Drop for ShardedEngine {
+impl<C: TriangleEstimator + Send + 'static> Drop for ShardedEngine<C> {
     fn drop(&mut self) {
         // Closing the channels ends each worker's receive loop.
         self.senders.clear();
@@ -302,7 +344,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_shards_panics() {
-        let _ = ShardedEngine::new(Vec::new());
+        let _: ShardedEngine = ShardedEngine::new(Vec::new());
     }
 
     #[test]
@@ -383,7 +425,7 @@ mod tests {
         // dropped (and `Drop` has joined the workers), every clone must be
         // gone — the strong count reaching zero proves the threads exited.
         let stream = tristream_gen::planted_triangles(10, 30, 5);
-        let weak: Weak<Shared>;
+        let weak: Weak<Shared<BulkTriangleCounter>>;
         {
             let mut engine = ShardedEngine::new(shard_counters(16, 4, 2));
             weak = Arc::downgrade(&engine.shared);
@@ -394,6 +436,38 @@ mod tests {
         assert!(
             weak.upgrade().is_none(),
             "all worker threads must terminate and release shared state on drop"
+        );
+    }
+
+    #[test]
+    fn generic_engine_runs_boxed_estimators_and_matches_sequential_feeding() {
+        // The engine is pure transport: a shard driven through the worker
+        // pool must match the same estimator fed the same batches on the
+        // caller's thread, bit for bit — here with `Box<dyn>` shards of
+        // *different* concrete algorithms.
+        use crate::counter::TriangleCounter;
+        let stream = tristream_gen::planted_triangles(15, 40, 4);
+        let shards: Vec<Box<dyn TriangleEstimator + Send>> = vec![
+            Box::new(TriangleCounter::new(64, 7)),
+            Box::new(BulkTriangleCounter::new(64, 8)),
+        ];
+        let mut engine = ShardedEngine::new(shards);
+        let mut reference: Vec<Box<dyn TriangleEstimator + Send>> = vec![
+            Box::new(TriangleCounter::new(64, 7)),
+            Box::new(BulkTriangleCounter::new(64, 8)),
+        ];
+        for batch in stream.batches(32) {
+            engine.submit(batch);
+            for shard in &mut reference {
+                shard.process_edges(batch);
+            }
+        }
+        let engine_bits: Vec<u64> = engine.map_shards(|shard| shard.estimate().to_bits());
+        let reference_bits: Vec<u64> = reference.iter().map(|s| s.estimate().to_bits()).collect();
+        assert_eq!(engine_bits, reference_bits);
+        assert_eq!(
+            engine.map_shards(|shard| shard.edges_seen()),
+            vec![stream.len() as u64; 2]
         );
     }
 

@@ -59,6 +59,7 @@ pub mod parallel;
 pub mod sampler;
 pub mod sliding;
 pub mod theory;
+pub mod traits;
 pub mod transitivity;
 
 pub use bulk::{BulkTriangleCounter, Level1Strategy};
@@ -66,11 +67,14 @@ pub use clique::FourCliqueCounter;
 pub use counter::{Aggregation, TriangleCounter};
 pub use engine::ShardedEngine;
 pub use estimator::{EstimatorState, NeighborhoodSampler, PositionedEdge};
-pub use parallel::{shard_counters, ParallelBulkTriangleCounter, SHARD_SEED_STRIDE};
+pub use parallel::{
+    shard_counters, ParallelBulkTriangleCounter, ShardedEstimator, SHARD_SEED_STRIDE,
+};
 pub use sampler::TriangleSampler;
 pub use sliding::SlidingWindowTriangleCounter;
 pub use theory::{
     error_bound_for_estimators, sufficient_estimators_mean, sufficient_estimators_tangle,
     sufficient_sampler_copies,
 };
+pub use traits::{words_for_bytes, TriangleEstimator, BYTES_PER_WORD};
 pub use transitivity::TransitivityEstimator;

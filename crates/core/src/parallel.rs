@@ -21,6 +21,7 @@
 use crate::bulk::{BulkTriangleCounter, Level1Strategy};
 use crate::counter::Aggregation;
 use crate::engine::ShardedEngine;
+use crate::traits::TriangleEstimator;
 use tristream_graph::Edge;
 use tristream_sample::{mean, median_of_means};
 
@@ -174,13 +175,7 @@ impl ParallelBulkTriangleCounter {
         &mut self,
         source: impl IntoIterator<Item = Result<Vec<Edge>, E>>,
     ) -> Result<u64, E> {
-        let mut edges = 0u64;
-        for batch in source {
-            let batch = batch?;
-            edges += batch.len() as u64;
-            self.process_batch(&batch);
-        }
-        Ok(edges)
+        crate::engine::drain_batch_source(source, |batch| self.process_batch(batch))
     }
 
     /// Per-estimator raw estimates across all shards (waits for in-flight
@@ -207,6 +202,133 @@ impl ParallelBulkTriangleCounter {
     pub fn estimators_with_triangle(&self) -> usize {
         self.engine
             .map_shards(|shard| shard.estimators_with_triangle())
+            .iter()
+            .sum()
+    }
+}
+
+impl TriangleEstimator for ParallelBulkTriangleCounter {
+    /// A single edge is a batch of one, as for the sequential bulk counter.
+    fn process_edge(&mut self, edge: Edge) {
+        self.process_batch(&[edge]);
+    }
+
+    /// One call, one batch on every shard — identical boundaries to
+    /// [`ParallelBulkTriangleCounter::process_batch`].
+    fn process_edges(&mut self, edges: &[Edge]) {
+        self.process_batch(edges);
+    }
+
+    fn estimate(&self) -> f64 {
+        ParallelBulkTriangleCounter::estimate(self)
+    }
+
+    fn edges_seen(&self) -> u64 {
+        ParallelBulkTriangleCounter::edges_seen(self)
+    }
+
+    /// Sum of the shard pools' estimator state.
+    fn memory_words(&self) -> usize {
+        self.engine
+            .map_shards(TriangleEstimator::memory_words)
+            .iter()
+            .sum()
+    }
+}
+
+/// A sharded, multi-threaded wrapper around *any* [`TriangleEstimator`]:
+/// `shards` independent instances built by a caller-supplied factory, each
+/// advanced on its own persistent worker thread (the generic
+/// [`ShardedEngine`]), with the final estimate the plain mean of the shard
+/// estimates.
+///
+/// The factory receives each shard's seed under the same contract as
+/// [`shard_counters`]: shard `i` gets `seed + i ·`[`SHARD_SEED_STRIDE`].
+/// With a single shard the wrapper is *bit-identical* to the sequential
+/// estimator fed the same batches — the property the parity tests pin.
+///
+/// This is the execution path behind `tristream-cli count --parallel
+/// --algo <name>`: the registry's boxed constructors plug straight in as
+/// `ShardedEstimator<Box<dyn TriangleEstimator + Send>>`.
+#[derive(Debug)]
+pub struct ShardedEstimator<C: TriangleEstimator + Send + 'static> {
+    engine: ShardedEngine<C>,
+    edges_seen: u64,
+}
+
+impl<C: TriangleEstimator + Send + 'static> ShardedEstimator<C> {
+    /// Builds `shards` estimators via `factory` — called with each shard's
+    /// decorrelated seed, in shard order — and spawns the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn from_factory(shards: usize, seed: u64, mut factory: impl FnMut(u64) -> C) -> Self {
+        assert!(shards > 0, "at least one shard is required");
+        let counters = (0..shards)
+            .map(|i| factory(seed.wrapping_add(i as u64 * SHARD_SEED_STRIDE)))
+            .collect();
+        Self {
+            engine: ShardedEngine::new(counters),
+            edges_seen: 0,
+        }
+    }
+
+    /// Number of shards (persistent worker threads).
+    pub fn num_shards(&self) -> usize {
+        self.engine.num_shards()
+    }
+
+    /// Enqueues one batch on every shard without waiting for processing.
+    pub fn process_batch(&mut self, batch: &[Edge]) {
+        if batch.is_empty() {
+            return;
+        }
+        self.engine.submit(batch);
+        self.edges_seen += batch.len() as u64;
+    }
+
+    /// Ingests a whole batch source (see
+    /// [`ShardedEngine::consume`]), returning the number of edges
+    /// ingested; the source's first error is propagated.
+    pub fn process_source<E>(
+        &mut self,
+        source: impl IntoIterator<Item = Result<Vec<Edge>, E>>,
+    ) -> Result<u64, E> {
+        crate::engine::drain_batch_source(source, |batch| self.process_batch(batch))
+    }
+
+    /// Per-shard estimates, in shard order (waits for in-flight batches).
+    pub fn shard_estimates(&self) -> Vec<f64> {
+        self.engine.map_shards(|shard| shard.estimate())
+    }
+}
+
+impl<C: TriangleEstimator + Send + 'static> TriangleEstimator for ShardedEstimator<C> {
+    fn process_edge(&mut self, edge: Edge) {
+        self.process_batch(&[edge]);
+    }
+
+    fn process_edges(&mut self, edges: &[Edge]) {
+        self.process_batch(edges);
+    }
+
+    /// Mean of the shard estimates. Every shard sees the whole stream, so
+    /// each shard estimate is already unbiased and the mean only reduces
+    /// variance; with equal per-shard pools this equals pooling all
+    /// estimators in one counter.
+    fn estimate(&self) -> f64 {
+        mean(&self.shard_estimates())
+    }
+
+    fn edges_seen(&self) -> u64 {
+        self.edges_seen
+    }
+
+    /// Sum of the shard estimators' state.
+    fn memory_words(&self) -> usize {
+        self.engine
+            .map_shards(|shard| shard.memory_words())
             .iter()
             .sum()
     }
@@ -373,6 +495,71 @@ mod tests {
         let result = c.process_source(vec![Ok(good.clone()), Err("gone"), Ok(good)]);
         assert_eq!(result, Err("gone"));
         assert_eq!(c.edges_seen(), 8, "prefix before the error stays counted");
+    }
+
+    #[test]
+    fn sharded_estimator_single_shard_is_bit_identical_to_the_sequential_counter() {
+        // The generic factory path must preserve the engine's transport
+        // transparency: one shard, same seed, same batch boundaries ⇒ the
+        // same bits as the sequential estimator — including with the
+        // PerEstimator level-1 strategy, extending the existing
+        // PerEstimator parity test to the generic engine.
+        let stream = tristream_gen::planted_triangles(20, 60, 17);
+        for strategy in [Level1Strategy::PerEstimator, Level1Strategy::GeometricSkip] {
+            let mut sharded = ShardedEstimator::from_factory(1, 13, |seed| {
+                BulkTriangleCounter::new(256, seed).with_level1_strategy(strategy)
+            });
+            let mut sequential = BulkTriangleCounter::new(256, 13).with_level1_strategy(strategy);
+            for batch in stream.batches(37) {
+                sharded.process_batch(batch);
+                sequential.process_batch(batch);
+            }
+            assert_eq!(
+                TriangleEstimator::estimate(&sharded).to_bits(),
+                TriangleEstimator::estimate(&sequential).to_bits(),
+                "strategy {strategy:?}"
+            );
+            assert_eq!(TriangleEstimator::edges_seen(&sharded), stream.len() as u64);
+            assert_eq!(
+                TriangleEstimator::memory_words(&sharded),
+                TriangleEstimator::memory_words(&sequential)
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_estimator_uses_the_shard_seed_stride_contract() {
+        // The factory must be handed exactly the seeds `shard_counters`
+        // would use, so generic and specialised sharding stay comparable.
+        let mut seeds_seen = Vec::new();
+        let sharded = ShardedEstimator::from_factory(3, 21, |seed| {
+            seeds_seen.push(seed);
+            BulkTriangleCounter::new(8, seed)
+        });
+        assert_eq!(sharded.num_shards(), 3);
+        assert_eq!(
+            seeds_seen,
+            vec![21, 21 + SHARD_SEED_STRIDE, 21 + 2 * SHARD_SEED_STRIDE]
+        );
+    }
+
+    #[test]
+    fn sharded_estimator_over_boxed_shards_matches_concrete_shards() {
+        let stream = tristream_gen::planted_triangles(25, 50, 9);
+        let mut boxed = ShardedEstimator::from_factory(2, 7, |seed| {
+            Box::new(BulkTriangleCounter::new(64, seed)) as Box<dyn TriangleEstimator + Send>
+        });
+        let mut concrete =
+            ShardedEstimator::from_factory(2, 7, |seed| BulkTriangleCounter::new(64, seed));
+        for batch in stream.batches(64) {
+            boxed.process_batch(batch);
+            concrete.process_batch(batch);
+        }
+        assert_eq!(
+            TriangleEstimator::estimate(&boxed).to_bits(),
+            TriangleEstimator::estimate(&concrete).to_bits()
+        );
+        assert_eq!(boxed.shard_estimates(), concrete.shard_estimates());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::estimator::PositionedEdge;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use tristream_graph::Edge;
-use tristream_sample::{mean, ChainSampler};
+use tristream_sample::{mean, ChainEntry, ChainSampler};
 
 /// The level-2 state attached to each chain element: the element's own edge
 /// plus the reservoir over its neighborhood.
@@ -158,6 +158,13 @@ impl SlidingWindowTriangleCounter {
         mean(&raw)
     }
 
+    /// Words one chain entry (level-1 candidate plus its level-2 state)
+    /// costs — the sizing unit the algorithm registry uses. Each estimator
+    /// holds an expected `O(log w)` of these.
+    pub fn words_per_chain_entry() -> usize {
+        crate::traits::words_for_bytes(std::mem::size_of::<ChainEntry<WindowLevel2>>())
+    }
+
     /// Average chain length across estimators — the `O(log w)` space
     /// overhead of Theorem 5.8, exposed for observability and tests.
     pub fn average_chain_length(&self) -> f64 {
@@ -169,6 +176,34 @@ impl SlidingWindowTriangleCounter {
             .map(|c| c.chain_len() as f64)
             .sum::<f64>()
             / self.estimators.len() as f64
+    }
+}
+
+impl crate::traits::TriangleEstimator for SlidingWindowTriangleCounter {
+    fn process_edge(&mut self, edge: Edge) {
+        SlidingWindowTriangleCounter::process_edge(self, edge);
+    }
+
+    fn process_edges(&mut self, edges: &[Edge]) {
+        SlidingWindowTriangleCounter::process_edges(self, edges);
+    }
+
+    /// The estimate over the current window (Theorem 5.8), not the whole
+    /// stream — callers comparing against whole-stream truth should size
+    /// the window to cover the stream.
+    fn estimate(&self) -> f64 {
+        SlidingWindowTriangleCounter::estimate(self)
+    }
+
+    fn edges_seen(&self) -> u64 {
+        SlidingWindowTriangleCounter::edges_seen(self)
+    }
+
+    /// Sum of live chain entries across estimators — the `O(r log w)`
+    /// expected space of Theorem 5.8, measured, not bounded.
+    fn memory_words(&self) -> usize {
+        let entries: usize = self.estimators.iter().map(|c| c.chain_len()).sum();
+        entries * Self::words_per_chain_entry()
     }
 }
 

@@ -27,7 +27,7 @@ pub mod reservoir;
 pub mod skip;
 
 pub use aggregate::{mean, mean_deviation, median, median_of_means, relative_error, MeanEstimator};
-pub use chain::ChainSampler;
+pub use chain::{ChainEntry, ChainSampler};
 pub use coin::{coin, rand_int};
 pub use reservoir::{ReservoirK, ReservoirOne};
 pub use skip::GeometricSkip;

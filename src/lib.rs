@@ -48,11 +48,13 @@ pub use tristream_sample as sample;
 /// The most commonly used types, importable with
 /// `use tristream::prelude::*;`.
 pub mod prelude {
+    pub use tristream_baselines::registry::{find_algo, registry, AlgoParams, AlgoSpec};
     pub use tristream_baselines::ExactStreamingCounter;
     pub use tristream_core::counter::Aggregation;
     pub use tristream_core::{
-        BulkTriangleCounter, FourCliqueCounter, ParallelBulkTriangleCounter,
-        SlidingWindowTriangleCounter, TransitivityEstimator, TriangleCounter, TriangleSampler,
+        BulkTriangleCounter, FourCliqueCounter, ParallelBulkTriangleCounter, ShardedEstimator,
+        SlidingWindowTriangleCounter, TransitivityEstimator, TriangleCounter, TriangleEstimator,
+        TriangleSampler,
     };
     pub use tristream_gen::{DatasetKind, StandIn};
     pub use tristream_graph::{Adjacency, Edge, EdgeStream, GraphSummary, StreamOrder, VertexId};

@@ -94,32 +94,38 @@ fn cli_pipeline_counts_a_generated_file() {
 
     let exact_out = run(Command::Count {
         input: path.clone(),
-        estimators: 0,
+        estimators: None,
         batch: None,
         seed: 0,
         exact: true,
         parallel: false,
         shards: None,
+        algo: None,
+        window: None,
     })
     .unwrap();
     let approx_out = run(Command::Count {
         input: path.clone(),
-        estimators: 30_000,
+        estimators: Some(30_000),
         batch: None,
         seed: 11,
         exact: false,
         parallel: false,
         shards: None,
+        algo: None,
+        window: None,
     })
     .unwrap();
     let parallel_out = run(Command::Count {
         input: path,
-        estimators: 30_000,
+        estimators: Some(30_000),
         batch: Some(2_048),
         seed: 11,
         exact: false,
         parallel: true,
         shards: Some(2),
+        algo: None,
+        window: None,
     })
     .unwrap();
     assert!(exact_out.contains("exact triangle count"));
