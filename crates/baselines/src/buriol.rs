@@ -23,9 +23,12 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use tristream_core::FastMap;
 use tristream_graph::{Edge, VertexId};
 use tristream_sample::mean;
+
+/// Salt applied to the user seed to derive the vertex-set hash seed.
+const BURIOL_VERTEX_SALT: u64 = 0xB0_71_0Cu64;
 
 /// One Buriol et al. estimator.
 #[derive(Debug, Clone, Default)]
@@ -101,7 +104,12 @@ impl BuriolEstimator {
 pub struct BuriolCounter {
     estimators: Vec<BuriolEstimator>,
     edges_seen: u64,
-    vertices: HashSet<VertexId>,
+    /// Discovered-vertex set, hit twice per stream edge — a deterministic
+    /// [`FastMap`] used as a set (unit values). Only membership and the
+    /// count feed the algorithm, so the swap from a std `HashSet` cannot
+    /// change any estimate (pinned by
+    /// `estimates_are_stable_across_the_vertex_set_swap`).
+    vertices: FastMap<()>,
     rng: SmallRng,
 }
 
@@ -116,7 +124,7 @@ impl BuriolCounter {
         Self {
             estimators: vec![BuriolEstimator::default(); r],
             edges_seen: 0,
-            vertices: HashSet::new(),
+            vertices: FastMap::with_seed(seed ^ BURIOL_VERTEX_SALT),
             rng: SmallRng::seed_from_u64(seed),
         }
     }
@@ -135,10 +143,14 @@ impl BuriolCounter {
     pub fn process_edge(&mut self, edge: Edge) {
         self.edges_seen += 1;
         let position = self.edges_seen;
-        let mut newly_discovered = Vec::with_capacity(2);
+        // At most two discoveries per edge: a stack buffer, not a per-edge
+        // heap allocation.
+        let mut newly_discovered = [VertexId::new(0); 2];
+        let mut discoveries = 0usize;
         for v in [edge.u(), edge.v()] {
-            if self.vertices.insert(v) {
-                newly_discovered.push(v);
+            if self.vertices.insert_if_absent((v.raw(), 0), ()) {
+                newly_discovered[discoveries] = v;
+                discoveries += 1;
             }
         }
         let vertices_seen = self.vertices.len() as u64;
@@ -148,7 +160,7 @@ impl BuriolCounter {
                 edge,
                 position,
                 vertices_seen,
-                &newly_discovered,
+                &newly_discovered[..discoveries],
             );
         }
     }
@@ -303,5 +315,36 @@ mod tests {
         a.process_edges(&edges);
         b.process_edges(&edges);
         assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn estimates_are_stable_across_the_vertex_set_swap() {
+        // Satellite pin for the std-HashSet → FastMap swap: discovery order
+        // (and hence every reservoir draw) follows the *stream*, never the
+        // set's layout, so tracking discoveries with a std HashSet alongside
+        // the counter must agree at every step and the estimate is bitwise
+        // the deterministic function of the seed it always was.
+        use std::collections::HashSet;
+        let stream = tristream_gen::watts_strogatz(150, 4, 0.2, 3);
+        for seed in 0..5u64 {
+            let mut counter = BuriolCounter::new(64, seed);
+            let mut reference: HashSet<VertexId> = HashSet::new();
+            for e in stream.iter() {
+                counter.process_edge(e);
+                reference.insert(e.u());
+                reference.insert(e.v());
+                assert_eq!(counter.vertices.len(), reference.len());
+            }
+            let replay = {
+                let mut c = BuriolCounter::new(64, seed);
+                c.process_edges(stream.edges());
+                c.estimate()
+            };
+            assert_eq!(
+                counter.estimate().to_bits(),
+                replay.to_bits(),
+                "seed {seed}"
+            );
+        }
     }
 }

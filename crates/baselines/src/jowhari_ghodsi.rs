@@ -11,7 +11,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use tristream_core::FastMap;
 use tristream_graph::{Edge, VertexId};
 use tristream_sample::mean;
 
@@ -23,12 +23,19 @@ struct ApexSeen {
 }
 
 /// One Jowhari–Ghodsi estimator: a sampled edge plus its later neighborhood.
+///
+/// The apex table is the algorithm's per-edge hot path — two lookups per
+/// stream edge per estimator — so it uses the deterministic
+/// [`FastMap`] instead of a SipHash std `HashMap`. Only the entry *count*
+/// (of completed apexes) ever feeds the estimate, so the swap cannot move
+/// a single bit of any estimate; `estimates_are_stable_across_the_apex_map_swap`
+/// pins that against a std-`HashMap` re-implementation.
 #[derive(Debug, Clone, Default)]
 struct JgEstimator {
     sample: Option<Edge>,
     /// For each vertex `w` adjacent (so far) to the sampled edge, which of
     /// `{u, w}`, `{v, w}` have arrived after the sample. Size is `O(Δ)`.
-    apexes: HashMap<VertexId, ApexSeen>,
+    apexes: FastMap<ApexSeen>,
 }
 
 impl JgEstimator {
@@ -45,12 +52,16 @@ impl JgEstimator {
         let (u, v) = sample.endpoints();
         if let Some(w) = edge.other_endpoint(u) {
             if w != v {
-                self.apexes.entry(w).or_default().from_u = true;
+                self.apexes
+                    .get_mut_or_insert((w.raw(), 0), ApexSeen::default())
+                    .from_u = true;
             }
         }
         if let Some(w) = edge.other_endpoint(v) {
             if w != u {
-                self.apexes.entry(w).or_default().from_v = true;
+                self.apexes
+                    .get_mut_or_insert((w.raw(), 0), ApexSeen::default())
+                    .from_v = true;
             }
         }
     }
@@ -58,8 +69,8 @@ impl JgEstimator {
     /// Number of apex vertices completing a triangle with the sampled edge.
     fn completed(&self) -> u64 {
         self.apexes
-            .values()
-            .filter(|a| a.from_u && a.from_v)
+            .iter()
+            .filter(|(_, a)| a.from_u && a.from_v)
             .count() as u64
     }
 
@@ -274,5 +285,80 @@ mod tests {
         a.process_edges(&edges);
         b.process_edges(&edges);
         assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn estimates_are_stable_across_the_apex_map_swap() {
+        // Satellite pin for the std-HashMap → FastMap swap: a verbatim
+        // re-implementation of the estimator over `std::collections::HashMap`
+        // must produce bit-identical estimates for every seed — the apex
+        // table only ever contributes its completed-entry *count*, never an
+        // iteration order, and the swap touches no RNG draw.
+        use std::collections::HashMap;
+
+        #[derive(Default, Clone)]
+        struct StdEstimator {
+            sample: Option<Edge>,
+            apexes: HashMap<VertexId, ApexSeen>,
+        }
+
+        impl StdEstimator {
+            fn process_edge(&mut self, rng: &mut SmallRng, edge: Edge, position: u64) {
+                if position == 1 || rng.gen_range(0..position) == 0 {
+                    self.sample = Some(edge);
+                    self.apexes.clear();
+                    return;
+                }
+                let sample = match self.sample {
+                    Some(s) => s,
+                    None => return,
+                };
+                let (u, v) = sample.endpoints();
+                if let Some(w) = edge.other_endpoint(u) {
+                    if w != v {
+                        self.apexes.entry(w).or_default().from_u = true;
+                    }
+                }
+                if let Some(w) = edge.other_endpoint(v) {
+                    if w != u {
+                        self.apexes.entry(w).or_default().from_v = true;
+                    }
+                }
+            }
+        }
+
+        let stream = tristream_gen::watts_strogatz(120, 4, 0.2, 7);
+        for seed in 0..10u64 {
+            let r = 32;
+            let mut swapped = JowhariGhodsiCounter::new(r, seed);
+            swapped.process_edges(stream.edges());
+
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut reference = vec![StdEstimator::default(); r];
+            for (i, e) in stream.iter().enumerate() {
+                for est in &mut reference {
+                    est.process_edge(&mut rng, e, i as u64 + 1);
+                }
+            }
+            let m = stream.len() as u64;
+            let reference_estimate = mean(
+                &reference
+                    .iter()
+                    .map(|est| {
+                        let completed =
+                            est.apexes.values().filter(|a| a.from_u && a.from_v).count() as u64;
+                        m as f64 * completed as f64
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            assert_eq!(
+                swapped.estimate().to_bits(),
+                reference_estimate.to_bits(),
+                "seed {seed}"
+            );
+            // The measured apex residency matches entry for entry, too.
+            let reference_entries: usize = reference.iter().map(|e| e.apexes.len()).sum();
+            assert_eq!(swapped.total_stored_entries(), reference_entries);
+        }
     }
 }

@@ -151,6 +151,17 @@ fn budget_neighborhood(budget: usize, _hint: &StreamHint) -> usize {
     budget / TriangleCounter::words_per_estimator()
 }
 
+fn budget_neighborhood_bulk(budget: usize, _hint: &StreamHint) -> usize {
+    // The pooled bulk counter stores estimators as SoA columns (10 words
+    // each, plus 3 presence bits amortised across the pool) — cheaper per
+    // estimator than the scalar `EstimatorState`, so the same budget buys a
+    // larger pool. The bitset overhead (3 words per 64 estimators) is part
+    // of the measured `memory_words()`, so it must be part of the sizing
+    // too or the pool would land just over the budget it claims to meet.
+    let words_per_64 = 64 * BulkTriangleCounter::words_per_estimator() + 3;
+    budget.saturating_mul(64) / words_per_64
+}
+
 fn budget_sliding(budget: usize, hint: &StreamHint) -> usize {
     // Each estimator holds an expected ~ln(w) chain entries; for
     // whole-stream windows w ≈ m.
@@ -202,7 +213,7 @@ static REGISTRY: [AlgoSpec; 7] = [
         default_space: 100_000,
         splits_across_shards: true,
         build: build_neighborhood_bulk,
-        space_for_budget: budget_neighborhood,
+        space_for_budget: budget_neighborhood_bulk,
     },
     AlgoSpec {
         name: "sliding",
@@ -407,6 +418,37 @@ mod tests {
                 "{}: measured {words} words for a {budget}-word budget",
                 spec.name
             );
+        }
+    }
+
+    #[test]
+    fn neighborhood_bulk_sizing_never_exceeds_the_budget_it_claims_to_meet() {
+        // The pooled counter's state is fixed-size, so its heuristic is
+        // exact, not an expectation: the measured residency must land AT or
+        // under the budget (bitset overhead included), never just over.
+        let spec = find_algo("neighborhood-bulk").unwrap();
+        let hint = StreamHint {
+            edges: 3_000,
+            vertices: 2_000,
+        };
+        for budget in [64usize, 1_000, 4_096, 8_192, 65_536] {
+            let space = spec.space_for_budget(budget, &hint);
+            let est = spec.build(&AlgoParams::new(space, 1));
+            let words = est.memory_words();
+            assert!(
+                words <= budget,
+                "budget {budget}: r = {space} measures {words} words"
+            );
+            // And the sizing is tight: one more whole estimator would not fit
+            // (except at tiny budgets where the r >= 1 floor dominates).
+            if space > 1 {
+                let bigger = spec.build(&AlgoParams::new(space + 1, 1));
+                assert!(
+                    bigger.memory_words() > budget,
+                    "budget {budget}: sizing left room for r = {}",
+                    space + 1
+                );
+            }
         }
     }
 

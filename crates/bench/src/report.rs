@@ -2,23 +2,25 @@
 //! under `target/experiments/`, and the versioned machine-readable
 //! `BENCH.json` report emitted by `tristream-cli bench`.
 //!
-//! # `BENCH.json` schema (version 2)
+//! # `BENCH.json` schema (version 3)
 //!
 //! The schema is additive-only: new fields may appear in later versions,
 //! existing fields keep their name, type and meaning, and
 //! `schema_version` is bumped on any change. Version 2 added the
 //! equal-memory head-to-head fields `algo`, `memory_words` and
-//! `budget_words`. Field by field:
+//! `budget_words`; version 3 added the `"hot-path"` value of `kind` (the
+//! pooled-vs-reference bulk-counter race — no new fields). Field by field:
 //!
 //! * `schema` (string) — always `"tristream-bench"`.
-//! * `schema_version` (integer) — `2`.
+//! * `schema_version` (integer) — `3`.
 //! * `mode` (string) — `"smoke"` or `"full"`.
 //! * `seed` (integer) — base RNG seed the whole suite derives from.
 //! * `workloads` (array) — one object per named workload:
 //!   * `name` (string) — stable workload identifier, e.g.
 //!     `"ingest-binary"`, `"engine-persistent-w4096"`,
-//!     `"accuracy-jowhari-ghodsi"`.
-//!   * `kind` (string) — `"ingest"`, `"engine"` or `"accuracy"`.
+//!     `"accuracy-jowhari-ghodsi"`, `"hotpath-pooled-w4096"`.
+//!   * `kind` (string) — `"ingest"`, `"engine"`, `"accuracy"` or
+//!     `"hot-path"`.
 //!   * `edges` (integer) — edges processed per trial.
 //!   * `trials` (integer) — number of timed trials.
 //!   * `batch` (integer | null) — batch size `w`, when the workload has one.
@@ -186,6 +188,11 @@ pub enum WorkloadKind {
     Engine,
     /// Estimate accuracy against exact ground truth.
     Accuracy,
+    /// Bulk-counter hot-path throughput: the SoA-pool pipeline raced
+    /// against the retained pre-pool reference over the same seeds and
+    /// batch sizes (estimates are asserted bit-identical while the rows
+    /// are produced).
+    HotPath,
 }
 
 impl WorkloadKind {
@@ -194,6 +201,7 @@ impl WorkloadKind {
             WorkloadKind::Ingest => "ingest",
             WorkloadKind::Engine => "engine",
             WorkloadKind::Accuracy => "accuracy",
+            WorkloadKind::HotPath => "hot-path",
         }
     }
 }
@@ -311,8 +319,22 @@ pub struct BenchReport {
 }
 
 /// The schema version this module writes. Version 2 added `algo`,
-/// `memory_words` and `budget_words` (all nullable — additive only).
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+/// `memory_words` and `budget_words` (all nullable — additive only);
+/// version 3 added the `"hot-path"` `kind` value.
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
+
+/// Tolerance of the hot-path regression gate: the pooled bulk path fails
+/// the gate if its p50 latency exceeds the reference path's by more than
+/// this factor, i.e. `pooled_p50 > HOT_PATH_TOLERANCE × reference_p50`.
+///
+/// The pooled path is expected to be ≥ 1.5× *faster* (the committed
+/// release-mode BENCH.json records the actual ratio), so a generous 1.5×
+/// "must not be slower than" band still leaves the gate far from the
+/// operating point — it only fires on a real hot-path regression, not on
+/// shared-runner noise. Estimate *equality* between the two paths is
+/// asserted bit-for-bit while the rows are produced, so the correctness
+/// half of the gate is fully deterministic.
+pub const HOT_PATH_TOLERANCE: f64 = 1.5;
 
 impl BenchReport {
     /// Looks up a workload by name.
@@ -335,6 +357,43 @@ impl BenchReport {
             .iter()
             .filter(|w| w.exceeds_bound())
             .map(|w| w.name.clone())
+            .collect()
+    }
+
+    /// Names of hot-path workloads whose pooled row is slower than its
+    /// reference row beyond [`HOT_PATH_TOLERANCE`] — the CI hot-path gate
+    /// fails when non-empty. Pairs are matched by name
+    /// (`hotpath-pooled-w{N}` ↔ `hotpath-reference-w{N}`), and the gate
+    /// fails closed on shape problems, never just on slow pairs: a pooled
+    /// row with a missing reference row (or vice versa), a hot-path row
+    /// whose name matches neither prefix (e.g. after a rename that forgot
+    /// this function), or unusable (non-positive / non-finite) latencies
+    /// are all reported as regressions rather than skipped. A report with
+    /// no hot-path rows at all has nothing to gate and passes, like the
+    /// accuracy gate on a report with no accuracy rows.
+    pub fn hot_path_regressions(&self) -> Vec<String> {
+        self.workloads
+            .iter()
+            .filter(|w| w.kind == WorkloadKind::HotPath)
+            .filter_map(|w| {
+                let ok = if let Some(suffix) = w.name.strip_prefix("hotpath-pooled-") {
+                    self.workload(&format!("hotpath-reference-{suffix}"))
+                        .is_some_and(|r| {
+                            let (pooled, bound) =
+                                (w.p50_latency_secs, r.p50_latency_secs * HOT_PATH_TOLERANCE);
+                            pooled.is_finite() && pooled > 0.0 && bound > 0.0 && pooled <= bound
+                        })
+                } else if let Some(suffix) = w.name.strip_prefix("hotpath-reference-") {
+                    // A reference row must have a pooled partner; the
+                    // partner's own entry performs the ratio check.
+                    self.workload(&format!("hotpath-pooled-{suffix}")).is_some()
+                } else {
+                    // Unrecognised hot-path row: the pairing convention was
+                    // broken somewhere — fail closed.
+                    false
+                };
+                (!ok).then(|| w.name.clone())
+            })
             .collect()
     }
 
@@ -769,6 +828,73 @@ mod tests {
         assert_eq!(w.p95_latency_secs, 0.5);
         assert_eq!(w.edges_per_sec, 5_000.0);
         assert!(!w.exceeds_bound(), "no accuracy fields, no gate");
+    }
+
+    #[test]
+    fn hot_path_gate_compares_pooled_against_reference_rows() {
+        let mut report = sample_report();
+        // No hot-path rows: nothing to gate.
+        assert!(report.hot_path_regressions().is_empty());
+        let row = |name: &str, p50: f64| {
+            summarize_workload(
+                name,
+                WorkloadKind::HotPath,
+                10_000,
+                &[p50],
+                Some(4_096),
+                None,
+                Some(2_048),
+                None,
+            )
+        };
+        report.workloads.push(row("hotpath-reference-w4096", 0.10));
+        report.workloads.push(row("hotpath-pooled-w4096", 0.05));
+        assert!(report.hot_path_regressions().is_empty(), "2x faster passes");
+        // Slower but within tolerance still passes…
+        report.workloads.last_mut().unwrap().p50_latency_secs = 0.10 * HOT_PATH_TOLERANCE;
+        assert!(report.hot_path_regressions().is_empty());
+        // …one tick beyond it fails.
+        report.workloads.last_mut().unwrap().p50_latency_secs = 0.10 * HOT_PATH_TOLERANCE * 1.01;
+        assert_eq!(report.hot_path_regressions(), vec!["hotpath-pooled-w4096"]);
+        // A pooled row with no reference row must fail, not pass silently.
+        report.workloads.push(row("hotpath-pooled-w256", 0.01));
+        assert_eq!(report.hot_path_regressions().len(), 2);
+        // Non-finite latencies must fail too.
+        report.workloads.last_mut().unwrap().p50_latency_secs = f64::NAN;
+        report.workloads.push(row("hotpath-reference-w256", 0.10));
+        assert!(report
+            .hot_path_regressions()
+            .contains(&"hotpath-pooled-w256".to_string()));
+        // Fail closed on shape: a reference row with no pooled partner and
+        // a hot-path row matching neither naming convention are both
+        // regressions, never silently skipped.
+        report.workloads.push(row("hotpath-reference-w1024", 0.10));
+        assert!(report
+            .hot_path_regressions()
+            .contains(&"hotpath-reference-w1024".to_string()));
+        report.workloads.push(row("hot-path-pooled-w512", 0.01));
+        assert!(report
+            .hot_path_regressions()
+            .contains(&"hot-path-pooled-w512".to_string()));
+    }
+
+    #[test]
+    fn hot_path_kind_serialises_in_schema_v3() {
+        let mut report = sample_report();
+        report.workloads.push(summarize_workload(
+            "hotpath-pooled-w4096",
+            WorkloadKind::HotPath,
+            10_000,
+            &[0.05],
+            Some(4_096),
+            None,
+            Some(2_048),
+            None,
+        ));
+        let json = report.to_json();
+        assert_valid_json(&json);
+        assert!(json.contains("\"kind\": \"hot-path\""), "{json}");
+        assert!(json.contains("\"schema_version\": 3"), "{json}");
     }
 
     #[test]

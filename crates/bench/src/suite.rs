@@ -18,11 +18,20 @@
 //! * `engine-spawn-w{N}` / `engine-persistent-w{N}` — spawn-per-batch
 //!   scoped threads vs the persistent [`ShardedEngine`] worker pool across
 //!   batch sizes `w = 256 … 65536`, same seeds, bit-identical estimates.
+//! * `hotpath-reference-w{N}` / `hotpath-pooled-w{N}` — the retained
+//!   pre-pool bulk counter ([`ReferenceBulkCounter`]) raced against the
+//!   SoA-pool [`BulkTriangleCounter`] over the same batch-size sweep,
+//!   sequentially on one thread so the rows isolate the hot-path rewrite
+//!   (data layout, scratch reuse, hashing, batched RNG) from engine
+//!   effects. Estimates are asserted bit-identical per seed while the rows
+//!   are produced; the latency ratio feeds the
+//!   [`hot_path_regressions`](BenchReport::hot_path_regressions) CI gate.
 //! * `accuracy-bulk-syn3reg` / `accuracy-parallel-planted` — bulk-counter
 //!   estimates against exact ground truth on generator graphs, each with a
 //!   documented error bound the CI gate enforces.
 //!
 //! [`ShardedEngine`]: tristream_core::engine::ShardedEngine
+//! [`ReferenceBulkCounter`]: tristream_core::reference::ReferenceBulkCounter
 
 use crate::report::{summarize_workload, BenchReport, WorkloadKind, WorkloadResult};
 use crate::spawn_baseline::SpawnPerBatchCounter;
@@ -31,7 +40,10 @@ use crate::workloads::load_standin_scaled;
 use std::path::PathBuf;
 use std::time::Instant;
 use tristream_baselines::registry::{AlgoParams, StreamHint};
-use tristream_core::{BulkTriangleCounter, ParallelBulkTriangleCounter, TriangleEstimator};
+use tristream_core::{
+    BulkTriangleCounter, Level1Strategy, ParallelBulkTriangleCounter, ReferenceBulkCounter,
+    TriangleEstimator,
+};
 use tristream_gen::DatasetKind;
 use tristream_graph::binary::{read_edges_binary_batched_file, write_edges_binary_file};
 use tristream_graph::io::{read_edge_list_batched_file, write_edge_list_file};
@@ -177,9 +189,13 @@ pub fn synthetic_ingest_stream(n: usize, seed: u64) -> Vec<Edge> {
 /// Runs the whole suite and returns the report. Ingest scratch files live
 /// under a per-process temp directory that is removed before returning.
 pub fn run_suite(config: &BenchConfig) -> Result<BenchReport, GraphError> {
+    // One generation feeds both the engine and the hot-path families, so
+    // the two row sets measure the same stream by construction.
+    let engine_stream = tristream_gen::holme_kim(config.engine_vertices, 5, 0.4, config.seed);
     let mut workloads = Vec::new();
     workloads.extend(ingest_workloads(config)?);
-    workloads.extend(engine_workloads(config));
+    workloads.extend(engine_workloads(config, &engine_stream));
+    workloads.extend(hot_path_workloads(config, &engine_stream));
     workloads.extend(accuracy_workloads(config));
     workloads.extend(head_to_head_workloads(config));
     Ok(BenchReport {
@@ -268,8 +284,7 @@ fn ingest_workloads_in(
     ])
 }
 
-fn engine_workloads(config: &BenchConfig) -> Vec<WorkloadResult> {
-    let stream = tristream_gen::holme_kim(config.engine_vertices, 5, 0.4, config.seed);
+fn engine_workloads(config: &BenchConfig, stream: &EdgeStream) -> Vec<WorkloadResult> {
     let edges = stream.edges();
     let (r, shards) = (config.engine_estimators, config.shards);
     let mut results = Vec::new();
@@ -325,6 +340,75 @@ fn engine_workloads(config: &BenchConfig) -> Vec<WorkloadResult> {
             format!("engine-persistent-w{w}"),
             &persistent_latencies,
         ));
+    }
+    results
+}
+
+/// The `hot-path` family: the pre-pool reference bulk counter vs the
+/// SoA-pool counter, same stream, same seeds, same batch boundaries,
+/// sequential on one thread (no engine in the way). Both run the
+/// production `GeometricSkip` level-1 strategy. Estimates are asserted
+/// bit-identical — the two implementations share one RNG-consumption
+/// contract — so the rows measure pure hot-path throughput.
+fn hot_path_workloads(config: &BenchConfig, stream: &EdgeStream) -> Vec<WorkloadResult> {
+    let edges = stream.edges();
+    let r = config.engine_estimators;
+    let mut results = Vec::new();
+    for &w in &config.engine_batches {
+        let mut reference_latencies = Vec::with_capacity(config.trials);
+        let mut pooled_latencies = Vec::with_capacity(config.trials);
+        for t in 0..config.trials {
+            let trial_seed = config.seed.wrapping_add(t as u64);
+            let run_reference = |latencies: &mut Vec<f64>| {
+                let mut counter = ReferenceBulkCounter::new(r, trial_seed)
+                    .with_level1_strategy(Level1Strategy::GeometricSkip);
+                let start = Instant::now();
+                counter.process_stream(edges, w);
+                let estimate = counter.estimate();
+                latencies.push(start.elapsed().as_secs_f64());
+                estimate
+            };
+            let run_pooled = |latencies: &mut Vec<f64>| {
+                let mut counter = BulkTriangleCounter::new(r, trial_seed)
+                    .with_level1_strategy(Level1Strategy::GeometricSkip);
+                let start = Instant::now();
+                counter.process_stream(edges, w);
+                let estimate = counter.estimate();
+                latencies.push(start.elapsed().as_secs_f64());
+                estimate
+            };
+            // Alternate measurement order so cache warmth cannot
+            // systematically favour whichever path runs second.
+            let (reference_estimate, pooled_estimate) = if t % 2 == 0 {
+                let a = run_reference(&mut reference_latencies);
+                (a, run_pooled(&mut pooled_latencies))
+            } else {
+                let b = run_pooled(&mut pooled_latencies);
+                (run_reference(&mut reference_latencies), b)
+            };
+            assert_eq!(
+                reference_estimate.to_bits(),
+                pooled_estimate.to_bits(),
+                "pooled and reference bulk paths must agree bit-for-bit (w = {w})"
+            );
+        }
+        let summarize = |name: String, latencies: &[f64]| {
+            summarize_workload(
+                &name,
+                WorkloadKind::HotPath,
+                edges.len() as u64,
+                latencies,
+                Some(w),
+                None,
+                Some(r),
+                None,
+            )
+        };
+        results.push(summarize(
+            format!("hotpath-reference-w{w}"),
+            &reference_latencies,
+        ));
+        results.push(summarize(format!("hotpath-pooled-w{w}"), &pooled_latencies));
     }
     results
 }
@@ -493,17 +577,19 @@ mod tests {
     #[test]
     fn suite_runs_end_to_end_and_passes_its_own_gate() {
         let report = run_suite(&tiny_config()).unwrap();
-        // 2 ingest + 2 engine (one batch size) + 2 accuracy + the
-        // equal-memory head-to-head family (one row per registry entry).
+        // 2 ingest + 2 engine + 2 hot-path (one batch size) + 2 accuracy +
+        // the equal-memory head-to-head family (one row per registry entry).
         assert_eq!(
             report.workloads.len(),
-            6 + tristream_baselines::registry().len()
+            8 + tristream_baselines::registry().len()
         );
         for name in [
             "ingest-text",
             "ingest-binary",
             "engine-spawn-w128",
             "engine-persistent-w128",
+            "hotpath-reference-w128",
+            "hotpath-pooled-w128",
             "accuracy-bulk-syn3reg",
             "accuracy-parallel-planted",
             "accuracy-neighborhood",
@@ -532,6 +618,16 @@ mod tests {
                 .collect::<Vec<_>>()
         );
         assert!(report.speedup("ingest-binary", "ingest-text").is_some());
+        assert!(report
+            .speedup("hotpath-pooled-w128", "hotpath-reference-w128")
+            .is_some());
+        // The hot-path family's correctness half (bit-identical estimates)
+        // is asserted while the rows are produced; the latency half is a
+        // release-mode CI gate, not a debug-build unit-test assertion.
+        let pooled = report.workload("hotpath-pooled-w128").unwrap();
+        assert_eq!(pooled.kind, WorkloadKind::HotPath);
+        assert_eq!(pooled.estimators, Some(128));
+        assert_eq!(pooled.batch, Some(128));
     }
 
     #[test]

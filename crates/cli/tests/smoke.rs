@@ -100,6 +100,10 @@ fn generate_then_count_end_to_end() {
         approx_text.contains("estimated triangle count"),
         "approximate count output should name the estimate:\n{approx_text}"
     );
+    assert!(
+        approx_text.contains("throughput:") && approx_text.contains("edges/sec"),
+        "sequential count must report wall-clock throughput:\n{approx_text}"
+    );
 
     let _ = std::fs::remove_file(&edge_list);
 }
@@ -155,6 +159,10 @@ fn parallel_count_end_to_end() {
     assert!(
         text.contains("estimated triangle count") && text.contains("shards = 2"),
         "parallel count output should report the estimate and shard count:\n{text}"
+    );
+    assert!(
+        text.contains("throughput:") && text.contains("edges/sec"),
+        "parallel count must report wall-clock throughput:\n{text}"
     );
 
     let _ = std::fs::remove_file(&edge_list);
@@ -385,11 +393,14 @@ fn bench_smoke_emits_machine_readable_json() {
     let json = std::fs::read_to_string(&json_path).expect("bench wrote the report");
     for field in [
         "\"schema\": \"tristream-bench\"",
-        "\"schema_version\": 2",
+        "\"schema_version\": 3",
         "\"ingest-text\"",
         "\"ingest-binary\"",
         "\"engine-spawn-w256\"",
         "\"engine-persistent-w65536\"",
+        "\"hotpath-reference-w4096\"",
+        "\"hotpath-pooled-w4096\"",
+        "\"kind\": \"hot-path\"",
         "\"accuracy-bulk-syn3reg\"",
         "\"accuracy-parallel-planted\"",
         "\"accuracy-neighborhood-bulk\"",

@@ -26,13 +26,45 @@
 //! `r₂` uniform over `N(r₁)`, `c = |N(r₁)|`, and the closing edge found iff
 //! one arrived after `r₂` — the property the accuracy theorems rely on and
 //! the property the test suite checks explicitly.
+//!
+//! # The hot-path implementation
+//!
+//! The `O(r + w)` bound says nothing about constants, and the constants are
+//! where the original implementation left throughput on the table: an
+//! array-of-structs pool of `Option`-heavy 104-byte states, five std
+//! `HashMap`s (SipHash) and several `Vec`s allocated *per batch*, and one
+//! RNG call per draw. This implementation keeps the algorithm and fixes
+//! the constants:
+//!
+//! * the pool is the struct-of-arrays [`EstimatorPool`] — each step streams
+//!   through contiguous columns, and Step 3's "who still awaits a closer"
+//!   scan is a `r2_set & !closer_set` bitset word walk;
+//! * all per-batch scratch (the replaced-estimator list, β columns, the
+//!   batch-degree table, EVENT_B subscriptions and the closing-edge index)
+//!   lives in a reusable `BatchScratch` that is **cleared, not
+//!   reallocated**, between batches — the steady state performs zero heap
+//!   allocations per batch (pinned by `tests/alloc_steady_state.rs`);
+//! * the degree/subscription/closing tables are [`FastMap`]s — deterministic
+//!   open addressing over packed `(u64, u64)` keys with a multiply-shift
+//!   hash seeded from the counter's construction seed, so runs stay
+//!   reproducible; multi-subscriber events chain through per-estimator
+//!   `next` columns instead of per-key `Vec`s;
+//! * RNG draws go through the [`BufferedRng`] — one buffer refill per
+//!   couple hundred draws, consumed strictly in order.
+//!
+//! Because every logical draw consumes exactly one `u64` of the generator
+//! stream in the same order as before, the counter is **bit-identical** to
+//! the retained pre-pool implementation
+//! ([`crate::reference::ReferenceBulkCounter`]) for any seed and any batch
+//! boundaries — a stronger property than the distributional identity the
+//! theorem needs, and the one `tests/pool_equivalence.rs` pins.
 
 use crate::counter::Aggregation;
-use crate::estimator::{EstimatorState, PositionedEdge};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
-use tristream_graph::{Edge, VertexId};
+use crate::estimator::EstimatorState;
+use crate::fastmap::FastMap;
+use crate::pool::{BufferedRng, EstimatorPool};
+use rand::Rng;
+use tristream_graph::Edge;
 use tristream_sample::{mean, median_of_means, GeometricSkip};
 
 /// How Step 1 (level-1 resampling) walks over the estimator pool.
@@ -50,13 +82,81 @@ pub enum Level1Strategy {
     GeometricSkip,
 }
 
+/// Chain terminator for the per-estimator `next` columns in
+/// [`BatchScratch`].
+const CHAIN_END: u32 = u32::MAX;
+
+/// Reusable per-batch working state. Everything here is sized once (to
+/// `O(r)` at construction, to `O(w)` on the first batch of a given size)
+/// and then cleared between batches — `process_batch` never allocates in
+/// the steady state.
+#[derive(Debug, Clone)]
+struct BatchScratch {
+    /// `(estimator, batch index)` pairs replaced in Step 1, in estimator
+    /// order; sorted by batch index for the Step-2a merge.
+    replaced: Vec<(u32, u32)>,
+    /// β values per estimator, in the `(u, v)` order of the level-1 edge.
+    /// All-zero between batches (entries touched this batch are re-zeroed
+    /// at the end, so the reset is `O(|replaced|)`, not `O(r)`).
+    beta_u: Vec<u64>,
+    beta_v: Vec<u64>,
+    /// Batch-degree table, keyed `(vertex, 0)`; reused by both `edgeIter`
+    /// passes.
+    deg: FastMap<u64>,
+    /// EVENT_B subscriptions: `(vertex, target degree)` → chain head, with
+    /// the chain threaded through `sub_next`.
+    subs: FastMap<u32>,
+    sub_next: Vec<u32>,
+    /// Closing-edge index: packed `(u, v)` → chain head, threaded through
+    /// `wait_next`.
+    waiting: FastMap<u32>,
+    wait_next: Vec<u32>,
+}
+
+impl BatchScratch {
+    /// Scratch for a pool of `r` estimators, with the hash seeds derived
+    /// from `hash_seed` (itself derived from the counter's seed — see
+    /// [`BulkTriangleCounter::with_aggregation`]).
+    fn new(r: usize, hash_seed: u64) -> Self {
+        let mut subs = FastMap::with_seed(hash_seed ^ 0x5B5B);
+        let mut waiting = FastMap::with_seed(hash_seed ^ 0xC7C7);
+        // Both tables hold at most one entry per estimator; reserving the
+        // bound up front means no growth can happen mid-batch.
+        subs.reserve(r);
+        waiting.reserve(r);
+        Self {
+            replaced: Vec::with_capacity(r),
+            beta_u: vec![0; r],
+            beta_v: vec![0; r],
+            deg: FastMap::with_seed(hash_seed),
+            subs,
+            sub_next: vec![0; r],
+            waiting,
+            wait_next: vec![0; r],
+        }
+    }
+
+    /// Readies the scratch for a batch of `w` edges: clears the maps
+    /// (`O(1)` generation bumps) and makes sure the degree table can absorb
+    /// `2w` endpoints without growing mid-batch.
+    fn prepare(&mut self, w: usize) {
+        self.replaced.clear();
+        self.deg.clear();
+        self.deg.reserve(2 * w);
+        self.subs.clear();
+        self.waiting.clear();
+    }
+}
+
 /// Streaming triangle counter that ingests edges in batches in
-/// `O(r + w)` time per batch (Theorem 3.5).
+/// `O(r + w)` time per batch (Theorem 3.5), built on the struct-of-arrays
+/// [`EstimatorPool`] (see the [module docs](self) for the data layout).
 #[derive(Debug, Clone)]
 pub struct BulkTriangleCounter {
-    estimators: Vec<EstimatorState>,
+    pool: EstimatorPool,
+    scratch: BatchScratch,
     edges_seen: u64,
-    rng: SmallRng,
+    rng: BufferedRng,
     aggregation: Aggregation,
     level1_strategy: Level1Strategy,
 }
@@ -73,6 +173,11 @@ impl BulkTriangleCounter {
 
     /// Creates a bulk counter with an explicit aggregation strategy.
     ///
+    /// The scratch hash tables are seeded with a SplitMix64 derivation of
+    /// `seed` (not with draws from the estimator RNG stream, which must
+    /// stay bit-compatible with the reference implementation), so the whole
+    /// run — estimates *and* table layouts — is a pure function of `seed`.
+    ///
     /// # Panics
     ///
     /// Panics if `r` is zero, or if a median-of-means aggregation requests
@@ -82,10 +187,12 @@ impl BulkTriangleCounter {
         if let Aggregation::MedianOfMeans { groups } = aggregation {
             assert!(groups > 0, "median-of-means needs at least one group");
         }
+        let hash_seed = splitmix64(seed ^ 0xB0_1D_FA_CE_0F_F1_CE_5E);
         Self {
-            estimators: vec![EstimatorState::new(); r],
+            pool: EstimatorPool::new(r),
+            scratch: BatchScratch::new(r, hash_seed),
             edges_seen: 0,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: BufferedRng::seed_from_u64(seed),
             aggregation,
             level1_strategy: Level1Strategy::default(),
         }
@@ -103,17 +210,29 @@ impl BulkTriangleCounter {
         self.level1_strategy
     }
 
-    /// Approximate resident memory of the estimator pool in bytes — the
-    /// quantity the paper reports as "36 bytes per estimator" for its C++
-    /// implementation (our states are larger because they keep full edges
-    /// and positions for the sampler and the test invariants).
+    /// Resident memory of the estimator pool in bytes — ten `u64` columns
+    /// plus three presence bitsets per [`EstimatorPool`]. The paper reports
+    /// "36 bytes per estimator" for its C++ implementation; the pool costs
+    /// 80 bytes + 3 bits because it keeps full endpoints and positions for
+    /// the sampler and the test invariants. Per-batch scratch is working
+    /// memory of the batch, not sketch state, and is excluded (the same
+    /// exclusion the pre-pool counter applied to its transient maps).
     pub fn estimator_memory_bytes(&self) -> usize {
-        self.estimators.len() * std::mem::size_of::<EstimatorState>()
+        self.pool.resident_bytes()
+    }
+
+    /// Accounting words one estimator costs in the pool (the registry's
+    /// sizing unit): [`crate::pool::POOL_COLUMNS`] `u64`s; the three
+    /// presence bits per estimator amortise to under half a word per 64
+    /// estimators and are covered by the measured
+    /// [`estimator_memory_bytes`](Self::estimator_memory_bytes).
+    pub fn words_per_estimator() -> usize {
+        crate::pool::POOL_COLUMNS
     }
 
     /// Number of estimators `r`.
     pub fn num_estimators(&self) -> usize {
-        self.estimators.len()
+        self.pool.len()
     }
 
     /// Number of edges observed so far (`m`).
@@ -121,9 +240,11 @@ impl BulkTriangleCounter {
         self.edges_seen
     }
 
-    /// Read-only view of the estimator states.
-    pub fn estimators(&self) -> &[EstimatorState] {
-        &self.estimators
+    /// The estimator states, materialised from the pool columns into the
+    /// scalar [`EstimatorState`] representation (tests, inspection — not a
+    /// hot path).
+    pub fn estimators(&self) -> Vec<EstimatorState> {
+        self.pool.states()
     }
 
     /// Processes a whole stream by cutting it into batches of `batch_size`
@@ -141,187 +262,204 @@ impl BulkTriangleCounter {
     }
 
     /// Ingests one batch of edges, advancing every estimator as if the edges
-    /// had been processed one at a time in order.
+    /// had been processed one at a time in order. Allocation-free in the
+    /// steady state: all working memory comes from the reused
+    /// `BatchScratch`.
     pub fn process_batch(&mut self, batch: &[Edge]) {
         let w = batch.len();
         if w == 0 {
             return;
         }
         let m = self.edges_seen;
-        let r = self.estimators.len();
+        let r = self.pool.len();
+        let pool = &mut self.pool;
+        let scratch = &mut self.scratch;
+        scratch.prepare(w);
 
         // ---- Step 1: level-1 reservoir over (old stream) ++ (batch). ------
-        // `replaced_at[i]` holds the batch index the i-th estimator's new
-        // level-1 edge came from, if it was replaced this batch.
-        let mut replaced_at: Vec<Option<usize>> = vec![None; r];
         match self.level1_strategy {
             Level1Strategy::PerEstimator => {
-                for (idx, est) in self.estimators.iter_mut().enumerate() {
-                    let total = m + w as u64;
+                let total = m + w as u64;
+                for idx in 0..r {
                     let draw = self.rng.gen_range(0..total);
                     if draw >= m {
                         let k = (draw - m) as usize;
-                        est.r1 = Some(PositionedEdge::new(batch[k], m + k as u64 + 1));
-                        est.r2 = None;
-                        est.c = 0;
-                        est.closer = None;
-                        replaced_at[idx] = Some(k);
+                        pool.take_r1(idx, batch[k], m + k as u64 + 1);
+                        scratch.replaced.push((idx as u32, k as u32));
                     }
                 }
             }
             Level1Strategy::GeometricSkip => {
                 // Each estimator replaces independently with probability
                 // w/(m+w); enumerate only the successes via geometric gaps
-                // (the §4 optimisation). Which batch edge is taken is a
-                // second, uniform draw, exactly as in the per-estimator path.
+                // (the §4 optimisation). Two phases, reusing the `replaced`
+                // list instead of collecting a fresh Vec: first every gap is
+                // drawn (including the final out-of-range gap
+                // `GeometricSkip::successes_up_to` parks and drops), then
+                // every success draws its batch edge — the exact draw order
+                // of the reference implementation.
                 let p = w as f64 / (m + w as u64) as f64;
                 let mut skip = GeometricSkip::new(p);
-                for idx in skip.successes_up_to(&mut self.rng, r as u64) {
-                    let idx = (idx - 1) as usize;
+                while let Some(pos) = skip.next_success(&mut self.rng) {
+                    if pos > r as u64 {
+                        break;
+                    }
+                    scratch.replaced.push(((pos - 1) as u32, 0));
+                }
+                for entry in &mut scratch.replaced {
+                    let idx = entry.0 as usize;
                     let k = self.rng.gen_range(0..w);
-                    let est = &mut self.estimators[idx];
-                    est.r1 = Some(PositionedEdge::new(batch[k], m + k as u64 + 1));
-                    est.r2 = None;
-                    est.c = 0;
-                    est.closer = None;
-                    replaced_at[idx] = Some(k);
+                    entry.1 = k as u32;
+                    pool.take_r1(idx, batch[k], m + k as u64 + 1);
                 }
             }
         }
 
         // ---- Step 2a: first edgeIter pass — record β values and degB. -----
-        // L maps a batch index to the estimators whose level-1 edge is that
-        // batch edge (the "inverted index" of the paper).
-        let mut level1_at_index: Vec<Vec<u32>> = vec![Vec::new(); w];
-        for (idx, &at) in replaced_at.iter().enumerate() {
-            if let Some(k) = at {
-                level1_at_index[k].push(idx as u32);
-            }
-        }
-        // β values per estimator, in the (u, v) order of the level-1 edge.
-        let mut beta: Vec<(u64, u64)> = vec![(0, 0); r];
-        let mut deg: HashMap<VertexId, u64> = HashMap::with_capacity(2 * w);
+        // The replaced list, sorted by batch index, is merged against the
+        // batch scan: when the scan reaches index k, every estimator whose
+        // new level-1 edge is batch[k] records the endpoint degrees at that
+        // moment (the β values). The β columns are all-zero between
+        // batches, matching the reference's fresh `vec![(0, 0); r]`.
+        scratch.replaced.sort_unstable_by_key(|&(_, k)| k);
+        let mut next_replaced = 0usize;
         for (i, e) in batch.iter().enumerate() {
-            *deg.entry(e.u()).or_insert(0) += 1;
-            *deg.entry(e.v()).or_insert(0) += 1;
-            for &est_idx in &level1_at_index[i] {
-                let r1_edge = self.estimators[est_idx as usize]
-                    .r1
-                    .expect("estimator replaced this batch has a level-1 edge")
-                    .edge;
-                debug_assert_eq!(r1_edge, *e);
-                beta[est_idx as usize] = (deg[&r1_edge.u()], deg[&r1_edge.v()]);
+            let du = {
+                let d = scratch.deg.get_mut_or_insert((e.u().raw(), 0), 0);
+                *d += 1;
+                *d
+            };
+            let dv = {
+                let d = scratch.deg.get_mut_or_insert((e.v().raw(), 0), 0);
+                *d += 1;
+                *d
+            };
+            while next_replaced < scratch.replaced.len()
+                && scratch.replaced[next_replaced].1 as usize == i
+            {
+                let est = scratch.replaced[next_replaced].0 as usize;
+                debug_assert_eq!(pool.r1_edge(est), Some(*e));
+                scratch.beta_u[est] = du;
+                scratch.beta_v[est] = dv;
+                next_replaced += 1;
             }
         }
-        let final_deg = deg;
 
         // ---- Step 2b: one randInt per estimator; subscribe to EVENT_B. ----
-        // P maps (vertex, degree-after-update) to the estimators whose new
-        // level-2 edge is the batch edge generating that event.
-        let mut subscriptions: HashMap<(VertexId, u64), Vec<u32>> = HashMap::new();
-        for (idx, est) in self.estimators.iter_mut().enumerate() {
-            let r1 = match est.r1 {
-                Some(r1) => r1,
-                None => continue,
-            };
-            let (x, y) = r1.edge.endpoints();
-            let (beta_x, beta_y) = beta[idx];
-            let deg_x = final_deg.get(&x).copied().unwrap_or(0);
-            let deg_y = final_deg.get(&y).copied().unwrap_or(0);
+        let mut pending_subs = 0usize;
+        for idx in 0..r {
+            if !pool.r1_set.get(idx) {
+                continue;
+            }
+            let x = pool.r1_u[idx];
+            let y = pool.r1_v[idx];
+            let beta_x = scratch.beta_u[idx];
+            let beta_y = scratch.beta_v[idx];
+            let deg_x = scratch.deg.get((x, 0)).unwrap_or(0);
+            let deg_y = scratch.deg.get((y, 0)).unwrap_or(0);
             let a = deg_x - beta_x;
             let b = deg_y - beta_y;
-            let c_minus = est.c;
+            let c_minus = pool.c[idx];
             let c_plus = a + b;
             if c_plus == 0 {
                 continue; // nothing new adjacent to r1 in this batch
             }
             let total = c_minus + c_plus;
             let phi = self.rng.gen_range(1..=total);
-            est.c = total;
+            pool.c[idx] = total;
             if phi <= c_minus {
                 // Keep the existing level-2 edge (and any closed triangle).
                 continue;
             }
             // A new level-2 edge will come from this batch; the triangle (if
             // any) is no longer valid.
-            est.r2 = None;
-            est.closer = None;
+            pool.drop_r2(idx);
             let (vertex, target_degree) = if phi <= c_minus + a {
                 (x, beta_x + (phi - c_minus))
             } else {
                 (y, beta_y + (phi - c_minus - a))
             };
-            subscriptions
-                .entry((vertex, target_degree))
-                .or_default()
-                .push(idx as u32);
+            let head = scratch
+                .subs
+                .insert((vertex, target_degree), idx as u32)
+                .unwrap_or(CHAIN_END);
+            scratch.sub_next[idx] = head;
+            pending_subs += 1;
+        }
+        // Restore the all-zero β invariant for the next batch.
+        for &(est, _) in &scratch.replaced {
+            scratch.beta_u[est as usize] = 0;
+            scratch.beta_v[est as usize] = 0;
         }
 
         // ---- Step 2c: second edgeIter pass — resolve events to edges. -----
-        if !subscriptions.is_empty() {
-            let mut deg: HashMap<VertexId, u64> = HashMap::with_capacity(2 * w);
+        // Each (vertex, degree) event fires exactly once per batch, so the
+        // subscription table never needs deletions; a countdown of pending
+        // subscriptions ends the scan early instead.
+        if pending_subs > 0 {
+            scratch.deg.clear();
             for (i, e) in batch.iter().enumerate() {
                 let position = m + i as u64 + 1;
-                for vertex in [e.u(), e.v()] {
+                for vertex in [e.u().raw(), e.v().raw()] {
                     let d = {
-                        let entry = deg.entry(vertex).or_insert(0);
+                        let entry = scratch.deg.get_mut_or_insert((vertex, 0), 0);
                         *entry += 1;
                         *entry
                     };
-                    if let Some(list) = subscriptions.remove(&(vertex, d)) {
-                        for est_idx in list {
-                            let est = &mut self.estimators[est_idx as usize];
-                            est.r2 = Some(PositionedEdge::new(*e, position));
-                            est.closer = None;
+                    if let Some(head) = scratch.subs.get((vertex, d)) {
+                        let mut cursor = head;
+                        while cursor != CHAIN_END {
+                            let est = cursor as usize;
+                            pool.take_r2(est, *e, position);
+                            cursor = scratch.sub_next[est];
+                            pending_subs -= 1;
                         }
                     }
                 }
-                if subscriptions.is_empty() {
+                if pending_subs == 0 {
                     break;
                 }
             }
-            debug_assert!(
-                subscriptions.is_empty(),
+            debug_assert_eq!(
+                pending_subs, 0,
                 "every EVENT_B subscription must resolve within the batch"
             );
         }
 
         // ---- Step 3: find wedge-closing edges within the batch. -----------
-        // Q maps the unique edge that would close each estimator's wedge to
-        // the estimators waiting for it.
-        let mut waiting: HashMap<Edge, Vec<u32>> = HashMap::new();
-        for (idx, est) in self.estimators.iter().enumerate() {
-            if est.closer.is_some() {
-                continue;
-            }
-            let (r1, r2) = match (est.r1, est.r2) {
-                (Some(r1), Some(r2)) => (r1, r2),
-                _ => continue,
-            };
-            if let Some(shared) = r1.edge.shared_vertex(&r2.edge) {
-                let p = r1
-                    .edge
-                    .other_endpoint(shared)
-                    .expect("edge has two endpoints");
-                let q = r2
-                    .edge
-                    .other_endpoint(shared)
-                    .expect("edge has two endpoints");
-                if p != q {
-                    waiting.entry(Edge::new(p, q)).or_default().push(idx as u32);
+        // Candidates are exactly the estimators with a wedge but no closer:
+        // one `r2_set & !closer_set` word per 64 estimators.
+        let mut waiting_count = 0usize;
+        for word_idx in 0..pool.r2_set.words().len() {
+            let mut bits = pool.r2_set.words()[word_idx] & !pool.closer_set.words()[word_idx];
+            while bits != 0 {
+                let idx = word_idx * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let r1 = Edge::new(pool.r1_u[idx], pool.r1_v[idx]);
+                let r2 = Edge::new(pool.r2_u[idx], pool.r2_v[idx]);
+                if let Some(shared) = r1.shared_vertex(&r2) {
+                    let p = r1.other_endpoint(shared).expect("edge has two endpoints");
+                    let q = r2.other_endpoint(shared).expect("edge has two endpoints");
+                    if p != q {
+                        let key = (p.raw().min(q.raw()), p.raw().max(q.raw()));
+                        let head = scratch.waiting.insert(key, idx as u32).unwrap_or(CHAIN_END);
+                        scratch.wait_next[idx] = head;
+                        waiting_count += 1;
+                    }
                 }
             }
         }
-        if !waiting.is_empty() {
+        if waiting_count > 0 {
             for (i, e) in batch.iter().enumerate() {
                 let position = m + i as u64 + 1;
-                if let Some(list) = waiting.get(e) {
-                    for &est_idx in list {
-                        let est = &mut self.estimators[est_idx as usize];
-                        let r2 = est.r2.expect("waiting estimators have a level-2 edge");
-                        if est.closer.is_none() && position > r2.position {
-                            est.closer = Some(PositionedEdge::new(*e, position));
+                if let Some(head) = scratch.waiting.get((e.u().raw(), e.v().raw())) {
+                    let mut cursor = head;
+                    while cursor != CHAIN_END {
+                        let est = cursor as usize;
+                        if !pool.closer_set.get(est) && position > pool.r2_pos[est] {
+                            pool.take_closer(est, *e, position);
                         }
+                        cursor = scratch.wait_next[est];
                     }
                 }
             }
@@ -332,24 +470,19 @@ impl BulkTriangleCounter {
 
     /// Per-estimator unbiased triangle estimates (Lemma 3.2).
     pub fn raw_estimates(&self) -> Vec<f64> {
-        self.estimators
-            .iter()
-            .map(|e| e.triangle_estimate(self.edges_seen))
+        (0..self.pool.len())
+            .map(|i| self.pool.triangle_estimate(i, self.edges_seen))
             .collect()
     }
 
     /// The aggregated triangle-count estimate.
     pub fn estimate(&self) -> f64 {
-        let raw = self.raw_estimates();
-        match self.aggregation {
-            Aggregation::Mean => mean(&raw),
-            Aggregation::MedianOfMeans { groups } => median_of_means(&raw, groups),
-        }
+        self.estimate_with(self.aggregation)
     }
 
     /// Number of estimators currently holding a triangle.
     pub fn estimators_with_triangle(&self) -> usize {
-        self.estimators.iter().filter(|e| e.has_triangle()).count()
+        self.pool.triangles_held()
     }
 
     /// The aggregated estimate under an explicit aggregation (ablations).
@@ -360,6 +493,15 @@ impl BulkTriangleCounter {
             Aggregation::MedianOfMeans { groups } => median_of_means(&raw, groups),
         }
     }
+}
+
+/// SplitMix64 — derives the scratch hash seed from the construction seed
+/// without touching the estimator RNG stream.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl crate::traits::TriangleEstimator for BulkTriangleCounter {
@@ -384,8 +526,10 @@ impl crate::traits::TriangleEstimator for BulkTriangleCounter {
         BulkTriangleCounter::edges_seen(self)
     }
 
-    /// `r` fixed-size [`EstimatorState`]s; the `O(w)` per-batch scratch is
-    /// transient and therefore excluded by the convention.
+    /// The pool columns and presence bitsets; the `O(r + w)` per-batch
+    /// scratch is working memory of the batch and therefore excluded by the
+    /// convention, exactly as the pre-pool counter excluded its transient
+    /// maps.
     fn memory_words(&self) -> usize {
         crate::traits::words_for_bytes(self.estimator_memory_bytes())
     }
@@ -394,6 +538,7 @@ impl crate::traits::TriangleEstimator for BulkTriangleCounter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::ReferenceBulkCounter;
     use std::collections::HashMap as StdHashMap;
     use tristream_graph::exact::{count_triangles, edge_neighborhood_sizes};
     use tristream_graph::{Adjacency, EdgeStream};
@@ -573,6 +718,38 @@ mod tests {
     }
 
     #[test]
+    fn pooled_counter_is_bit_identical_to_the_reference() {
+        // The strongest equivalence level: same seed, same batch boundaries
+        // ⇒ the SoA pipeline and the retained pre-pool implementation agree
+        // estimator by estimator, state field by state field, under both
+        // level-1 strategies. (tests/pool_equivalence.rs extends this to
+        // randomised streams and batch splits via proptest.)
+        let stream = tristream_gen::holme_kim(250, 3, 0.5, 31);
+        for strategy in [Level1Strategy::PerEstimator, Level1Strategy::GeometricSkip] {
+            for &batch_size in &[1usize, 7, 64, 977] {
+                let mut pooled = BulkTriangleCounter::new(192, 17).with_level1_strategy(strategy);
+                let mut reference =
+                    ReferenceBulkCounter::new(192, 17).with_level1_strategy(strategy);
+                for chunk in stream.edges().chunks(batch_size) {
+                    pooled.process_batch(chunk);
+                    reference.process_batch(chunk);
+                    assert_eq!(
+                        pooled.estimators(),
+                        reference.estimators(),
+                        "{strategy:?}, w = {batch_size}: states diverged mid-stream"
+                    );
+                }
+                assert_eq!(pooled.raw_estimates(), reference.raw_estimates());
+                assert_eq!(
+                    pooled.estimate().to_bits(),
+                    reference.estimate().to_bits(),
+                    "{strategy:?}, w = {batch_size}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn geometric_skip_strategy_preserves_invariants_and_accuracy() {
         let stream = tristream_gen::planted_triangles(30, 80, 13);
         for &batch_size in &[3usize, 17, 256] {
@@ -601,13 +778,23 @@ mod tests {
 
     #[test]
     fn memory_accounting_scales_with_the_pool() {
+        // Ten u64 columns per estimator plus three presence bits, measured
+        // exactly; the per-batch scratch is excluded by the convention.
         let small = BulkTriangleCounter::new(10, 1);
         let large = BulkTriangleCounter::new(1_000, 1);
+        assert_eq!(small.estimator_memory_bytes(), 10 * 10 * 8 + 3 * 8);
         assert_eq!(
             large.estimator_memory_bytes(),
-            100 * small.estimator_memory_bytes()
+            10 * 1_000 * 8 + 3 * (1_000usize.div_ceil(64)) * 8
         );
-        assert!(small.estimator_memory_bytes() > 0);
+        assert_eq!(BulkTriangleCounter::words_per_estimator(), 10);
+        // Processing a large batch must not change the accounted memory:
+        // scratch is working memory, not sketch state.
+        use crate::traits::TriangleEstimator;
+        let mut counter = BulkTriangleCounter::new(64, 2);
+        let before = counter.memory_words();
+        counter.process_batch(tristream_gen::planted_triangles(50, 200, 3).edges());
+        assert_eq!(counter.memory_words(), before);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! |---|---|
 //! | §3.1 Algorithm 1 (neighborhood sampling) | [`estimator`] |
 //! | §3.2 Theorems 3.3 & 3.4 (counting, tangle-aware aggregation) | [`counter`], [`theory`] |
-//! | §3.3 Theorem 3.5 (bulk processing) | [`bulk`] |
+//! | §3.3 Theorem 3.5 (bulk processing) | [`bulk`] (SoA hot path: [`pool`], [`fastmap`]; pre-pool reference: [`reference`](mod@reference)) |
 //! | §3.4 `unifTri` (uniform triangle sampling) | [`sampler`] |
 //! | §3.5 transitivity coefficient | [`transitivity`] |
 //! | §5.1 4-clique counting (Type I / Type II) | [`clique`] |
@@ -55,7 +55,10 @@ pub mod clique;
 pub mod counter;
 pub mod engine;
 pub mod estimator;
+pub mod fastmap;
 pub mod parallel;
+pub mod pool;
+pub mod reference;
 pub mod sampler;
 pub mod sliding;
 pub mod theory;
@@ -67,9 +70,12 @@ pub use clique::FourCliqueCounter;
 pub use counter::{Aggregation, TriangleCounter};
 pub use engine::ShardedEngine;
 pub use estimator::{EstimatorState, NeighborhoodSampler, PositionedEdge};
+pub use fastmap::FastMap;
 pub use parallel::{
     shard_counters, ParallelBulkTriangleCounter, ShardedEstimator, SHARD_SEED_STRIDE,
 };
+pub use pool::{BitSet, BufferedRng, EstimatorPool};
+pub use reference::ReferenceBulkCounter;
 pub use sampler::TriangleSampler;
 pub use sliding::SlidingWindowTriangleCounter;
 pub use theory::{

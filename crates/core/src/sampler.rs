@@ -19,14 +19,17 @@
 //! strictly `O(r)`.
 
 use crate::counter::TriangleCounter;
+use crate::fastmap::FastMap;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
-use tristream_graph::{Edge, VertexId};
+use tristream_graph::Edge;
 
 /// Salt applied to the user seed so the rejection coins are independent of
 /// the estimator coins even though both derive from the same seed.
 const SAMPLER_RNG_SALT: u64 = 0x7E1E_5C0E_D00D_F00D;
+
+/// Salt applied to the user seed to derive the degree table's hash seed.
+const SAMPLER_DEGREE_SALT: u64 = 0xDE6_4EE5_0000_7AB1;
 
 /// Maintains `r` neighborhood-sampling estimators and answers uniform
 /// triangle-sampling queries over the stream observed so far.
@@ -35,7 +38,12 @@ pub struct TriangleSampler {
     counter: TriangleCounter,
     rng: SmallRng,
     /// Exact running degrees (used for Δ) unless a hint was supplied.
-    degrees: Option<HashMap<VertexId, u64>>,
+    /// A [`FastMap`] rather than a std `HashMap`: the table is hit twice
+    /// per stream edge, which makes the hasher a hot-path cost, and the
+    /// deterministic seeding keeps the run a pure function of `seed`. The
+    /// swap cannot change any estimate — only the scalar maximum is ever
+    /// read — which `degree_tracking_matches_a_std_hashmap_reference` pins.
+    degrees: Option<FastMap<u64>>,
     max_degree: u64,
 }
 
@@ -50,7 +58,7 @@ impl TriangleSampler {
         Self {
             counter: TriangleCounter::new(r, seed),
             rng: SmallRng::seed_from_u64(seed ^ SAMPLER_RNG_SALT),
-            degrees: Some(HashMap::new()),
+            degrees: Some(FastMap::with_seed(seed ^ SAMPLER_DEGREE_SALT)),
             max_degree: 0,
         }
     }
@@ -94,7 +102,7 @@ impl TriangleSampler {
     pub fn process_edge(&mut self, edge: Edge) {
         if let Some(degrees) = &mut self.degrees {
             for v in [edge.u(), edge.v()] {
-                let d = degrees.entry(v).or_insert(0);
+                let d = degrees.get_mut_or_insert((v.raw(), 0), 0);
                 *d += 1;
                 self.max_degree = self.max_degree.max(*d);
             }
@@ -178,7 +186,7 @@ mod tests {
     use super::*;
     use std::collections::HashMap as StdHashMap;
     use tristream_graph::exact::list_triangles;
-    use tristream_graph::{Adjacency, EdgeStream};
+    use tristream_graph::{Adjacency, EdgeStream, VertexId};
 
     fn two_triangle_stream() -> EdgeStream {
         // Triangle A = (1,2,3) is "quiet"; triangle B = (4,5,6) shares its
@@ -324,6 +332,38 @@ mod tests {
         sampler.process_edges(stream.edges());
         let adj = Adjacency::from_stream(&stream);
         assert_eq!(sampler.max_degree() as usize, adj.max_degree());
+    }
+
+    #[test]
+    fn degree_tracking_matches_a_std_hashmap_reference() {
+        // Satellite pin for the std-HashMap → FastMap swap: the running
+        // maximum degree (the only quantity the sampler reads from the
+        // table) must match a std-HashMap reference at *every* prefix, so
+        // every estimate and every accepted sample is untouched by the
+        // hasher change.
+        let stream = tristream_gen::holme_kim(200, 3, 0.4, 9);
+        let mut sampler = TriangleSampler::new(64, 5);
+        let mut reference: StdHashMap<VertexId, u64> = StdHashMap::new();
+        let mut reference_max = 0u64;
+        for e in stream.iter() {
+            sampler.process_edge(e);
+            for v in [e.u(), e.v()] {
+                let d = reference.entry(v).or_insert(0);
+                *d += 1;
+                reference_max = reference_max.max(*d);
+            }
+            assert_eq!(sampler.max_degree(), reference_max);
+        }
+        // And therefore the rejection-filtered output is exactly what the
+        // same seed produced before the swap: re-running with an explicit
+        // hint equal to the tracked maximum is bit-identical.
+        let mut hinted = TriangleSampler::with_max_degree_hint(64, 5, reference_max);
+        hinted.process_edges(stream.edges());
+        assert_eq!(
+            sampler.accepted_triangles(),
+            hinted.accepted_triangles(),
+            "the degree table only feeds Δ; sampling must not depend on its layout"
+        );
     }
 
     #[test]
