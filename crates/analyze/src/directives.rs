@@ -1,0 +1,312 @@
+//! The `// analyze: …` annotation grammar.
+//!
+//! Three directives exist, all line comments (block comments are never
+//! scanned for directives, so commented-out code cannot smuggle one in):
+//!
+//! ```text
+//! // analyze: allow(RULE, reason = "non-empty justification")
+//! // analyze: region(no-alloc)
+//! // analyze: endregion
+//! ```
+//!
+//! * `allow` suppresses diagnostics of `RULE` (`D1`, `A1`, `P1`, `S1`, or
+//!   the rule's full name such as `P1-panic-free`) on **one line**: the
+//!   line the comment trails, or — for a comment on its own line — the
+//!   next line that contains code. There are deliberately no file- or
+//!   block-level suppressions: every escape is a single audited site, and
+//!   the mandatory `reason` string is collected into the report so the
+//!   inventory stays reviewable. An `allow` whose reason is empty, whose
+//!   rule is unknown, or that suppresses nothing ("unused allow") is itself
+//!   an error.
+//! * `region(no-alloc)` … `endregion` brackets a block in which the
+//!   `A1-no-alloc` rule bans allocating tokens. Regions cannot nest and
+//!   must be closed in the same file.
+//!
+//! Any other `// analyze:` comment is an error — a typo in a directive
+//! must never silently disable enforcement.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::{Diagnostic, RULE_META};
+
+/// A parsed `allow` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Canonical rule code (`"P1"`, …).
+    pub rule: &'static str,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Line the directive comment sits on.
+    pub directive_line: u32,
+    /// The single line of code the allow covers.
+    pub target_line: u32,
+}
+
+/// A `region(KIND)` … `endregion` block, as 1-based inclusive line bounds
+/// of the code between the two directives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    pub kind: RegionKind,
+    pub first_line: u32,
+    pub last_line: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionKind {
+    NoAlloc,
+}
+
+/// Everything the directive pass extracts from one file.
+#[derive(Debug, Default)]
+pub struct Directives {
+    pub allows: Vec<Allow>,
+    pub regions: Vec<Region>,
+    /// Malformed directives, reported under the `meta` pseudo-rule.
+    pub errors: Vec<Diagnostic>,
+}
+
+/// Rule codes accepted by `allow(...)`, mapped to canonical short codes.
+fn canonical_rule(name: &str) -> Option<&'static str> {
+    RULE_META
+        .iter()
+        .find(|meta| meta.code == name || meta.name == name)
+        .map(|meta| meta.code)
+}
+
+/// Scans the token stream for `// analyze:` directives.
+///
+/// `tokens` must be the full stream (comments included) of one file.
+pub fn parse(path: &str, tokens: &[Token<'_>]) -> Directives {
+    let mut out = Directives::default();
+    let mut open_region: Option<(RegionKind, u32)> = None;
+
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = token.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("analyze:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let mut error = |message: String| {
+            out.errors
+                .push(Diagnostic::meta(path, token.line, token.col, message));
+        };
+        if let Some(args) = rest.strip_prefix("allow") {
+            match parse_allow(args.trim()) {
+                Ok((rule, reason)) => match target_line(tokens, i) {
+                    Some(target_line) => out.allows.push(Allow {
+                        rule,
+                        reason,
+                        directive_line: token.line,
+                        target_line,
+                    }),
+                    None => error("allow directive has no following code line to cover".into()),
+                },
+                Err(e) => error(e),
+            }
+        } else if let Some(args) = rest.strip_prefix("region") {
+            match parse_region(args.trim()) {
+                Ok(kind) if open_region.is_none() => open_region = Some((kind, token.line)),
+                Ok(_) => error("regions cannot nest: close the open region first".into()),
+                Err(e) => error(e),
+            }
+        } else if rest == "endregion" {
+            match open_region.take() {
+                Some((kind, start)) => out.regions.push(Region {
+                    kind,
+                    first_line: start + 1,
+                    last_line: token.line.saturating_sub(1),
+                }),
+                None => error("endregion without an open region".into()),
+            }
+        } else {
+            error(format!(
+                "unknown analyze directive {rest:?}; expected allow(RULE, reason = \"…\"), \
+                 region(no-alloc), or endregion"
+            ));
+        }
+    }
+    if let Some((_, line)) = open_region {
+        out.errors.push(Diagnostic::meta(
+            path,
+            line,
+            1,
+            "region(no-alloc) is never closed; add `// analyze: endregion`".into(),
+        ));
+    }
+    out
+}
+
+/// Parses `(RULE, reason = "…")`.
+fn parse_allow(args: &str) -> Result<(&'static str, String), String> {
+    let inner = args
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| {
+            "allow directive must be of the form allow(RULE, reason = \"…\")".to_string()
+        })?;
+    let (rule_part, reason_part) = inner
+        .split_once(',')
+        .ok_or_else(|| "allow(RULE, …) is missing the mandatory reason".to_string())?;
+    let rule = canonical_rule(rule_part.trim()).ok_or_else(|| {
+        format!(
+            "unknown rule {:?} in allow; known rules: {}",
+            rule_part.trim(),
+            RULE_META
+                .iter()
+                .map(|meta| meta.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+    let reason_part = reason_part.trim();
+    let value = reason_part
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|s| s.strip_prefix('='))
+        .map(str::trim)
+        .ok_or_else(|| "allow reason must be written `reason = \"…\"`".to_string())?;
+    let reason = value
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| "allow reason must be a double-quoted string".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("allow reason must not be empty — justify the escape".to_string());
+    }
+    Ok((rule, reason.to_string()))
+}
+
+fn parse_region(args: &str) -> Result<RegionKind, String> {
+    match args {
+        "(no-alloc)" => Ok(RegionKind::NoAlloc),
+        other => Err(format!(
+            "unknown region {other:?}; the only supported region is region(no-alloc)"
+        )),
+    }
+}
+
+/// The line an `allow` at token index `i` covers: the directive's own line
+/// if code precedes the comment on it, otherwise the next line bearing a
+/// non-comment token.
+fn target_line(tokens: &[Token<'_>], i: usize) -> Option<u32> {
+    let line = tokens[i].line;
+    let trails_code = tokens[..i]
+        .iter()
+        .rev()
+        .take_while(|t| t.line == line)
+        .any(|t| !t.is_comment());
+    if trails_code {
+        return Some(line);
+    }
+    tokens[i + 1..]
+        .iter()
+        .find(|t| !t.is_comment())
+        .map(|t| t.line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn directives(src: &str) -> Directives {
+        parse("test.rs", &lex(src))
+    }
+
+    #[test]
+    fn allow_trailing_a_code_line_covers_that_line() {
+        let d = directives("let x = risky(); // analyze: allow(P1, reason = \"infallible\")\n");
+        assert!(d.errors.is_empty(), "{:?}", d.errors);
+        assert_eq!(d.allows.len(), 1);
+        assert_eq!(d.allows[0].rule, "P1");
+        assert_eq!(d.allows[0].target_line, 1);
+        assert_eq!(d.allows[0].reason, "infallible");
+    }
+
+    #[test]
+    fn allow_on_its_own_line_covers_the_next_code_line() {
+        let d = directives(
+            "// analyze: allow(D1, reason = \"test oracle\")\n// another comment\nuse foo;\n",
+        );
+        assert!(d.errors.is_empty(), "{:?}", d.errors);
+        assert_eq!(d.allows[0].target_line, 3);
+    }
+
+    #[test]
+    fn full_rule_names_are_accepted() {
+        let d = directives("// analyze: allow(P1-panic-free, reason = \"x\")\nfoo();\n");
+        assert!(d.errors.is_empty());
+        assert_eq!(d.allows[0].rule, "P1");
+    }
+
+    #[test]
+    fn empty_or_missing_reasons_are_errors() {
+        for bad in [
+            "// analyze: allow(P1)\nfoo();",
+            "// analyze: allow(P1, reason = \"\")\nfoo();",
+            "// analyze: allow(P1, reason = \"  \")\nfoo();",
+            "// analyze: allow(P1, \"no reason kw\")\nfoo();",
+        ] {
+            let d = directives(bad);
+            assert_eq!(d.allows.len(), 0, "accepted: {bad}");
+            assert_eq!(d.errors.len(), 1, "no error for: {bad}");
+        }
+    }
+
+    #[test]
+    fn unknown_rules_and_directives_are_errors() {
+        assert_eq!(
+            directives("// analyze: allow(Z9, reason = \"x\")\nfoo();")
+                .errors
+                .len(),
+            1
+        );
+        assert_eq!(
+            directives("// analyze: alow(P1, reason = \"x\")\nfoo();")
+                .errors
+                .len(),
+            1
+        );
+        assert_eq!(
+            directives("// analyze: region(fast)\nfoo();").errors.len(),
+            1
+        );
+    }
+
+    #[test]
+    fn regions_record_inclusive_interior_line_bounds() {
+        let d = directives(
+            "fn f() {\n// analyze: region(no-alloc)\nwork();\nmore();\n// analyze: endregion\n}\n",
+        );
+        assert!(d.errors.is_empty());
+        assert_eq!(
+            d.regions,
+            vec![Region {
+                kind: RegionKind::NoAlloc,
+                first_line: 3,
+                last_line: 4
+            }]
+        );
+    }
+
+    #[test]
+    fn unbalanced_regions_are_errors() {
+        assert_eq!(
+            directives("// analyze: region(no-alloc)\nfoo();")
+                .errors
+                .len(),
+            1
+        );
+        assert_eq!(directives("// analyze: endregion\nfoo();").errors.len(), 1);
+        let nested = "// analyze: region(no-alloc)\n// analyze: region(no-alloc)\nfoo();\n// analyze: endregion\n";
+        assert_eq!(directives(nested).errors.len(), 1);
+    }
+
+    #[test]
+    fn directives_inside_strings_or_block_comments_are_inert() {
+        let d = directives("let s = \"// analyze: allow(P1, reason = \\\"no\\\")\";\n/* // analyze: endregion */\n");
+        assert!(d.allows.is_empty());
+        assert!(d.errors.is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! Orchestration: lex → directives → rules → allow application, per file,
+//! plus the workspace walker and the `--fix-allow` rewriter.
+
+use crate::directives::{self, Allow};
+use crate::lexer::{self, Token};
+use crate::report::{rule_name, AllowRecord, Diagnostic, Report};
+use crate::rules;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Checks one file's source text. `path` is the workspace-relative path
+/// (forward slashes) that decides which rule scopes apply — pure function,
+/// no filesystem, which is what the fixture tests drive.
+pub fn check_source(path: &str, src: &str) -> (Vec<Diagnostic>, Vec<AllowRecord>) {
+    let tokens = lexer::lex(src);
+    let parsed = directives::parse(path, &tokens);
+    let mut diagnostics = parsed.errors;
+
+    let code: Vec<Token<'_>> = tokens.iter().filter(|t| !t.is_comment()).copied().collect();
+    let in_test = rules::test_token_mask(&code);
+    let class = rules::classify(path);
+
+    let mut raw = Vec::new();
+    rules::run(path, class, &code, &in_test, &parsed.regions, &mut raw);
+
+    // Apply line-scoped allows; track which escapes earned their keep.
+    let mut used = vec![false; parsed.allows.len()];
+    for diag in raw {
+        let suppressed = parsed
+            .allows
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.target_line == diag.line && rule_name(a.rule) == diag.rule);
+        match suppressed {
+            Some((idx, _)) => used[idx] = true,
+            None => diagnostics.push(diag),
+        }
+    }
+    let mut allows = Vec::new();
+    for (allow, used) in parsed.allows.iter().zip(&used) {
+        if *used {
+            allows.push(AllowRecord {
+                rule: rule_name(allow.rule),
+                path: path.to_string(),
+                line: allow.target_line,
+                reason: allow.reason.clone(),
+            });
+        } else {
+            diagnostics.push(unused_allow(path, allow));
+        }
+    }
+    (diagnostics, allows)
+}
+
+fn unused_allow(path: &str, allow: &Allow) -> Diagnostic {
+    Diagnostic::meta(
+        path,
+        allow.directive_line,
+        1,
+        format!(
+            "unused allow({}): no {} diagnostic fires on line {} — remove the escape so the \
+             inventory stays honest",
+            allow.rule,
+            rule_name(allow.rule),
+            allow.target_line
+        ),
+    )
+}
+
+/// Directories never descended into during the workspace walk. `vendor/`
+/// holds offline API-subset shims of third-party crates — not our code, not
+/// our invariants.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".claude"];
+
+/// Collects every workspace `.rs` file under `root`, in deterministic
+/// (sorted) order, as workspace-relative forward-slash paths.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = fs::read_dir(&dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if !SKIP_DIRS.contains(&name) {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|ext| ext == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Turns an absolute file path into the workspace-relative, forward-slash
+/// form the rule scopes key on.
+pub fn relative_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Runs the full check over the workspace rooted at `root`. With a
+/// non-empty `filter`, only files whose relative path starts with one of
+/// the given prefixes are checked (the `PATHS` CLI operands).
+pub fn check_workspace(root: &Path, filter: &[String]) -> io::Result<Report> {
+    let mut report = Report::default();
+    for file in collect_rs_files(root)? {
+        let rel = relative_path(root, &file);
+        if !filter.is_empty() && !filter.iter().any(|f| rel.starts_with(f.as_str())) {
+            continue;
+        }
+        let src = fs::read_to_string(&file)?;
+        let (diags, allows) = check_source(&rel, &src);
+        report.diagnostics.extend(diags);
+        report.allows.extend(allows);
+        report.files_checked += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// `--fix-allow`: inserts a placeholder allow comment above every rule
+/// diagnostic in `report` (meta diagnostics — malformed directives, unused
+/// allows — cannot be escaped and are skipped). A migration aid for
+/// bringing a dirty tree to zero: the placeholder reason is deliberately a
+/// FIXME so the inventory shows exactly which escapes still need a real
+/// justification. Returns the number of comments inserted.
+pub fn apply_fix_allows(root: &Path, report: &Report) -> io::Result<usize> {
+    let mut inserted = 0usize;
+    let mut by_file: Vec<(&str, Vec<&Diagnostic>)> = Vec::new();
+    for diag in &report.diagnostics {
+        if diag.rule == "meta" {
+            continue;
+        }
+        match by_file.iter_mut().find(|(p, _)| *p == diag.path) {
+            Some((_, list)) => list.push(diag),
+            None => by_file.push((&diag.path, vec![diag])),
+        }
+    }
+    for (rel, mut diags) in by_file {
+        // Bottom-up so earlier insertions do not shift later line numbers;
+        // one allow per (line, rule) even if the rule fired twice there.
+        diags.sort_by_key(|d| (std::cmp::Reverse(d.line), d.rule));
+        diags.dedup_by_key(|d| (d.line, d.rule));
+        let path = root.join(rel);
+        let src = fs::read_to_string(&path)?;
+        let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+        for diag in diags {
+            let idx = (diag.line as usize).saturating_sub(1).min(lines.len());
+            let indent: String = lines
+                .get(idx)
+                .map(|l| l.chars().take_while(|c| c.is_whitespace()).collect())
+                .unwrap_or_default();
+            let code = diag.rule.split('-').next().unwrap_or(diag.rule);
+            lines.insert(
+                idx,
+                format!(
+                    "{indent}// analyze: allow({code}, reason = \"FIXME(analyze): justify this escape\")"
+                ),
+            );
+            inserted += 1;
+        }
+        let mut rewritten = lines.join("\n");
+        if src.ends_with('\n') {
+            rewritten.push('\n');
+        }
+        fs::write(&path, rewritten)?;
+    }
+    Ok(inserted)
+}
+
+/// Locates the workspace root: walks up from `start` to the first directory
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_source_has_no_diagnostics() {
+        let (diags, allows) = check_source(
+            "crates/core/src/clean.rs",
+            "pub fn double(x: u64) -> u64 { x * 2 }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(allows.is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses_exactly_its_line_and_rule() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // analyze: allow(P1, reason = \"demo\")\n}\n";
+        let (diags, allows) = check_source("crates/core/src/f.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "P1-panic-free");
+        assert_eq!(allows[0].line, 2);
+    }
+
+    #[test]
+    fn unused_allows_are_reported_as_meta_errors() {
+        let src = "// analyze: allow(P1, reason = \"nothing here\")\nfn f() {}\n";
+        let (diags, allows) = check_source("crates/core/src/f.rs", src);
+        assert_eq!(allows.len(), 0);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "meta");
+        assert!(diags[0].message.contains("unused allow"));
+    }
+
+    #[test]
+    fn relative_paths_use_forward_slashes() {
+        let root = Path::new("/ws");
+        assert_eq!(
+            relative_path(root, Path::new("/ws/crates/core/src/lib.rs")),
+            "crates/core/src/lib.rs"
+        );
+    }
+}

@@ -1,0 +1,558 @@
+//! A hand-rolled, comment- and string-aware Rust lexer.
+//!
+//! The analyzer's rules are *token* rules: "the identifier `unwrap` followed
+//! by `(`", "the identifier `HashMap`". A `grep` cannot enforce those —
+//! `unwrap` inside a string literal, a doc comment, or a `#[should_panic]`
+//! fixture must not fire. This lexer produces exactly the token stream the
+//! rules need, with byte/line/column spans, and nothing more: no parse tree,
+//! no external parser crate (this build environment has no registry access),
+//! just the lexical grammar of Rust handled correctly:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, byte strings, raw strings
+//!   (`r"…"`, `r#"…"#`, any number of `#`s, plus `br…` forms);
+//! * char literals vs. lifetimes (`'a'` vs. `'a`), including escaped chars;
+//! * raw identifiers (`r#match`);
+//! * identifiers, numbers, and single-character punctuation.
+//!
+//! Comments are **kept** as tokens — the directive layer
+//! ([`crate::directives`]) reads `// analyze: …` annotations out of them —
+//! but carry `is_comment() == true` so rule code can skip them.
+//!
+//! The lexer never fails: malformed input (an unterminated string or
+//! comment) consumes to end of file, which is the error-recovery behaviour
+//! a linter wants — rustc itself will report the real error.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (without a closing quote).
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// String literal of any flavour: `"…"`, `b"…"`, `r"…"`, `r#"…"#`, …
+    Str,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `// …` comment (incl. doc comments), text up to but not including
+    /// the newline.
+    LineComment,
+    /// `/* … */` comment, possibly nested, delimiters included.
+    BlockComment,
+    /// A single punctuation character: `.`, `:`, `(`, `!`, …
+    Punct,
+}
+
+/// One lexed token: kind, source text, and 1-based position of its first
+/// character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    pub text: &'a str,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token<'_> {
+    /// Whether the token is a (line or block) comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether the token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// Whether the token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == ch.len_utf8() && {
+            let mut buf = [0u8; 4];
+            self.text == ch.encode_utf8(&mut buf)
+        }
+    }
+}
+
+/// Cursor over the source bytes with line/column tracking.
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte (multi-byte UTF-8 sequences advance byte-wise;
+    /// column counts bytes, which is what editors' `:col` jumps accept).
+    fn bump(&mut self) {
+        if self.bytes.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token vector. Whitespace is dropped; comments are
+/// kept. Never fails — see the module docs for the recovery behaviour.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let mut cur = Cursor::new(src);
+    let mut tokens = Vec::new();
+    while !cur.at_end() {
+        let b = cur.bytes[cur.pos];
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = scan_token(&mut cur, b);
+        tokens.push(Token {
+            kind,
+            text: &cur.src[start..cur.pos],
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+/// Scans one token starting at `b`; the cursor ends one past the token.
+fn scan_token(cur: &mut Cursor<'_>, b: u8) -> TokenKind {
+    match b {
+        b'/' if cur.peek(1) == Some(b'/') => {
+            while !cur.at_end() && cur.bytes[cur.pos] != b'\n' {
+                cur.bump();
+            }
+            TokenKind::LineComment
+        }
+        b'/' if cur.peek(1) == Some(b'*') => {
+            cur.bump_n(2);
+            let mut depth = 1usize;
+            while !cur.at_end() && depth > 0 {
+                if cur.bytes[cur.pos] == b'/' && cur.peek(1) == Some(b'*') {
+                    depth += 1;
+                    cur.bump_n(2);
+                } else if cur.bytes[cur.pos] == b'*' && cur.peek(1) == Some(b'/') {
+                    depth -= 1;
+                    cur.bump_n(2);
+                } else {
+                    cur.bump();
+                }
+            }
+            TokenKind::BlockComment
+        }
+        b'"' => {
+            scan_string(cur);
+            TokenKind::Str
+        }
+        b'r' | b'b' if starts_raw_or_byte_string(cur) => {
+            scan_raw_or_byte_string(cur);
+            TokenKind::Str
+        }
+        b'b' if cur.peek(1) == Some(b'\'') => {
+            cur.bump(); // consume the `b`; scan_char handles the rest
+            scan_char(cur);
+            TokenKind::Char
+        }
+        b'r' if cur.peek(1) == Some(b'#') && cur.peek(2).is_some_and(is_ident_start) => {
+            // Raw identifier `r#match`.
+            cur.bump_n(2);
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            TokenKind::Ident
+        }
+        b'\'' => scan_char_or_lifetime(cur),
+        _ if is_ident_start(b) => {
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            TokenKind::Ident
+        }
+        _ if b.is_ascii_digit() => {
+            scan_number(cur);
+            TokenKind::Number
+        }
+        _ => {
+            cur.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// Whether the cursor sits on `r"`, `r#…#"`, `b"`, `br"`, or `br#…#"`.
+fn starts_raw_or_byte_string(cur: &Cursor<'_>) -> bool {
+    let mut i = 1; // past the leading `r` or `b`
+    if cur.bytes[cur.pos] == b'b' && cur.peek(1) == Some(b'r') {
+        i = 2;
+    }
+    while cur.peek(i) == Some(b'#') {
+        i += 1;
+    }
+    // `b"…"` allows no hashes; `r…`/`br…` allow any number.
+    if cur.bytes[cur.pos] == b'b' && cur.peek(1) != Some(b'r') && i != 1 {
+        return false;
+    }
+    cur.peek(i) == Some(b'"')
+}
+
+/// Consumes a `"…"` string body with `\` escapes; cursor starts at `"`.
+fn scan_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while !cur.at_end() {
+        match cur.bytes[cur.pos] {
+            b'\\' => cur.bump_n(2),
+            b'"' => {
+                cur.bump();
+                return;
+            }
+            _ => cur.bump(),
+        }
+    }
+}
+
+/// Consumes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` etc.; cursor starts at the
+/// `r`/`b` prefix.
+fn scan_raw_or_byte_string(cur: &mut Cursor<'_>) {
+    let mut raw = false;
+    if cur.bytes[cur.pos] == b'b' {
+        cur.bump();
+    }
+    if cur.peek(0) == Some(b'r') {
+        raw = true;
+        cur.bump();
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    if !raw {
+        // Plain byte string: same escape rules as a normal string.
+        while !cur.at_end() {
+            match cur.bytes[cur.pos] {
+                b'\\' => cur.bump_n(2),
+                b'"' => {
+                    cur.bump();
+                    return;
+                }
+                _ => cur.bump(),
+            }
+        }
+        return;
+    }
+    // Raw string: ends at `"` followed by `hashes` `#`s; no escapes.
+    while !cur.at_end() {
+        if cur.bytes[cur.pos] == b'"' {
+            let mut i = 1;
+            while i <= hashes && cur.peek(i) == Some(b'#') {
+                i += 1;
+            }
+            if i == hashes + 1 {
+                cur.bump_n(hashes + 1);
+                return;
+            }
+        }
+        cur.bump();
+    }
+}
+
+/// Consumes a char literal body; cursor starts at the opening `'`.
+fn scan_char(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while !cur.at_end() {
+        match cur.bytes[cur.pos] {
+            b'\\' => cur.bump_n(2),
+            b'\'' => {
+                cur.bump();
+                return;
+            }
+            _ => cur.bump(),
+        }
+    }
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime); cursor starts at `'`.
+fn scan_char_or_lifetime(cur: &mut Cursor<'_>) -> TokenKind {
+    // `'\…` is always a char literal.
+    if cur.peek(1) == Some(b'\\') {
+        scan_char(cur);
+        return TokenKind::Char;
+    }
+    // `'x'` — a closing quote right after one character: char literal.
+    // Multi-byte chars like `'é'` need the full UTF-8 width of the char.
+    if let Some(next) = cur.peek(1) {
+        let width = utf8_width(next);
+        if cur.peek(1 + width) == Some(b'\'') {
+            cur.bump_n(2 + width);
+            return TokenKind::Char;
+        }
+    }
+    // Otherwise a lifetime: `'` plus an identifier.
+    cur.bump();
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    TokenKind::Lifetime
+}
+
+fn utf8_width(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Consumes a numeric literal; cursor starts at its first digit. Handles
+/// `0x…`/`0b…`/`0o…`, `_` separators, type suffixes, floats with exponents
+/// — and stops before `..` so ranges like `0..10` stay three tokens.
+fn scan_number(cur: &mut Cursor<'_>) {
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    // A fractional part: `.` followed by a digit (not `..`, not a method
+    // call like `1.max(2)` — the digit test rejects both).
+    if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+        cur.bump();
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+    }
+    // Exponent sign: `1e-3` lexes `1e` then stops at `-`; glue it back.
+    if matches!(cur.peek(0), Some(b'+') | Some(b'-'))
+        && cur
+            .src
+            .as_bytes()
+            .get(cur.pos.wrapping_sub(1))
+            .is_some_and(|&b| b == b'e' || b == b'E')
+        && cur.peek(1).is_some_and(|b| b.is_ascii_digit())
+    {
+        cur.bump();
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_punct() {
+        assert_eq!(
+            kinds("let x = 42;"),
+            vec![
+                (TokenKind::Ident, "let"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "="),
+                (TokenKind::Number, "42"),
+                (TokenKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_dots() {
+        assert_eq!(
+            kinds("0..10"),
+            vec![
+                (TokenKind::Number, "0"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Punct, "."),
+                (TokenKind::Number, "10"),
+            ]
+        );
+        assert_eq!(kinds("1.5e-3f64"), vec![(TokenKind::Number, "1.5e-3f64")]);
+        assert_eq!(
+            kinds("0xFF_u8 1_000"),
+            vec![(TokenKind::Number, "0xFF_u8"), (TokenKind::Number, "1_000")]
+        );
+    }
+
+    #[test]
+    fn line_comments_end_at_newline() {
+        let toks = kinds("a // unwrap() in a comment\nb");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "a"),
+                (TokenKind::LineComment, "// unwrap() in a comment"),
+                (TokenKind::Ident, "b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0], (TokenKind::Ident, "a"));
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[2], (TokenKind::Ident, "b"));
+    }
+
+    #[test]
+    fn slashes_inside_strings_are_not_comments() {
+        let toks = kinds(r#"let url = "https://example.com"; x"#);
+        assert_eq!(toks[3].0, TokenKind::Str);
+        assert_eq!(toks[3].1, "\"https://example.com\"");
+        assert_eq!(toks.last().map(|t| t.1), Some("x"));
+    }
+
+    #[test]
+    fn quotes_inside_comments_are_not_strings() {
+        let toks = kinds("// it's \"quoted\"\nx");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokenKind::Ident, "x"));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_string() {
+        let toks = kinds(r#""a \" b" c"#);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1], (TokenKind::Ident, "c"));
+    }
+
+    #[test]
+    fn raw_strings_ignore_escapes_and_match_hashes() {
+        let toks = kinds(r##"r"\" x"##);
+        assert_eq!(toks[0], (TokenKind::Str, r#"r"\""#));
+        assert_eq!(toks[1], (TokenKind::Ident, "x"));
+
+        let src = "r#\"contains \" quote\"# y";
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokenKind::Str, "r#\"contains \" quote\"#"));
+        assert_eq!(toks[1], (TokenKind::Ident, "y"));
+
+        let src = "br##\"raw \"# bytes\"## z";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1], (TokenKind::Ident, "z"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"b"bytes" b'x' ok"#);
+        assert_eq!(toks[0], (TokenKind::Str, "b\"bytes\""));
+        assert_eq!(toks[1], (TokenKind::Char, "b'x'"));
+        assert_eq!(toks[2], (TokenKind::Ident, "ok"));
+    }
+
+    #[test]
+    fn chars_versus_lifetimes() {
+        assert_eq!(
+            kinds("'a' 'a 'static '\\n' '\\'' 'é'"),
+            vec![
+                (TokenKind::Char, "'a'"),
+                (TokenKind::Lifetime, "'a"),
+                (TokenKind::Lifetime, "'static"),
+                (TokenKind::Char, "'\\n'"),
+                (TokenKind::Char, "'\\''"),
+                (TokenKind::Char, "'é'"),
+            ]
+        );
+    }
+
+    #[test]
+    fn quote_in_char_literal_does_not_open_a_string() {
+        // A classic lexer trap: `'"'` must not start a string literal.
+        let toks = kinds(r#"let q = '"'; "real string""#);
+        assert_eq!(toks[3], (TokenKind::Char, "'\"'"));
+        assert_eq!(toks[5], (TokenKind::Str, "\"real string\""));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(
+            kinds("r#match r#fn normal"),
+            vec![
+                (TokenKind::Ident, "r#match"),
+                (TokenKind::Ident, "r#fn"),
+                (TokenKind::Ident, "normal"),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_named_r_and_b_are_not_strings() {
+        // `r` / `b` followed by something that is not a string opener.
+        assert_eq!(
+            kinds("r + b * br"),
+            vec![
+                (TokenKind::Ident, "r"),
+                (TokenKind::Punct, "+"),
+                (TokenKind::Ident, "b"),
+                (TokenKind::Punct, "*"),
+                (TokenKind::Ident, "br"),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_one_based_lines_and_columns() {
+        let toks = lex("ab\n  cd // hi\n\"s\"");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!((toks[2].line, toks[2].col), (2, 6));
+        assert_eq!((toks[3].line, toks[3].col), (3, 1));
+    }
+
+    #[test]
+    fn unterminated_constructs_consume_to_eof_without_panicking() {
+        assert_eq!(lex("\"never closed").len(), 1);
+        assert_eq!(lex("/* never closed").len(), 1);
+        assert_eq!(lex("r#\"never closed\"").len(), 1);
+    }
+
+    #[test]
+    fn doc_comments_are_line_comments() {
+        let toks = kinds("/// thread_rng() is mentioned here\nfn f() {}");
+        assert_eq!(toks[0].0, TokenKind::LineComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "fn"));
+    }
+}

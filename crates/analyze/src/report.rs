@@ -1,0 +1,310 @@
+//! Diagnostics, the rule registry, and the text / JSON renderers.
+//!
+//! # JSON schema (`--json`), version 1
+//!
+//! Documented here next to the code that emits it, the same discipline as
+//! the BENCH.json schema in `tristream-bench::report`. Top-level object:
+//!
+//! ```json
+//! {
+//!   "schema": "tristream-analyze-v1",
+//!   "diagnostics": [
+//!     {
+//!       "rule": "P1-panic-free",     // full rule name; "meta" for directive errors
+//!       "severity": "error",          // currently always "error"
+//!       "path": "crates/core/src/x.rs", // workspace-relative, forward slashes
+//!       "line": 17,                   // 1-based
+//!       "column": 9,                  // 1-based, in bytes
+//!       "message": "…"                // human-readable explanation
+//!     }
+//!   ],
+//!   "allows": [
+//!     {
+//!       "rule": "P1-panic-free",
+//!       "path": "crates/core/src/engine.rs",
+//!       "line": 132,                  // line the allow covers
+//!       "reason": "…"                 // the mandatory justification
+//!     }
+//!   ],
+//!   "summary": { "files": 93, "errors": 0, "allows": 12 }
+//! }
+//! ```
+//!
+//! Consumers must ignore unknown fields (additions bump nothing); removals
+//! or semantic changes bump the `schema` string.
+
+use std::fmt::Write as _;
+
+/// Static description of one rule family.
+#[derive(Debug)]
+pub struct RuleMeta {
+    /// Short code usable in `allow(...)`: `"D1"`.
+    pub code: &'static str,
+    /// Full name used in output: `"D1-determinism"`.
+    pub name: &'static str,
+    /// One-line summary for `--help` and the docs.
+    pub summary: &'static str,
+}
+
+/// The rule registry. Adding a rule means adding a row here and a check in
+/// [`crate::rules`] — see ARCHITECTURE.md § "Enforced invariants".
+pub const RULE_META: &[RuleMeta] = &[
+    RuleMeta {
+        code: "D1",
+        name: "D1-determinism",
+        summary: "no wall clocks outside bench/CLI timing, no entropy-seeded RNGs, \
+                  no std hash containers in core/baselines",
+    },
+    RuleMeta {
+        code: "A1",
+        name: "A1-no-alloc",
+        summary: "no allocating tokens inside `// analyze: region(no-alloc)` blocks",
+    },
+    RuleMeta {
+        code: "P1",
+        name: "P1-panic-free",
+        summary: "no unwrap/expect/panic!/todo!/unimplemented! in library crates outside tests",
+    },
+    RuleMeta {
+        code: "S1",
+        name: "S1-seeding",
+        summary: "seed derivations must go through the exported seeding helpers",
+    },
+];
+
+/// Resolves a short code to the full rule name.
+pub fn rule_name(code: &str) -> &'static str {
+    RULE_META
+        .iter()
+        .find(|meta| meta.code == code)
+        .map(|meta| meta.name)
+        .unwrap_or("meta")
+}
+
+/// One finding, pointing at a file:line:column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Full rule name (`"P1-panic-free"`), or `"meta"` for malformed
+    /// directives and unused allows.
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A rule finding. `code` is the short rule code (`"P1"`).
+    pub fn new(code: &'static str, path: &str, line: u32, col: u32, message: String) -> Self {
+        Self {
+            rule: rule_name(code),
+            path: path.to_string(),
+            line,
+            col,
+            message,
+        }
+    }
+
+    /// A directive-layer error (bad/unused annotation).
+    pub fn meta(path: &str, line: u32, col: u32, message: String) -> Self {
+        Self {
+            rule: "meta",
+            path: path.to_string(),
+            line,
+            col,
+            message,
+        }
+    }
+}
+
+/// An allow escape that is in effect, for the audit inventory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowRecord {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub reason: String,
+}
+
+/// The whole run's result.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    pub allows: Vec<AllowRecord>,
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// Whether the tree is clean (exit code 0).
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Deterministic output order: path, then line, then rule.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
+        self.allows
+            .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    }
+
+    /// Human-readable rendering, one `error[RULE]` block per diagnostic plus
+    /// a summary line that always reports the audited allow count.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "error[{}]: {}", d.rule, d.message);
+            let _ = writeln!(out, "  --> {}:{}:{}", d.path, d.line, d.col);
+        }
+        let _ = writeln!(
+            out,
+            "analyze: {} file(s) checked, {} error(s), {} allow(s) in effect",
+            self.files_checked,
+            self.diagnostics.len(),
+            self.allows.len()
+        );
+        out
+    }
+
+    /// Renders the allow inventory (for `--allows` and the docs table).
+    pub fn render_allows(&self) -> String {
+        let mut out = String::new();
+        for a in &self.allows {
+            let _ = writeln!(out, "{}:{} [{}] {}", a.path, a.line, a.rule, a.reason);
+        }
+        out
+    }
+
+    /// Machine-readable rendering — see the module docs for the schema.
+    pub fn render_json(&self) -> String {
+        let mut out =
+            String::from("{\n  \"schema\": \"tristream-analyze-v1\",\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"rule\": {}, \"severity\": \"error\", \"path\": {}, \"line\": {}, \
+                 \"column\": {}, \"message\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_string(d.rule),
+                json_string(&d.path),
+                d.line,
+                d.col,
+                json_string(&d.message)
+            );
+        }
+        out.push_str(if self.diagnostics.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"reason\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_string(a.rule),
+                json_string(&a.path),
+                a.line,
+                json_string(&a.reason)
+            );
+        }
+        out.push_str(if self.allows.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        let _ = writeln!(
+            out,
+            "  \"summary\": {{\"files\": {}, \"errors\": {}, \"allows\": {}}}\n}}",
+            self.files_checked,
+            self.diagnostics.len(),
+            self.allows.len()
+        );
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        Report {
+            diagnostics: vec![Diagnostic::new(
+                "P1",
+                "crates/core/src/x.rs",
+                3,
+                9,
+                "`.unwrap()` with a \"quote\"".into(),
+            )],
+            allows: vec![AllowRecord {
+                rule: "D1-determinism",
+                path: "crates/core/src/reference.rs".into(),
+                line: 29,
+                reason: "test oracle".into(),
+            }],
+            files_checked: 2,
+        }
+    }
+
+    #[test]
+    fn text_rendering_names_rule_file_line_and_allow_count() {
+        let text = sample_report().render_text();
+        assert!(text.contains("error[P1-panic-free]"));
+        assert!(text.contains("crates/core/src/x.rs:3:9"));
+        assert!(text.contains("1 allow(s) in effect"));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_summarises() {
+        let json = sample_report().render_json();
+        assert!(json.contains("\"schema\": \"tristream-analyze-v1\""));
+        assert!(json.contains("\\\"quote\\\""));
+        assert!(json.contains("\"summary\": {\"files\": 2, \"errors\": 1, \"allows\": 1}"));
+        // Balanced braces/brackets — a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_is_clean_and_valid_json() {
+        let mut r = Report::default();
+        r.sort();
+        assert!(r.is_clean());
+        let json = r.render_json();
+        assert!(json.contains("\"diagnostics\": []"));
+        assert!(json.contains("\"allows\": []"));
+    }
+
+    #[test]
+    fn rule_registry_codes_resolve_to_names() {
+        assert_eq!(rule_name("P1"), "P1-panic-free");
+        assert_eq!(rule_name("A1"), "A1-no-alloc");
+        assert_eq!(rule_name("unknown"), "meta");
+        assert_eq!(RULE_META.len(), 4);
+    }
+}

@@ -1,0 +1,505 @@
+//! The rule families: D1-determinism, A1-no-alloc, P1-panic-free,
+//! S1-seeding.
+//!
+//! Each rule is a pass over one file's comment-stripped token stream, with
+//! two pieces of context:
+//!
+//! * the [`FileClass`] — which scopes apply, derived from the
+//!   workspace-relative path (library crate? core/baselines? a blessed
+//!   timing module?);
+//! * the in-file *test regions* — items under `#[cfg(test)]` / `#[test]`
+//!   attributes, which every rule skips (test code may unwrap, may use std
+//!   hash maps as oracles, may do as it pleases).
+//!
+//! Rules emit raw diagnostics; the engine layer applies `allow` escapes.
+//! To add a rule: register it in [`crate::report::RULE_META`], implement a
+//! `check_*` pass here, call it from [`run`], and document it in
+//! ARCHITECTURE.md § "Enforced invariants".
+
+use crate::directives::{Region, RegionKind};
+use crate::lexer::{Token, TokenKind};
+use crate::report::Diagnostic;
+
+/// Which rule scopes a file falls under, decided purely by its
+/// workspace-relative path (forward slashes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass {
+    /// `false` for `tests/`, `benches/`, `examples/` trees: only directive
+    /// (meta) validation and explicitly-marked regions apply there.
+    pub is_code: bool,
+    /// P1 scope: sources of the library crates (core, graph, sample, gen,
+    /// baselines, analyze's lib) and the root facade.
+    pub lib_crate: bool,
+    /// D1 hash-container scope: `crates/core` and `crates/baselines`.
+    pub core_scope: bool,
+    /// D1 clock exemption: `crates/bench` and the CLI timing module.
+    pub timing_allowed: bool,
+    /// S1 exemption for the one blessed mixer-definition site.
+    pub seeding_home: bool,
+}
+
+/// Paths (workspace-relative prefixes) whose sources are library crates —
+/// the P1-panic-free scope.
+const LIB_CRATE_PREFIXES: &[&str] = &[
+    "crates/core/src/",
+    "crates/graph/src/",
+    "crates/sample/src/",
+    "crates/gen/src/",
+    "crates/baselines/src/",
+    "crates/analyze/src/",
+];
+
+/// Modules allowed to read wall clocks: the bench harness and the CLI's
+/// command layer (which reports wall-clock throughput to the user).
+const TIMING_ALLOWED: &[&str] = &["crates/bench/", "crates/cli/src/commands.rs"];
+
+/// The one module that may *define* seed-mixing primitives; everything else
+/// must call its exported helpers (S1).
+const SEEDING_HOME: &str = "crates/sample/src/seeding.rs";
+
+/// Identifiers that prove a `seed_from_u64` argument went through the
+/// exported derivation helpers (or the sharding contract constant).
+const SEED_HELPERS: &[&str] = &[
+    "splitmix64",
+    "salted_seed",
+    "shard_seed",
+    "SHARD_SEED_STRIDE",
+    "seeding",
+];
+
+/// Classifies `path` (workspace-relative, forward slashes).
+pub fn classify(path: &str) -> FileClass {
+    let in_dir = |dir: &str| {
+        path.split('/')
+            .take_while(|seg| !seg.is_empty())
+            .any(|seg| seg == dir)
+    };
+    let is_code = !(in_dir("tests") || in_dir("benches") || in_dir("examples"));
+    let lib_crate = is_code
+        && (LIB_CRATE_PREFIXES.iter().any(|p| path.starts_with(p))
+            && path != "crates/analyze/src/main.rs"
+            || path.starts_with("src/"));
+    FileClass {
+        is_code,
+        lib_crate,
+        core_scope: path.starts_with("crates/core/src/")
+            || path.starts_with("crates/baselines/src/"),
+        timing_allowed: TIMING_ALLOWED.iter().any(|p| path.starts_with(p)),
+        seeding_home: path == SEEDING_HOME,
+    }
+}
+
+/// Marks every token covered by a test-gated item: an attribute containing
+/// the `test` identifier (`#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]`
+/// — but not `#[cfg(not(test))]`) plus the item it attaches to, up to the
+/// matching close brace or terminating semicolon.
+pub fn test_token_mask(code: &[Token<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(code[i].is_punct('#') && code.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let Some(attr_end) = matching_bracket(code, i + 1, '[', ']') else {
+            break; // malformed input; rustc will complain
+        };
+        let attr = &code[i + 2..attr_end];
+        let is_test_attr =
+            attr.iter().any(|t| t.is_ident("test")) && !attr.iter().any(|t| t.is_ident("not"));
+        if !is_test_attr {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut j = attr_end + 1;
+        while j < code.len()
+            && code[j].is_punct('#')
+            && code.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            match matching_bracket(code, j + 1, '[', ']') {
+                Some(end) => j = end + 1,
+                None => break,
+            }
+        }
+        // The item extends to the first `;` at bracket depth 0, or through
+        // the matching `}` of the first `{` at depth 0.
+        let mut depth = 0i64;
+        let mut item_end = code.len().saturating_sub(1);
+        while j < code.len() {
+            let t = &code[j];
+            if depth == 0 && t.is_punct(';') {
+                item_end = j;
+                break;
+            }
+            if depth == 0 && t.is_punct('{') {
+                item_end = matching_bracket(code, j, '{', '}').unwrap_or(code.len() - 1);
+                break;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        for slot in mask.iter_mut().take(item_end + 1).skip(attr_start) {
+            *slot = true;
+        }
+        i = item_end + 1;
+    }
+    mask
+}
+
+/// Index of the bracket matching `code[open]` (which must be `open_ch`),
+/// honouring nesting of the same bracket kind.
+fn matching_bracket(
+    code: &[Token<'_>],
+    open: usize,
+    open_ch: char,
+    close_ch: char,
+) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct(open_ch) {
+            depth += 1;
+        } else if t.is_punct(close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Runs every rule over one file's code tokens. `code` must be
+/// comment-free; `in_test` is the parallel mask from [`test_token_mask`].
+pub fn run(
+    path: &str,
+    class: FileClass,
+    code: &[Token<'_>],
+    in_test: &[bool],
+    regions: &[Region],
+    out: &mut Vec<Diagnostic>,
+) {
+    if class.is_code {
+        check_d1(path, class, code, in_test, out);
+        check_p1(path, class, code, in_test, out);
+        check_s1(path, class, code, in_test, out);
+    }
+    // Regions are explicit opt-in markers; honour them wherever they appear.
+    check_a1(path, code, regions, out);
+}
+
+/// D1-determinism: reproducibility is the product contract (bit-identical
+/// estimates per seed), so nothing outside the blessed timing modules may
+/// read a wall clock, nothing anywhere may seed from OS entropy, and the
+/// hot crates may not use std's randomly-seeded (iteration-order
+/// nondeterministic) hash containers outside tests.
+fn check_d1(
+    path: &str,
+    class: FileClass,
+    code: &[Token<'_>],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test[i] {
+            continue;
+        }
+        match t.text {
+            "Instant" | "SystemTime" if !class.timing_allowed && path_call(code, i, "now") => {
+                out.push(Diagnostic::new(
+                    "D1",
+                    path,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}::now()` outside crates/bench and the CLI timing module breaks \
+                         run-to-run determinism; inject times or move the measurement",
+                        t.text
+                    ),
+                ));
+            }
+            "thread_rng" | "from_entropy" => {
+                out.push(Diagnostic::new(
+                    "D1",
+                    path,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}` seeds from OS entropy; every RNG must be seeded from an \
+                         explicit u64 so runs are reproducible",
+                        t.text
+                    ),
+                ));
+            }
+            "HashMap" | "HashSet" | "BTreeMap" if class.core_scope => {
+                out.push(Diagnostic::new(
+                    "D1",
+                    path,
+                    t.line,
+                    t.col,
+                    format!(
+                        "std `{}` in {} non-test code: RandomState seeding makes layouts and \
+                         iteration order run-dependent; use tristream_core::FastMap or add a \
+                         documented allow",
+                        t.text,
+                        path.split('/').take(2).collect::<Vec<_>>().join("/")
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Whether `code[i]` starts the path call `code[i] :: method (`.
+fn path_call(code: &[Token<'_>], i: usize, method: &str) -> bool {
+    code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && code.get(i + 3).is_some_and(|t| t.is_ident(method))
+}
+
+/// A1-no-alloc: inside `// analyze: region(no-alloc)` blocks — the pool
+/// batch loop and scratch paths whose zero-allocation steady state the
+/// counting-allocator test measures — no token that allocates may appear.
+/// This is the static complement of `tests/alloc_steady_state.rs`: the
+/// runtime test proves the property for the streams it runs; this rule
+/// keeps future edits from reintroducing an alloc the test's streams might
+/// not exercise.
+fn check_a1(path: &str, code: &[Token<'_>], regions: &[Region], out: &mut Vec<Diagnostic>) {
+    let no_alloc = |line: u32| {
+        regions
+            .iter()
+            .any(|r| r.kind == RegionKind::NoAlloc && (r.first_line..=r.last_line).contains(&line))
+    };
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !no_alloc(t.line) {
+            continue;
+        }
+        let mut flag = |what: &str| {
+            out.push(Diagnostic::new(
+                "A1",
+                path,
+                t.line,
+                t.col,
+                format!("allocating token `{what}` inside a no-alloc region"),
+            ));
+        };
+        match t.text {
+            "collect" | "clone" | "to_string" | "to_owned" | "to_vec" | "with_capacity" => {
+                flag(t.text)
+            }
+            "format" | "vec" if code.get(i + 1).is_some_and(|n| n.is_punct('!')) => {
+                flag(&format!("{}!", t.text))
+            }
+            "Vec" | "Box" | "String" if path_call(code, i, "new") || path_call(code, i, "from") => {
+                flag(&format!("{}::{}", t.text, code[i + 3].text))
+            }
+            _ => {}
+        }
+    }
+}
+
+/// P1-panic-free: library crates must propagate errors, not abort the
+/// process — a long-lived daemon or a checkpointing worker cannot afford a
+/// panic in the substrate. `assert!`/`debug_assert!` stay legal: documented
+/// preconditions and debug-build invariant checks are part of the contract.
+fn check_p1(
+    path: &str,
+    class: FileClass,
+    code: &[Token<'_>],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    if !class.lib_crate {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test[i] {
+            continue;
+        }
+        match t.text {
+            "unwrap" | "expect"
+                if code.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    && i > 0
+                    && code[i - 1].is_punct('.') =>
+            {
+                out.push(Diagnostic::new(
+                    "P1",
+                    path,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`.{}()` in a library crate: propagate a Result (GraphError for I/O \
+                         and parsing) or justify with an allow",
+                        t.text
+                    ),
+                ));
+            }
+            "panic" | "todo" | "unimplemented"
+                if code.get(i + 1).is_some_and(|n| n.is_punct('!')) =>
+            {
+                out.push(Diagnostic::new(
+                    "P1",
+                    path,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}!` in a library crate: return an error or justify with an allow",
+                        t.text
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// S1-seeding: all seed *derivation* must go through the exported helpers
+/// (`tristream_sample::seeding`, `tristream_core::shard_seed`) so the
+/// `SHARD_SEED_STRIDE` decorrelation contract and the mixer stay single
+/// implementations. Passing a caller's seed straight through
+/// (`seed_from_u64(seed)`) is fine; ad-hoc arithmetic
+/// (`seed_from_u64(seed ^ 0x5A5A)`) and private SplitMix re-implementations
+/// are not.
+fn check_s1(
+    path: &str,
+    class: FileClass,
+    code: &[Token<'_>],
+    in_test: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || in_test[i] {
+            continue;
+        }
+        // A private SplitMix-style mixer definition outside the blessed home.
+        if t.text.to_ascii_lowercase().contains("splitmix")
+            && i > 0
+            && code[i - 1].is_ident("fn")
+            && !class.seeding_home
+        {
+            out.push(Diagnostic::new(
+                "S1",
+                path,
+                t.line,
+                t.col,
+                format!(
+                    "`fn {}` re-implements the seed mixer; use \
+                     tristream_sample::seeding::splitmix64 (single blessed implementation)",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        if !t.is_ident("seed_from_u64") {
+            continue;
+        }
+        // Definitions (`fn seed_from_u64`) and trait paths are not calls.
+        if i > 0 && code[i - 1].is_ident("fn") {
+            continue;
+        }
+        let Some(open) = code.get(i + 1).filter(|n| n.is_punct('(')).map(|_| i + 1) else {
+            continue;
+        };
+        let Some(close) = matching_bracket(code, open, '(', ')') else {
+            continue;
+        };
+        let args = &code[open + 1..close];
+        let passthrough =
+            args.len() == 1 && matches!(args[0].kind, TokenKind::Ident | TokenKind::Number);
+        let derived_via_helper = args
+            .iter()
+            .any(|a| a.kind == TokenKind::Ident && SEED_HELPERS.contains(&a.text));
+        if !passthrough && !derived_via_helper {
+            out.push(Diagnostic::new(
+                "S1",
+                path,
+                t.line,
+                t.col,
+                "seed derivation at a `seed_from_u64` call site must reference the exported \
+                 helpers (tristream_sample::seeding::{splitmix64, salted_seed}, \
+                 tristream_core::shard_seed / SHARD_SEED_STRIDE), not ad-hoc arithmetic"
+                    .into(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn code_tokens(src: &str) -> Vec<Token<'_>> {
+        lex(src).into_iter().filter(|t| !t.is_comment()).collect()
+    }
+
+    #[test]
+    fn classify_scopes_follow_the_tree_layout() {
+        let core = classify("crates/core/src/bulk.rs");
+        assert!(core.is_code && core.lib_crate && core.core_scope && !core.timing_allowed);
+        let cli = classify("crates/cli/src/commands.rs");
+        assert!(cli.is_code && !cli.lib_crate && !cli.core_scope && cli.timing_allowed);
+        let bench = classify("crates/bench/src/suite.rs");
+        assert!(bench.timing_allowed && !bench.lib_crate);
+        let test = classify("crates/core/tests/foo.rs");
+        assert!(!test.is_code);
+        let root_test = classify("tests/alloc_steady_state.rs");
+        assert!(!root_test.is_code);
+        let example = classify("examples/demo.rs");
+        assert!(!example.is_code);
+        let facade = classify("src/lib.rs");
+        assert!(facade.lib_crate);
+        let analyzer_main = classify("crates/analyze/src/main.rs");
+        assert!(!analyzer_main.lib_crate);
+        assert!(classify("crates/sample/src/seeding.rs").seeding_home);
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules_and_test_fns() {
+        let code = code_tokens(
+            "fn real() {}\n#[cfg(test)]\nmod tests { fn helper() {} }\n#[test]\nfn t() {}\nfn after() {}",
+        );
+        let mask = test_token_mask(&code);
+        let masked: Vec<&str> = code
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| m)
+            .map(|(t, _)| t.text)
+            .collect();
+        assert!(masked.contains(&"helper"));
+        assert!(masked.contains(&"t"));
+        let unmasked: Vec<&str> = code
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| !m)
+            .map(|(t, _)| t.text)
+            .collect();
+        assert!(unmasked.contains(&"real"));
+        assert!(unmasked.contains(&"after"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let code = code_tokens("#[cfg(not(test))]\nfn prod() { x.unwrap(); }");
+        let mask = test_token_mask(&code);
+        assert!(mask.iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn stacked_attributes_and_semicolon_items_are_covered() {
+        let code = code_tokens(
+            "#[cfg(test)]\n#[allow(dead_code)]\nuse std::collections::HashMap;\nfn live() {}",
+        );
+        let mask = test_token_mask(&code);
+        let live_idx = code.iter().position(|t| t.is_ident("live")).unwrap();
+        let map_idx = code.iter().position(|t| t.is_ident("HashMap")).unwrap();
+        assert!(mask[map_idx]);
+        assert!(!mask[live_idx]);
+    }
+}

@@ -1,0 +1,371 @@
+//! Fixture-driven integration tests for `tristream-analyze`: every rule
+//! family is driven through the real binary (`CARGO_BIN_EXE_…`) against a
+//! throwaway workspace — the violation fires with the right rule name,
+//! file and line, the fixed source passes, a reasoned allow escapes, and a
+//! reasonless allow is itself an error. The final test pins the
+//! acceptance criterion that the checked-in tree is clean.
+
+// Test harness: helper fns may abort on I/O failure (clippy's
+// allow-expect-in-tests only covers `#[test]` bodies, not helpers).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A throwaway single-file workspace under the target tmpdir; removed on
+/// drop so reruns start clean.
+struct Fixture {
+    root: PathBuf,
+}
+
+static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
+
+impl Fixture {
+    /// Creates a workspace containing exactly one source file at `rel`.
+    fn new(rel: &str, source: &str) -> Self {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let root = std::env::temp_dir().join(format!(
+            "tristream-analyze-fixture-{}-{id}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create fixture root");
+        fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n")
+            .expect("write workspace manifest");
+        let fixture = Self { root };
+        fixture.write(rel, source);
+        fixture
+    }
+
+    fn write(&self, rel: &str, source: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("file path has a parent"))
+            .expect("create fixture dirs");
+        fs::write(path, source).expect("write fixture source");
+    }
+
+    /// Runs `tristream-analyze` in the fixture workspace, returning
+    /// `(exit_code, stdout)`.
+    fn check(&self, extra: &[&str]) -> (i32, String) {
+        let output = Command::new(env!("CARGO_BIN_EXE_tristream-analyze"))
+            .arg("check")
+            .args(extra)
+            .current_dir(&self.root)
+            .output()
+            .expect("run tristream-analyze");
+        (
+            output.status.code().expect("exit code"),
+            String::from_utf8(output.stdout).expect("utf-8 stdout"),
+        )
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Asserts the fixture is dirty with exactly the given `rule` at
+/// `file:line` (rendered exactly as CI logs show it).
+fn assert_fires(fixture: &Fixture, rule: &str, location: &str) {
+    let (code, stdout) = fixture.check(&[]);
+    assert_eq!(code, 1, "expected a violation exit:\n{stdout}");
+    assert!(
+        stdout.contains(&format!("error[{rule}]")),
+        "missing rule name {rule}:\n{stdout}"
+    );
+    assert!(
+        stdout.contains(location),
+        "missing location {location}:\n{stdout}"
+    );
+}
+
+fn assert_clean(fixture: &Fixture) {
+    let (code, stdout) = fixture.check(&[]);
+    assert_eq!(code, 0, "expected a clean tree:\n{stdout}");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+// ---------------------------------------------------------------------------
+// D1-determinism
+// ---------------------------------------------------------------------------
+
+#[test]
+fn d1_fires_on_wall_clock_in_core_and_passes_in_bench() {
+    let source = "use std::time::Instant;\npub fn t() -> Instant {\n    Instant::now()\n}\n";
+    let fixture = Fixture::new("crates/core/src/clock.rs", source);
+    assert_fires(&fixture, "D1-determinism", "crates/core/src/clock.rs:3");
+
+    // The same tokens are legal inside the timing-allowed bench crate.
+    let fixture = Fixture::new("crates/bench/src/clock.rs", source);
+    assert_clean(&fixture);
+}
+
+#[test]
+fn d1_fires_on_entropy_seeding_and_passes_on_fixed_seed() {
+    let fixture = Fixture::new(
+        "crates/gen/src/rng.rs",
+        "pub fn r() { let _ = rand::thread_rng(); }\n",
+    );
+    assert_fires(&fixture, "D1-determinism", "crates/gen/src/rng.rs:1");
+
+    let fixture = Fixture::new(
+        "crates/gen/src/rng.rs",
+        "pub fn r(seed: u64) { let _ = SmallRng::seed_from_u64(seed); }\n",
+    );
+    assert_clean(&fixture);
+}
+
+#[test]
+fn d1_fires_on_std_hash_containers_in_core_scope_only() {
+    let source = "use std::collections::HashMap;\npub type T = HashMap<u64, u64>;\n";
+    let fixture = Fixture::new("crates/baselines/src/table.rs", source);
+    assert_fires(
+        &fixture,
+        "D1-determinism",
+        "crates/baselines/src/table.rs:1",
+    );
+
+    // Outside the determinism-critical crates the containers are fine.
+    let fixture = Fixture::new("crates/graph/src/table.rs", source);
+    assert_clean(&fixture);
+}
+
+// ---------------------------------------------------------------------------
+// A1-no-alloc
+// ---------------------------------------------------------------------------
+
+#[test]
+fn a1_fires_inside_a_region_and_passes_outside_and_on_fix() {
+    let fixture = Fixture::new(
+        "crates/core/src/hot.rs",
+        "// analyze: region(no-alloc)\npub fn hot() -> Vec<u64> {\n    Vec::new()\n}\n// analyze: endregion\n",
+    );
+    assert_fires(&fixture, "A1-no-alloc", "crates/core/src/hot.rs:3");
+
+    // Same tokens outside any region: fine.
+    let fixture = Fixture::new(
+        "crates/core/src/hot.rs",
+        "pub fn cold() -> Vec<u64> {\n    Vec::new()\n}\n",
+    );
+    assert_clean(&fixture);
+
+    // Fixed hot path (no allocating token in the region): fine.
+    let fixture = Fixture::new(
+        "crates/core/src/hot.rs",
+        "// analyze: region(no-alloc)\npub fn hot(buf: &mut [u64]) {\n    buf[0] = 1;\n}\n// analyze: endregion\n",
+    );
+    assert_clean(&fixture);
+}
+
+// ---------------------------------------------------------------------------
+// P1-panic-free
+// ---------------------------------------------------------------------------
+
+#[test]
+fn p1_fires_on_unwrap_in_library_code_and_passes_in_tests() {
+    let fixture = Fixture::new(
+        "crates/graph/src/parse.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    assert_fires(&fixture, "P1-panic-free", "crates/graph/src/parse.rs:2");
+
+    // The fixed version propagates instead.
+    let fixture = Fixture::new(
+        "crates/graph/src/parse.rs",
+        "pub fn f(x: Option<u32>) -> Option<u32> {\n    x\n}\n",
+    );
+    assert_clean(&fixture);
+
+    // unwrap in #[cfg(test)] code and under tests/ is out of scope.
+    let fixture = Fixture::new(
+        "crates/graph/src/parse.rs",
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1u32).unwrap();\n    }\n}\n",
+    );
+    assert_clean(&fixture);
+    let fixture = Fixture::new(
+        "crates/graph/tests/it.rs",
+        "#[test]\nfn t() {\n    Some(1u32).unwrap();\n}\n",
+    );
+    assert_clean(&fixture);
+}
+
+#[test]
+fn p1_fires_on_panic_macros_but_not_on_unwrap_or_variants() {
+    let fixture = Fixture::new("crates/core/src/x.rs", "pub fn f() {\n    todo!()\n}\n");
+    assert_fires(&fixture, "P1-panic-free", "crates/core/src/x.rs:2");
+
+    // unwrap_or / unwrap_or_else are fine — they are the fix, not the bug.
+    let fixture = Fixture::new(
+        "crates/core/src/x.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0)\n}\n",
+    );
+    assert_clean(&fixture);
+}
+
+// ---------------------------------------------------------------------------
+// S1-seeding
+// ---------------------------------------------------------------------------
+
+#[test]
+fn s1_fires_on_adhoc_seed_arithmetic_and_passes_through_helpers() {
+    let fixture = Fixture::new(
+        "crates/core/src/rng.rs",
+        "pub fn r(seed: u64) {\n    let _ = SmallRng::seed_from_u64(seed ^ 0x5A5A);\n}\n",
+    );
+    assert_fires(&fixture, "S1-seeding", "crates/core/src/rng.rs:2");
+
+    // Plain passthrough and blessed helpers are both fine.
+    for ok in [
+        "pub fn r(seed: u64) { let _ = SmallRng::seed_from_u64(seed); }\n",
+        "pub fn r(seed: u64) { let _ = SmallRng::seed_from_u64(splitmix64(seed)); }\n",
+        "pub fn r(seed: u64) { let _ = SmallRng::seed_from_u64(salted_seed(seed, 0x5A5A)); }\n",
+        "pub fn r(seed: u64, i: usize) { let _ = SmallRng::seed_from_u64(shard_seed(seed, i)); }\n",
+    ] {
+        let fixture = Fixture::new("crates/core/src/rng.rs", ok);
+        assert_clean(&fixture);
+    }
+}
+
+#[test]
+fn s1_fires_on_a_second_splitmix_definition_outside_the_seeding_home() {
+    let fixture = Fixture::new(
+        "crates/bench/src/mix.rs",
+        "fn splitmix64(z: u64) -> u64 {\n    z\n}\n",
+    );
+    assert_fires(&fixture, "S1-seeding", "crates/bench/src/mix.rs:1");
+
+    // The blessed home may (must) define it.
+    let fixture = Fixture::new(
+        "crates/sample/src/seeding.rs",
+        "pub fn splitmix64(z: u64) -> u64 {\n    z\n}\n",
+    );
+    assert_clean(&fixture);
+}
+
+// ---------------------------------------------------------------------------
+// Allow escapes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn allow_with_reason_escapes_and_is_inventoried() {
+    let fixture = Fixture::new(
+        "crates/graph/src/parse.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    // analyze: allow(P1, reason = \"fixture: provably Some\")\n    x.unwrap()\n}\n",
+    );
+    let (code, stdout) = fixture.check(&["--allows"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("1 allow(s) in effect"), "{stdout}");
+    assert!(stdout.contains("fixture: provably Some"), "{stdout}");
+}
+
+#[test]
+fn allow_without_reason_is_a_meta_error() {
+    for bad in [
+        "// analyze: allow(P1)\n",
+        "// analyze: allow(P1, reason = \"\")\n",
+    ] {
+        let fixture = Fixture::new(
+            "crates/graph/src/parse.rs",
+            &format!("pub fn f(x: Option<u32>) -> u32 {{\n    {bad}    x.unwrap()\n}}\n"),
+        );
+        let (code, stdout) = fixture.check(&[]);
+        assert_eq!(code, 1, "{stdout}");
+        assert!(stdout.contains("error[meta]"), "{stdout}");
+        // The un-escaped violation still fires too.
+        assert!(stdout.contains("error[P1-panic-free]"), "{stdout}");
+    }
+}
+
+#[test]
+fn unused_allow_is_a_meta_error() {
+    let fixture = Fixture::new(
+        "crates/graph/src/parse.rs",
+        "// analyze: allow(P1, reason = \"nothing to escape\")\npub fn f() {}\n",
+    );
+    let (code, stdout) = fixture.check(&[]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("unused allow"), "{stdout}");
+}
+
+// ---------------------------------------------------------------------------
+// --fix-allow and --json
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fix_allow_inserts_placeholders_that_make_the_tree_pass() {
+    let fixture = Fixture::new(
+        "crates/graph/src/parse.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    let (code, _) = fixture.check(&["--fix-allow"]);
+    assert_eq!(code, 1, "the run that inserts placeholders still reports");
+    let rewritten =
+        fs::read_to_string(fixture.root.join("crates/graph/src/parse.rs")).expect("reread");
+    assert!(rewritten.contains("FIXME(analyze)"), "{rewritten}");
+    // The placeholder reason is non-empty, so the next run is clean — and
+    // the FIXME inventory is what code review rejects.
+    let (code, stdout) = fixture.check(&["--allows"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("FIXME(analyze)"), "{stdout}");
+}
+
+#[test]
+fn json_report_follows_the_documented_schema() {
+    let fixture = Fixture::new(
+        "crates/graph/src/parse.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    let (code, stdout) = fixture.check(&["--json"]);
+    assert_eq!(code, 1);
+    assert!(
+        stdout.contains("\"schema\": \"tristream-analyze-v1\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"rule\": \"P1-panic-free\""), "{stdout}");
+    assert!(
+        stdout.contains("\"path\": \"crates/graph/src/parse.rs\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"line\": 2"), "{stdout}");
+    assert!(stdout.contains("\"summary\""), "{stdout}");
+}
+
+#[test]
+fn path_filter_restricts_the_check() {
+    let fixture = Fixture::new(
+        "crates/graph/src/parse.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    fixture.write("crates/core/src/ok.rs", "pub fn ok() {}\n");
+    let (code, stdout) = fixture.check(&["crates/core"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("1 file(s) checked"), "{stdout}");
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance criterion: HEAD is clean.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn the_checked_in_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let output = Command::new(env!("CARGO_BIN_EXE_tristream-analyze"))
+        .arg("check")
+        .current_dir(root)
+        .output()
+        .expect("run tristream-analyze");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "the tree must pass its own linter:\n{stdout}"
+    );
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}

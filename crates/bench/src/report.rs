@@ -281,7 +281,7 @@ pub fn summarize_workload(
     accuracy: Option<(f64, f64)>,
 ) -> WorkloadResult {
     let mut sorted = latencies_secs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    sorted.sort_by(f64::total_cmp);
     let p50 = percentile(&sorted, 0.50);
     let p95 = percentile(&sorted, 0.95);
     let (mean_rel_error, error_bound) = match accuracy {

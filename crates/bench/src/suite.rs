@@ -48,6 +48,7 @@ use tristream_gen::DatasetKind;
 use tristream_graph::binary::{read_edges_binary_batched_file, write_edges_binary_file};
 use tristream_graph::io::{read_edge_list_batched_file, write_edge_list_file};
 use tristream_graph::{Edge, EdgeStream, GraphError};
+use tristream_sample::{salted_seed, splitmix64_next};
 
 /// Documented accuracy bound for `accuracy-bulk-syn3reg` (mean relative
 /// error of a `r ≥ 8192` bulk counter on the Syn-3-regular stand-in, where
@@ -161,24 +162,16 @@ impl BenchConfig {
     }
 }
 
-/// splitmix64 — the suite's dependency-free deterministic bit mixer.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 /// The synthetic ingest stream: `n` pseudo-random edges over ~a million
-/// vertices, deterministic in `seed`. Duplicates are possible and kept —
+/// vertices, deterministic in `seed` (a [`splitmix64_next`] stream —
+/// the workspace's one blessed mixer). Duplicates are possible and kept —
 /// ingestion measures the codecs, not graph semantics.
 pub fn synthetic_ingest_stream(n: usize, seed: u64) -> Vec<Edge> {
-    let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+    let mut state = salted_seed(seed, 0xD6E8_FEB8_6659_FD93);
     let mut edges = Vec::with_capacity(n);
     while edges.len() < n {
-        let a = splitmix64(&mut state) & 0xF_FFFF;
-        let b = splitmix64(&mut state) & 0xF_FFFF;
+        let a = splitmix64_next(&mut state) & 0xF_FFFF;
+        let b = splitmix64_next(&mut state) & 0xF_FFFF;
         if a != b {
             edges.push(Edge::new(a, b));
         }

@@ -98,7 +98,7 @@ pub fn summarize(truth: f64, outcomes: Vec<TrialOutcome>) -> TrialSummary {
         .map(|o| 100.0 * relative_error(o.estimate, truth))
         .collect();
     let mut times: Vec<f64> = outcomes.iter().map(|o| o.elapsed.as_secs_f64()).collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    times.sort_by(f64::total_cmp);
     let median_time = if times.is_empty() {
         0.0
     } else {

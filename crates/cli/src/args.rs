@@ -136,6 +136,14 @@ pub enum Command {
         /// Override the ingest stream size (mainly for tests).
         edges: Option<usize>,
     },
+    /// Run the workspace invariant linter (`tristream-analyze`).
+    Analyze {
+        /// Arguments handed through to `tristream_analyze::cli_main`
+        /// verbatim (with `check` prepended when no subcommand was given,
+        /// so `tristream-cli analyze` and `tristream-cli analyze --json`
+        /// just work).
+        args: Vec<String>,
+    },
     /// Generate a dataset stand-in and write it as an edge list.
     Generate {
         /// Dataset slug (e.g. `orkut`, `dblp`, `syn-3-reg`).
@@ -163,6 +171,7 @@ USAGE:
   tristream-cli bench        [--smoke] [--check] [--seed S] [--output FILE]
                              [--edges N]
   tristream-cli generate     <DATASET>   [--scale D] [--seed S] --output FILE
+  tristream-cli analyze      [check] [--json] [--allows] [--fix-allow] [PATHS…]
   tristream-cli help
 
 `count --algo NAME` selects the counting algorithm from the registry:
@@ -190,6 +199,11 @@ violation a non-zero exit, which is how CI gates.
 
 Datasets for `generate`: amazon, dblp, youtube, livejournal, orkut,
 syn-d-regular, hep-th, syn-3-reg.
+
+`analyze` lints every workspace .rs file against the statically enforced
+invariants (determinism, no-alloc regions, panic-free libraries, seeding
+discipline) — the same gate CI runs; see ARCHITECTURE.md § Enforced
+invariants. Exits non-zero when violations are found.
 ";
 
 fn parse_flag_value<T: std::str::FromStr>(
@@ -477,6 +491,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 edges,
             })
         }
+        "analyze" => {
+            // Hand everything through to the linter's own CLI; default the
+            // subcommand to `check` so bare `analyze` (and `analyze --json`)
+            // does the obvious thing.
+            let mut args = rest;
+            if args.first().map(String::as_str) != Some("check") {
+                args.insert(0, "check".to_string());
+            }
+            Ok(Command::Analyze { args })
+        }
         "generate" => {
             let dataset = positional(&rest, 0, "dataset name")?;
             let mut scale = 1u64;
@@ -544,6 +568,28 @@ mod tests {
         for h in ["help", "--help", "-h"] {
             assert_eq!(parse_args(&args(&[h])).unwrap(), Command::Help);
         }
+    }
+
+    #[test]
+    fn analyze_passes_args_through_and_defaults_to_check() {
+        assert_eq!(
+            parse_args(&args(&["analyze"])).unwrap(),
+            Command::Analyze {
+                args: args(&["check"])
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["analyze", "--json"])).unwrap(),
+            Command::Analyze {
+                args: args(&["check", "--json"])
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["analyze", "check", "crates/core"])).unwrap(),
+            Command::Analyze {
+                args: args(&["check", "crates/core"])
+            }
+        );
     }
 
     #[test]

@@ -294,6 +294,17 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             }
             Ok(out)
         }
+        Command::Analyze { args } => {
+            // The linter prints its own report (text or --json) and returns
+            // a process exit code; translate a dirty tree into a CLI error
+            // so `tristream-cli analyze` exits non-zero exactly when the
+            // standalone binary would.
+            match tristream_analyze::cli_main(&args) {
+                0 => Ok(String::new()),
+                1 => Err("analyze found invariant violations (see the report above)".into()),
+                _ => Err("analyze could not check the workspace".into()),
+            }
+        }
         Command::Generate {
             dataset,
             scale,

@@ -18,6 +18,12 @@
 //! in [`args`]; the command implementations live in [`commands`] and are
 //! integration-tested against generated files.
 
+// Front-end crate: aborting on a broken environment (unregistered default
+// algorithm, unwritable temp dir) is the intended behaviour, so the
+// panic-lints that guard the library crates are opted out here — the same
+// scoping the analyzer's P1-panic-free rule applies.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod args;
 pub mod commands;
 

@@ -4,6 +4,10 @@
 //! parsing, exit codes, and stdout formatting the way a shell user sees
 //! them.
 
+// Test harness: helper fns may abort on I/O failure (clippy's
+// allow-expect-in-tests only covers `#[test]` bodies, not helpers).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::path::PathBuf;
 use std::process::{Command, Output};
 

@@ -65,7 +65,7 @@ use crate::fastmap::FastMap;
 use crate::pool::{BufferedRng, EstimatorPool};
 use rand::Rng;
 use tristream_graph::Edge;
-use tristream_sample::{mean, median_of_means, GeometricSkip};
+use tristream_sample::{mean, median_of_means, salted_seed, splitmix64, GeometricSkip};
 
 /// How Step 1 (level-1 resampling) walks over the estimator pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -187,7 +187,7 @@ impl BulkTriangleCounter {
         if let Aggregation::MedianOfMeans { groups } = aggregation {
             assert!(groups > 0, "median-of-means needs at least one group");
         }
-        let hash_seed = splitmix64(seed ^ 0xB0_1D_FA_CE_0F_F1_CE_5E);
+        let hash_seed = splitmix64(salted_seed(seed, 0xB0_1D_FA_CE_0F_F1_CE_5E));
         Self {
             pool: EstimatorPool::new(r),
             scratch: BatchScratch::new(r, hash_seed),
@@ -264,7 +264,10 @@ impl BulkTriangleCounter {
     /// Ingests one batch of edges, advancing every estimator as if the edges
     /// had been processed one at a time in order. Allocation-free in the
     /// steady state: all working memory comes from the reused
-    /// `BatchScratch`.
+    /// `BatchScratch` (the region below lets `tristream-analyze` reject
+    /// allocating tokens at review time; `tests/alloc_steady_state.rs` pins
+    /// the runtime behaviour).
+    // analyze: region(no-alloc)
     pub fn process_batch(&mut self, batch: &[Edge]) {
         let w = batch.len();
         if w == 0 {
@@ -438,8 +441,14 @@ impl BulkTriangleCounter {
                 let r1 = Edge::new(pool.r1_u[idx], pool.r1_v[idx]);
                 let r2 = Edge::new(pool.r2_u[idx], pool.r2_v[idx]);
                 if let Some(shared) = r1.shared_vertex(&r2) {
-                    let p = r1.other_endpoint(shared).expect("edge has two endpoints");
-                    let q = r2.other_endpoint(shared).expect("edge has two endpoints");
+                    // Both lookups are infallible — `Edge::new` rejects
+                    // self-loops, so `shared` always has a distinct partner —
+                    // but the hot path must not carry a panic edge.
+                    let (Some(p), Some(q)) = (r1.other_endpoint(shared), r2.other_endpoint(shared))
+                    else {
+                        debug_assert!(false, "edges always have two distinct endpoints");
+                        continue;
+                    };
                     if p != q {
                         let key = (p.raw().min(q.raw()), p.raw().max(q.raw()));
                         let head = scratch.waiting.insert(key, idx as u32).unwrap_or(CHAIN_END);
@@ -467,6 +476,7 @@ impl BulkTriangleCounter {
 
         self.edges_seen += w as u64;
     }
+    // analyze: endregion
 
     /// Per-estimator unbiased triangle estimates (Lemma 3.2).
     pub fn raw_estimates(&self) -> Vec<f64> {
@@ -493,15 +503,28 @@ impl BulkTriangleCounter {
             Aggregation::MedianOfMeans { groups } => median_of_means(&raw, groups),
         }
     }
-}
 
-/// SplitMix64 — derives the scratch hash seed from the construction seed
-/// without touching the estimator RNG stream.
-fn splitmix64(seed: u64) -> u64 {
-    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    /// Debug-build invariant sweep: [`EstimatorPool::validate`] over the
+    /// pool, plus the scratch-side invariants the batch pipeline relies on —
+    /// the waiting table stays at ≤ 50 % load (what keeps its open-addressed
+    /// probes terminating and O(1)) and the wait-chain column spans the
+    /// pool. Returns `true`; compiles to a no-op in release builds.
+    #[must_use]
+    pub fn validate(&self) -> bool {
+        let _ = self.pool.validate();
+        debug_assert!(
+            2 * self.scratch.waiting.len() <= self.scratch.waiting.capacity(),
+            "waiting table over 50% load: {} of {} slots",
+            self.scratch.waiting.len(),
+            self.scratch.waiting.capacity()
+        );
+        debug_assert_eq!(
+            self.scratch.wait_next.len(),
+            self.pool.len(),
+            "wait-chain column must span the pool"
+        );
+        true
+    }
 }
 
 impl crate::traits::TriangleEstimator for BulkTriangleCounter {

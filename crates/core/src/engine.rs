@@ -127,8 +127,10 @@ fn worker_loop<C: TriangleEstimator + Send>(
             shared: &shared,
             shard,
         };
+        #[allow(clippy::expect_used)]
         let mut counter = shared.counters[shard]
             .lock()
+            // analyze: allow(P1, reason = "poisoning is only reachable after another worker panicked; resurfacing that panic beats processing on a corrupt shard")
             .expect("shard poisoned by an earlier worker panic");
         // One submitted batch = one `process_edges` call, so batch
         // boundaries — which bulk algorithms are sensitive to — are exactly
@@ -203,10 +205,12 @@ impl<C: TriangleEstimator + Send + 'static> ShardedEngine<C> {
             let (tx, rx) = mpsc::sync_channel::<Arc<[Edge]>>(CHANNEL_DEPTH);
             let shared = Arc::clone(&shared);
             senders.push(tx);
+            #[allow(clippy::expect_used)]
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("tristream-shard-{shard}"))
                     .spawn(move || worker_loop(shared, shard, rx))
+                    // analyze: allow(P1, reason = "spawn fails only on OS thread exhaustion at construction time, before any stream state exists to lose")
                     .expect("spawning shard worker thread"),
             );
         }
@@ -243,8 +247,10 @@ impl<C: TriangleEstimator + Send + 'static> ShardedEngine<C> {
         }
         let batch: Arc<[Edge]> = Arc::from(batch);
         for sender in &self.senders {
+            #[allow(clippy::expect_used)]
             sender
                 .send(Arc::clone(&batch))
+                // analyze: allow(P1, reason = "workers outlive the senders by construction and exit only by panicking; the send error resurfaces that panic on the caller's thread")
                 .expect("shard worker terminated unexpectedly");
         }
         self.batches_submitted += 1;
@@ -284,9 +290,11 @@ impl<C: TriangleEstimator + Send + 'static> ShardedEngine<C> {
         }
     }
 
+    #[allow(clippy::expect_used)]
     fn lock_shard(&self, shard: usize) -> MutexGuard<'_, C> {
         self.shared.counters[shard]
             .lock()
+            // analyze: allow(P1, reason = "poisoning is only reachable after a worker panicked; resurfacing that panic beats reading a corrupt shard")
             .expect("shard poisoned by a worker panic")
     }
 

@@ -146,6 +146,11 @@ impl<V: Copy + Default> FastMap<V> {
         debug_assert_eq!(self.len, live, "rehash must preserve every entry");
     }
 
+    // Probe and insert run twice per stream edge; growth is confined to the
+    // cold `grow_to` above, so everything from here to `get_mut_or_insert`
+    // must stay free of allocating tokens.
+    // analyze: region(no-alloc)
+
     /// Index of the slot holding `key`, or of the empty slot where it would
     /// be inserted. The table is never full (≤ 50 % load), so the probe
     /// always terminates.
@@ -239,6 +244,7 @@ impl<V: Copy + Default> FastMap<V> {
         }
         &mut self.slots[idx].val
     }
+    // analyze: endregion
 
     /// Iterates over live `(key, value)` pairs in slot order — a
     /// deterministic function of the seed and the insertion history.

@@ -72,7 +72,7 @@ pub use engine::ShardedEngine;
 pub use estimator::{EstimatorState, NeighborhoodSampler, PositionedEdge};
 pub use fastmap::FastMap;
 pub use parallel::{
-    shard_counters, ParallelBulkTriangleCounter, ShardedEstimator, SHARD_SEED_STRIDE,
+    shard_counters, shard_seed, ParallelBulkTriangleCounter, ShardedEstimator, SHARD_SEED_STRIDE,
 };
 pub use pool::{BitSet, BufferedRng, EstimatorPool};
 pub use reference::ReferenceBulkCounter;

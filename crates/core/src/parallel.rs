@@ -27,8 +27,20 @@ use tristream_sample::{mean, median_of_means};
 
 /// Multiplier used to decorrelate per-shard seeds (the golden-ratio mixing
 /// constant). Part of the counter's deterministic seeding contract: shard
-/// `i` is seeded with `seed + i * SHARD_SEED_STRIDE`.
+/// `i` is seeded with [`shard_seed`]`(seed, i)` = `seed + i * SHARD_SEED_STRIDE`.
 pub const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9;
+
+/// The per-shard seed under the deterministic sharding contract: shard
+/// `shard` of a counter constructed with root seed `seed` is seeded
+/// `seed + shard · `[`SHARD_SEED_STRIDE`] (wrapping). This helper is the
+/// single implementation of that arithmetic — `S1-seeding` requires all
+/// derivation sites to reference it — so reference implementations stay
+/// estimate-for-estimate comparable by construction.
+#[inline]
+#[must_use]
+pub fn shard_seed(seed: u64, shard: usize) -> u64 {
+    seed.wrapping_add(shard as u64 * SHARD_SEED_STRIDE)
+}
 
 /// Builds the shard pool behind a [`ParallelBulkTriangleCounter`]:
 /// `ceil(r / shards)` estimators per shard, shard `i` seeded
@@ -51,8 +63,7 @@ pub fn shard_counters(
     let per_shard = r.div_ceil(shards);
     (0..shards)
         .map(|i| {
-            BulkTriangleCounter::new(per_shard, seed.wrapping_add(i as u64 * SHARD_SEED_STRIDE))
-                .with_level1_strategy(strategy)
+            BulkTriangleCounter::new(per_shard, shard_seed(seed, i)).with_level1_strategy(strategy)
         })
         .collect()
 }
@@ -265,9 +276,7 @@ impl<C: TriangleEstimator + Send + 'static> ShardedEstimator<C> {
     /// Panics if `shards` is zero.
     pub fn from_factory(shards: usize, seed: u64, mut factory: impl FnMut(u64) -> C) -> Self {
         assert!(shards > 0, "at least one shard is required");
-        let counters = (0..shards)
-            .map(|i| factory(seed.wrapping_add(i as u64 * SHARD_SEED_STRIDE)))
-            .collect();
+        let counters = (0..shards).map(|i| factory(shard_seed(seed, i))).collect();
         Self {
             engine: ShardedEngine::new(counters),
             edges_seen: 0,

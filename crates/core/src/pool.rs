@@ -171,6 +171,10 @@ impl EstimatorPool {
         self.len == 0
     }
 
+    // The per-edge mutators below run inside the batch hot loop; the region
+    // lets `tristream-analyze` reject any allocating token added here.
+    // analyze: region(no-alloc)
+
     /// Takes `edge` as estimator `i`'s new level-1 edge, resetting its
     /// level-2 state — the SoA form of the scalar reset-on-resample.
     #[inline]
@@ -212,6 +216,7 @@ impl EstimatorPool {
         self.closer_pos[i] = position;
         self.closer_set.set(i);
     }
+    // analyze: endregion
 
     /// Estimator `i`'s level-1 edge, reconstructed (endpoints are stored
     /// normalised, so the reconstruction is exact).
@@ -287,6 +292,96 @@ impl EstimatorPool {
             + self.r2_set.resident_bytes()
             + self.closer_set.resident_bytes()
     }
+
+    /// Debug-build sweep over every structural invariant the mutators
+    /// maintain, `debug_assert!`-ing each one: column geometry (ten `u64`
+    /// columns and three bitsets, all `len` wide, no stray bits past `len`),
+    /// the state-machine subset chain `closer_set ⊆ r2_set ⊆ r1_set`, and
+    /// per-estimator edge/position sanity (normalised endpoints, positions
+    /// strictly increasing along the r₁ → r₂ → closer chain, `c ≥ 1`
+    /// whenever a level-2 edge is held).
+    ///
+    /// Returns `true` (in release builds the checks compile away entirely),
+    /// so property suites can write `assert!(pool.validate())` and hot
+    /// callers `debug_assert!(pool.validate())`.
+    #[must_use]
+    pub fn validate(&self) -> bool {
+        let columns = [
+            &self.r1_u,
+            &self.r1_v,
+            &self.r1_pos,
+            &self.r2_u,
+            &self.r2_v,
+            &self.r2_pos,
+            &self.c,
+            &self.closer_u,
+            &self.closer_v,
+            &self.closer_pos,
+        ];
+        debug_assert_eq!(columns.len(), POOL_COLUMNS);
+        for (k, col) in columns.iter().enumerate() {
+            debug_assert_eq!(col.len(), self.len, "column {k} width mismatch");
+        }
+        for (name, set) in [
+            ("r1_set", &self.r1_set),
+            ("r2_set", &self.r2_set),
+            ("closer_set", &self.closer_set),
+        ] {
+            debug_assert_eq!(set.len(), self.len, "{name} width mismatch");
+            if !self.len.is_multiple_of(64) {
+                debug_assert_eq!(
+                    set.words()[self.len / 64] >> (self.len % 64),
+                    0,
+                    "{name} has bits set past len — word scans would see ghost estimators"
+                );
+            }
+        }
+        // Subset chain, a word at a time: a wedge needs a level-1 edge, a
+        // closing edge needs a wedge.
+        for i in 0..self.r1_set.words().len() {
+            let (w1, w2, wc) = (
+                self.r1_set.words()[i],
+                self.r2_set.words()[i],
+                self.closer_set.words()[i],
+            );
+            debug_assert_eq!(w2 & !w1, 0, "r2_set ⊄ r1_set in word {i}");
+            debug_assert_eq!(wc & !w2, 0, "closer_set ⊄ r2_set in word {i}");
+        }
+        for i in 0..self.len {
+            if self.r1_set.get(i) {
+                debug_assert!(
+                    self.r1_u[i] < self.r1_v[i],
+                    "estimator {i}: r1 endpoints not normalised"
+                );
+                debug_assert!(self.r1_pos[i] >= 1, "estimator {i}: r1 position is 0");
+            }
+            if self.r2_set.get(i) {
+                debug_assert!(
+                    self.r2_u[i] < self.r2_v[i],
+                    "estimator {i}: r2 endpoints not normalised"
+                );
+                debug_assert!(
+                    self.r2_pos[i] > self.r1_pos[i],
+                    "estimator {i}: r2 did not arrive after r1"
+                );
+                debug_assert!(
+                    self.c[i] >= 1,
+                    "estimator {i}: holds a level-2 edge but counted no neighborhood edges"
+                );
+            }
+            if self.closer_set.get(i) {
+                debug_assert!(
+                    self.closer_u[i] < self.closer_v[i],
+                    "estimator {i}: closer endpoints not normalised"
+                );
+                debug_assert!(
+                    self.closer_pos[i] > self.r2_pos[i],
+                    "estimator {i}: closer did not arrive after r2"
+                );
+            }
+        }
+        true
+    }
 }
 
 /// How many `u64` values [`BufferedRng`] draws from its inner generator per
@@ -319,6 +414,7 @@ impl BufferedRng {
         }
     }
 
+    // analyze: region(no-alloc)
     #[cold]
     fn refill(&mut self) {
         for slot in &mut self.buf {
@@ -339,6 +435,7 @@ impl RngCore for BufferedRng {
         value
     }
 }
+// analyze: endregion
 
 #[cfg(test)]
 mod tests {

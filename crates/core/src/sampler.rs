@@ -23,6 +23,7 @@ use crate::fastmap::FastMap;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use tristream_graph::Edge;
+use tristream_sample::salted_seed;
 
 /// Salt applied to the user seed so the rejection coins are independent of
 /// the estimator coins even though both derive from the same seed.
@@ -57,8 +58,8 @@ impl TriangleSampler {
     pub fn new(r: usize, seed: u64) -> Self {
         Self {
             counter: TriangleCounter::new(r, seed),
-            rng: SmallRng::seed_from_u64(seed ^ SAMPLER_RNG_SALT),
-            degrees: Some(FastMap::with_seed(seed ^ SAMPLER_DEGREE_SALT)),
+            rng: SmallRng::seed_from_u64(salted_seed(seed, SAMPLER_RNG_SALT)),
+            degrees: Some(FastMap::with_seed(salted_seed(seed, SAMPLER_DEGREE_SALT))),
             max_degree: 0,
         }
     }
@@ -77,7 +78,7 @@ impl TriangleSampler {
         assert!(max_degree_bound > 0, "the degree bound must be positive");
         Self {
             counter: TriangleCounter::new(r, seed),
-            rng: SmallRng::seed_from_u64(seed ^ SAMPLER_RNG_SALT),
+            rng: SmallRng::seed_from_u64(salted_seed(seed, SAMPLER_RNG_SALT)),
             degrees: None,
             max_degree: max_degree_bound,
         }

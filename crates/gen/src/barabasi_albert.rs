@@ -14,6 +14,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use tristream_graph::{Edge, EdgeStream};
+use tristream_sample::salted_seed;
 
 /// Generates a Barabási–Albert graph: starts from a small seed clique and
 /// adds vertices one at a time, each connecting to `m_attach` distinct
@@ -84,7 +85,7 @@ pub fn barabasi_albert(n: u64, m_attach: u64, seed: u64) -> EdgeStream {
 pub fn barabasi_albert_shuffled(n: u64, m_attach: u64, seed: u64) -> EdgeStream {
     let stream = barabasi_albert(n, m_attach, seed);
     let mut edges = stream.into_edges();
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5A5A_5A5A_5A5A_5A5A);
+    let mut rng = SmallRng::seed_from_u64(salted_seed(seed, 0x5A5A_5A5A_5A5A_5A5A));
     edges.shuffle(&mut rng);
     EdgeStream::new(edges)
 }

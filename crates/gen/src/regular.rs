@@ -41,6 +41,7 @@ pub fn random_regular(n: u64, d: u64, seed: u64) -> EdgeStream {
             return EdgeStream::new(edges);
         }
     }
+    // analyze: allow(P1, reason = "documented generator contract: restart exhaustion for valid (n, d) indicates a bug, not a runtime condition callers can recover from")
     panic!("failed to generate a {d}-regular graph on {n} vertices after {MAX_RESTARTS} restarts");
 }
 

@@ -82,8 +82,10 @@ impl Adjacency {
         }
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0usize);
+        let mut running = 0usize;
         for d in &degrees {
-            offsets.push(offsets.last().unwrap() + d);
+            running += d;
+            offsets.push(running);
         }
         let mut cursor = offsets.clone();
         let mut neighbors = vec![0u32; 2 * num_edges];

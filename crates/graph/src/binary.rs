@@ -115,6 +115,8 @@ pub fn read_tsb_header<R: Read>(reader: &mut R) -> Result<TsbHeader, GraphError>
     if flags & !FLAG_TIMESTAMPS != 0 {
         return Err(binary_error(6, "unknown flag bits set"));
     }
+    #[allow(clippy::expect_used)]
+    // analyze: allow(P1, reason = "infallible: an 8-byte subslice of the fixed 16-byte header array always converts to [u8; 8]")
     let edges = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
     Ok(TsbHeader {
         version,
@@ -177,7 +179,11 @@ pub fn write_edges_binary_timestamped_file<P: AsRef<Path>>(
 
 /// Decodes one record. `offset` is the record's byte offset, for errors.
 fn decode_edge(raw: &[u8], offset: u64) -> Result<Edge, GraphError> {
+    #[allow(clippy::expect_used)]
+    // analyze: allow(P1, reason = "infallible: callers hand decode_edge chunks_exact(record_len >= 16) slices, so the constant-width subslice always converts")
     let u = u64::from_le_bytes(raw[0..8].try_into().expect("8-byte slice"));
+    #[allow(clippy::expect_used)]
+    // analyze: allow(P1, reason = "infallible: callers hand decode_edge chunks_exact(record_len >= 16) slices, so the constant-width subslice always converts")
     let v = u64::from_le_bytes(raw[8..16].try_into().expect("8-byte slice"));
     Edge::try_new(VertexId(u), VertexId(v))
         .map_err(|_| binary_error(offset, "self-loop record (u == v)"))
@@ -236,7 +242,9 @@ impl<R: Read> RecordReader<R> {
             let offset = self.offset() + (i * rec) as u64;
             out.push(decode_edge(raw, offset)?);
             if let Some(ts) = timestamps.as_deref_mut() {
+                #[allow(clippy::expect_used)]
                 let value = if self.header.timestamped {
+                    // analyze: allow(P1, reason = "infallible: timestamped records are chunks_exact(24) slices, so the constant-width subslice always converts")
                     u64::from_le_bytes(raw[16..24].try_into().expect("8-byte slice"))
                 } else {
                     // Plain streams get their 1-based stream position, so

@@ -37,7 +37,9 @@ impl Edge {
     ///
     /// Convenient in tests and generators where endpoints are known to be
     /// distinct.
+    #[allow(clippy::expect_used)]
     pub fn new(a: impl Into<VertexId>, b: impl Into<VertexId>) -> Self {
+        // analyze: allow(P1, reason = "documented contract: Edge::new is the panicking convenience constructor; fallible callers use try_new")
         Self::try_new(a.into(), b.into()).expect("self-loops are not allowed")
     }
 

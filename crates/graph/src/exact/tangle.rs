@@ -77,10 +77,12 @@ pub fn tangle_coefficient(stream: &EdgeStream) -> TangleProfile {
 
     let mut total = 0u64;
     for t in &triangles {
+        #[allow(clippy::expect_used)]
         let first_edge = t
             .edges()
             .into_iter()
             .min_by_key(|e| positions.get(e).copied().unwrap_or(u64::MAX))
+            // analyze: allow(P1, reason = "infallible: the minimum over the fixed [Edge; 3] array of a triangle is always Some")
             .expect("a triangle always has three edges");
         total += c_values.get(&first_edge).copied().unwrap_or(0);
     }

@@ -135,8 +135,9 @@ pub fn per_vertex_triangle_counts(adj: &Adjacency) -> HashMap<VertexId, u64> {
     let mut out: HashMap<VertexId, u64> = adj.vertex_ids().iter().map(|&v| (v, 0)).collect();
     for t in list_triangles(adj) {
         for v in t.vertices() {
-            *out.get_mut(&v)
-                .expect("triangle vertex must be in the graph") += 1;
+            // The entry is always pre-seeded (every triangle vertex is in
+            // `vertex_ids`); `or_insert` just keeps the lookup panic-free.
+            *out.entry(v).or_insert(0) += 1;
         }
     }
     out

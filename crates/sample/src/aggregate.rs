@@ -29,7 +29,10 @@ pub fn median(values: &[f64]) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("median input must not contain NaN"));
+    // IEEE total order instead of `partial_cmp(...).expect(...)`: NaNs (which
+    // estimator aggregation never produces) sort to the ends rather than
+    // aborting the process — the library stays panic-free either way.
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     if n % 2 == 1 {
         sorted[n / 2]

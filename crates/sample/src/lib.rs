@@ -19,15 +19,21 @@
 //! * [`aggregate`] — estimator aggregation: plain averaging (Theorem 3.3),
 //!   median-of-means (Theorem 3.4), and error metrics (mean deviation) used
 //!   by the experiment harness.
+//! * [`seeding`] — the workspace's blessed seed-derivation helpers
+//!   ([`splitmix64`], [`salted_seed`]); the `S1-seeding` rule of
+//!   `tristream-analyze` requires every derived `seed_from_u64` argument to
+//!   go through them.
 
 pub mod aggregate;
 pub mod chain;
 pub mod coin;
 pub mod reservoir;
+pub mod seeding;
 pub mod skip;
 
 pub use aggregate::{mean, mean_deviation, median, median_of_means, relative_error, MeanEstimator};
 pub use chain::{ChainEntry, ChainSampler};
 pub use coin::{coin, rand_int};
 pub use reservoir::{ReservoirK, ReservoirOne};
+pub use seeding::{salted_seed, splitmix64, splitmix64_next};
 pub use skip::GeometricSkip;

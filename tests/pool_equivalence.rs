@@ -79,8 +79,11 @@ proptest! {
         for batch in batched(stream.edges(), &cuts) {
             pooled.process_batch(batch);
             reference.process_batch(batch);
-            // Full state comparison after every batch, not just at the end:
+            // Structural self-check first (bitset/column consistency, the
+            // closer ⊆ r2 ⊆ r1 subset chain, scratch-table load), then the
+            // full state comparison after every batch, not just at the end:
             // position fields, counters and presence must all agree.
+            prop_assert!(pooled.validate());
             prop_assert_eq!(pooled.estimators(), reference.estimators());
             prop_assert_eq!(pooled.edges_seen(), reference.edges_seen());
         }
@@ -110,6 +113,7 @@ proptest! {
         let mut counter = BulkTriangleCounter::new(8, seed);
         for batch in batched(stream.edges(), &cuts) {
             counter.process_batch(batch);
+            prop_assert!(counter.validate());
         }
         prop_assert_eq!(counter.edges_seen(), stream.len() as u64);
         for est in counter.estimators() {

@@ -7,6 +7,10 @@
 //! real registry is available, swapping in crates.io `serde` with the
 //! `derive` feature requires no source changes.
 
+// Vendored third-party stand-in: exempt from the workspace panic-lints
+// (the real crates.io code is not ours to restructure).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proc_macro::TokenStream;
 
 /// Parse just enough of a `struct`/`enum` item to recover its identifier,
