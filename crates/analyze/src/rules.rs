@@ -47,11 +47,18 @@ const LIB_CRATE_PREFIXES: &[&str] = &[
     "crates/gen/src/",
     "crates/baselines/src/",
     "crates/analyze/src/",
+    "crates/serve/src/",
 ];
 
-/// Modules allowed to read wall clocks: the bench harness and the CLI's
-/// command layer (which reports wall-clock throughput to the user).
-const TIMING_ALLOWED: &[&str] = &["crates/bench/", "crates/cli/src/commands.rs"];
+/// Modules allowed to read wall clocks: the bench harness, the CLI's
+/// command layer (which reports wall-clock throughput to the user), and the
+/// serving layer's metrics module (STATS latency counters — stream *state*
+/// stays clock-free).
+const TIMING_ALLOWED: &[&str] = &[
+    "crates/bench/",
+    "crates/cli/src/commands.rs",
+    "crates/serve/src/metrics.rs",
+];
 
 /// The one module that may *define* seed-mixing primitives; everything else
 /// must call its exported helpers (S1).
@@ -458,6 +465,14 @@ mod tests {
         let analyzer_main = classify("crates/analyze/src/main.rs");
         assert!(!analyzer_main.lib_crate);
         assert!(classify("crates/sample/src/seeding.rs").seeding_home);
+        // The serving layer is a library crate (panic-free scope), with the
+        // clock confined to its metrics module.
+        let serve = classify("crates/serve/src/server.rs");
+        assert!(serve.is_code && serve.lib_crate && !serve.core_scope && !serve.timing_allowed);
+        let serve_metrics = classify("crates/serve/src/metrics.rs");
+        assert!(serve_metrics.lib_crate && serve_metrics.timing_allowed);
+        let serve_test = classify("crates/serve/tests/socket.rs");
+        assert!(!serve_test.is_code);
     }
 
     #[test]

@@ -2,25 +2,27 @@
 //! under `target/experiments/`, and the versioned machine-readable
 //! `BENCH.json` report emitted by `tristream-cli bench`.
 //!
-//! # `BENCH.json` schema (version 3)
+//! # `BENCH.json` schema (version 4)
 //!
 //! The schema is additive-only: new fields may appear in later versions,
 //! existing fields keep their name, type and meaning, and
 //! `schema_version` is bumped on any change. Version 2 added the
 //! equal-memory head-to-head fields `algo`, `memory_words` and
 //! `budget_words`; version 3 added the `"hot-path"` value of `kind` (the
-//! pooled-vs-reference bulk-counter race — no new fields). Field by field:
+//! pooled-vs-reference bulk-counter race — no new fields); version 4
+//! added the `"serve"` value of `kind` (the daemon's socket ingest/query
+//! workloads — no new fields). Field by field:
 //!
 //! * `schema` (string) — always `"tristream-bench"`.
-//! * `schema_version` (integer) — `3`.
+//! * `schema_version` (integer) — `4`.
 //! * `mode` (string) — `"smoke"` or `"full"`.
 //! * `seed` (integer) — base RNG seed the whole suite derives from.
 //! * `workloads` (array) — one object per named workload:
 //!   * `name` (string) — stable workload identifier, e.g.
 //!     `"ingest-binary"`, `"engine-persistent-w4096"`,
 //!     `"accuracy-jowhari-ghodsi"`, `"hotpath-pooled-w4096"`.
-//!   * `kind` (string) — `"ingest"`, `"engine"`, `"accuracy"` or
-//!     `"hot-path"`.
+//!   * `kind` (string) — `"ingest"`, `"engine"`, `"accuracy"`,
+//!     `"hot-path"` or `"serve"`.
 //!   * `edges` (integer) — edges processed per trial.
 //!   * `trials` (integer) — number of timed trials.
 //!   * `batch` (integer | null) — batch size `w`, when the workload has one.
@@ -193,6 +195,10 @@ pub enum WorkloadKind {
     /// batch sizes (estimates are asserted bit-identical while the rows
     /// are produced).
     HotPath,
+    /// Daemon throughput over a real loopback socket: EDGES-frame ingest
+    /// and QUERY latency through `tristream-serve`, including framing,
+    /// protocol decode, and engine enqueue/sync.
+    Serve,
 }
 
 impl WorkloadKind {
@@ -202,6 +208,7 @@ impl WorkloadKind {
             WorkloadKind::Engine => "engine",
             WorkloadKind::Accuracy => "accuracy",
             WorkloadKind::HotPath => "hot-path",
+            WorkloadKind::Serve => "serve",
         }
     }
 }
@@ -320,8 +327,9 @@ pub struct BenchReport {
 
 /// The schema version this module writes. Version 2 added `algo`,
 /// `memory_words` and `budget_words` (all nullable — additive only);
-/// version 3 added the `"hot-path"` `kind` value.
-pub const BENCH_SCHEMA_VERSION: u32 = 3;
+/// version 3 added the `"hot-path"` `kind` value; version 4 added the
+/// `"serve"` `kind` value.
+pub const BENCH_SCHEMA_VERSION: u32 = 4;
 
 /// Tolerance of the hot-path regression gate: the pooled bulk path fails
 /// the gate if its p50 latency exceeds the reference path's by more than
@@ -879,8 +887,18 @@ mod tests {
     }
 
     #[test]
-    fn hot_path_kind_serialises_in_schema_v3() {
+    fn hot_path_and_serve_kinds_serialise_in_schema_v4() {
         let mut report = sample_report();
+        report.workloads.push(summarize_workload(
+            "serve-ingest",
+            WorkloadKind::Serve,
+            10_000,
+            &[0.03],
+            Some(1_024),
+            Some(2),
+            Some(2_048),
+            None,
+        ));
         report.workloads.push(summarize_workload(
             "hotpath-pooled-w4096",
             WorkloadKind::HotPath,
@@ -894,7 +912,8 @@ mod tests {
         let json = report.to_json();
         assert_valid_json(&json);
         assert!(json.contains("\"kind\": \"hot-path\""), "{json}");
-        assert!(json.contains("\"schema_version\": 3"), "{json}");
+        assert!(json.contains("\"kind\": \"serve\""), "{json}");
+        assert!(json.contains("\"schema_version\": 4"), "{json}");
     }
 
     #[test]

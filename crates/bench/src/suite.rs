@@ -29,6 +29,13 @@
 //! * `accuracy-bulk-syn3reg` / `accuracy-parallel-planted` — bulk-counter
 //!   estimates against exact ground truth on generator graphs, each with a
 //!   documented error bound the CI gate enforces.
+//! * `serve-ingest` / `serve-query` — the `tristream-serve` daemon
+//!   measured end-to-end over a real loopback socket: EDGES-frame ingest
+//!   (framing + protocol decode + engine enqueue + final sync) and QUERY
+//!   round trips. The served estimate is checked bit-identical to an
+//!   offline twin built by the recipe `docs/PROTOCOL.md` documents, and
+//!   the mismatch fraction is the row's gated error (bound 0), so
+//!   `bench --check` enforces socket/offline parity.
 //!
 //! [`ShardedEngine`]: tristream_core::engine::ShardedEngine
 //! [`ReferenceBulkCounter`]: tristream_core::reference::ReferenceBulkCounter
@@ -39,16 +46,17 @@ use crate::trial::run_trials;
 use crate::workloads::load_standin_scaled;
 use std::path::PathBuf;
 use std::time::Instant;
-use tristream_baselines::registry::{AlgoParams, StreamHint};
+use tristream_baselines::registry::{find_algo, AlgoParams, StreamHint};
 use tristream_core::{
     BulkTriangleCounter, Level1Strategy, ParallelBulkTriangleCounter, ReferenceBulkCounter,
-    TriangleEstimator,
+    ShardedEstimator, TriangleEstimator,
 };
 use tristream_gen::DatasetKind;
 use tristream_graph::binary::{read_edges_binary_batched_file, write_edges_binary_file};
 use tristream_graph::io::{read_edge_list_batched_file, write_edge_list_file};
 use tristream_graph::{Edge, EdgeStream, GraphError};
 use tristream_sample::{salted_seed, splitmix64_next};
+use tristream_serve::{Client, CreateStream, Server, SERVE_STREAM_HINT};
 
 /// Documented accuracy bound for `accuracy-bulk-syn3reg` (mean relative
 /// error of a `r ≥ 8192` bulk counter on the Syn-3-regular stand-in, where
@@ -191,6 +199,7 @@ pub fn run_suite(config: &BenchConfig) -> Result<BenchReport, GraphError> {
     workloads.extend(hot_path_workloads(config, &engine_stream));
     workloads.extend(accuracy_workloads(config));
     workloads.extend(head_to_head_workloads(config));
+    workloads.extend(serve_workloads(config, &engine_stream)?);
     Ok(BenchReport {
         mode: config.mode.clone(),
         seed: config.seed,
@@ -536,6 +545,154 @@ fn head_to_head_workloads(config: &BenchConfig) -> Vec<WorkloadResult> {
     results
 }
 
+/// The `serve-*` family: the daemon measured end-to-end over a real
+/// loopback socket. Per trial a fresh stream is created with a
+/// trial-salted seed, the engine stream is sent as EDGES frames of `w`
+/// edges, and a QUERY synchronises — so `serve-ingest` covers framing,
+/// protocol decode, engine enqueue and the final sync. A second, separate
+/// QUERY times `serve-query` round trips against the resident stream
+/// (its `edges` field records the stream size the query answers over).
+///
+/// The gated statistic on `serve-ingest` is *parity*, not accuracy: the
+/// fraction of trials whose served estimate was not bit-identical to the
+/// offline twin, with a bound of exactly zero — the daemon must be a
+/// transparent transport around the registry engines.
+fn serve_workloads(
+    config: &BenchConfig,
+    stream: &EdgeStream,
+) -> Result<Vec<WorkloadResult>, GraphError> {
+    let edges = stream.edges();
+    // Middle of the engine batch sweep: big enough to amortise framing,
+    // small enough that each trial sends many frames.
+    let w = config.engine_batches[config.engine_batches.len() / 2];
+    let shards = config.shards.max(1);
+    let algo = "neighborhood-bulk";
+    let budget_words = config.engine_estimators as u64;
+
+    let server = Server::bind("127.0.0.1:0").map_err(GraphError::Io)?;
+    let addr = server.local_addr();
+    let daemon = std::thread::spawn(move || server.run());
+    // Client failures are infrastructure bugs (the daemon is in-process),
+    // so they fail the suite loudly rather than skewing the rows.
+    let fail =
+        |stage: &str, e: &dyn std::fmt::Display| -> ! { panic!("serve workload {stage}: {e}") };
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => fail("connect", &e),
+    };
+
+    let mut ingest_latencies = Vec::with_capacity(config.trials);
+    let mut query_latencies = Vec::with_capacity(config.trials);
+    let mut parity_mismatches = 0u32;
+    for t in 0..config.trials {
+        let trial_seed = config.seed.wrapping_add(t as u64);
+        let name = format!("bench-t{t}");
+        let mut spec = CreateStream::new(&name, algo);
+        spec.seed = trial_seed;
+        spec.budget_words = budget_words;
+        spec.shards = shards as u16;
+        if let Err(e) = client.create_stream(&spec) {
+            fail("create", &e);
+        }
+        let start = Instant::now();
+        if let Err(e) = client.send_edges_batched(&name, edges, w) {
+            fail("send", &e);
+        }
+        let reply = match client.query(&name) {
+            Ok(reply) => reply,
+            Err(e) => fail("query", &e),
+        };
+        ingest_latencies.push(start.elapsed().as_secs_f64());
+        assert_eq!(
+            reply.edges,
+            edges.len() as u64,
+            "the daemon must ingest the whole stream"
+        );
+        let offline = offline_twin_estimate(algo, trial_seed, budget_words, shards, edges, w);
+        if reply.estimate.to_bits() != offline.to_bits() {
+            parity_mismatches += 1;
+        }
+        let start = Instant::now();
+        if let Err(e) = client.query(&name) {
+            fail("re-query", &e);
+        }
+        query_latencies.push(start.elapsed().as_secs_f64());
+        if let Err(e) = client.delete(&name) {
+            fail("delete", &e);
+        }
+    }
+    if let Err(e) = client.shutdown() {
+        fail("shutdown", &e);
+    }
+    match daemon.join() {
+        Ok(run_result) => run_result.map_err(GraphError::Io)?,
+        Err(_) => panic!("serve workload: daemon thread panicked"),
+    }
+
+    let parity_error = f64::from(parity_mismatches) / config.trials.max(1) as f64;
+    let mut ingest = summarize_workload(
+        "serve-ingest",
+        WorkloadKind::Serve,
+        edges.len() as u64,
+        &ingest_latencies,
+        Some(w),
+        Some(shards),
+        None,
+        Some((parity_error, 0.0)),
+    );
+    ingest.algo = Some(algo.to_string());
+    ingest.budget_words = Some(budget_words);
+    let mut query = summarize_workload(
+        "serve-query",
+        WorkloadKind::Serve,
+        edges.len() as u64,
+        &query_latencies,
+        Some(w),
+        Some(shards),
+        None,
+        None,
+    );
+    query.algo = Some(algo.to_string());
+    query.budget_words = Some(budget_words);
+    Ok(vec![ingest, query])
+}
+
+/// The offline twin of a served stream: the engine recipe
+/// `docs/PROTOCOL.md` documents for CREATE (`space_for_budget` under
+/// [`SERVE_STREAM_HINT`], ceil split across shards, shard-salted seeds),
+/// fed the same batch boundaries the EDGES frames carried. Its estimate
+/// must match the daemon's bit for bit.
+fn offline_twin_estimate(
+    algo: &str,
+    seed: u64,
+    budget_words: u64,
+    shards: usize,
+    edges: &[Edge],
+    w: usize,
+) -> f64 {
+    let spec =
+        find_algo(algo).unwrap_or_else(|| panic!("algorithm {algo:?} is not in the registry"));
+    let budget = usize::try_from(budget_words).unwrap_or(usize::MAX);
+    let space = spec.space_for_budget(budget, &SERVE_STREAM_HINT);
+    let shard_space = if spec.splits_across_shards {
+        space.div_ceil(shards)
+    } else {
+        space
+    };
+    let mut twin: ShardedEstimator<Box<dyn TriangleEstimator + Send>> =
+        ShardedEstimator::from_factory(shards, seed, |shard_seed| {
+            spec.build(&AlgoParams {
+                space: shard_space,
+                seed: shard_seed,
+                window: None,
+            })
+        });
+    for chunk in edges.chunks(w) {
+        twin.process_batch(chunk);
+    }
+    twin.estimate()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -571,10 +728,11 @@ mod tests {
     fn suite_runs_end_to_end_and_passes_its_own_gate() {
         let report = run_suite(&tiny_config()).unwrap();
         // 2 ingest + 2 engine + 2 hot-path (one batch size) + 2 accuracy +
-        // the equal-memory head-to-head family (one row per registry entry).
+        // 2 serve + the equal-memory head-to-head family (one row per
+        // registry entry).
         assert_eq!(
             report.workloads.len(),
-            8 + tristream_baselines::registry().len()
+            10 + tristream_baselines::registry().len()
         );
         for name in [
             "ingest-text",
@@ -592,6 +750,8 @@ mod tests {
             "accuracy-buriol",
             "accuracy-jowhari-ghodsi",
             "accuracy-pagh-tsourakakis",
+            "serve-ingest",
+            "serve-query",
         ] {
             let w = report.workload(name).unwrap_or_else(|| {
                 panic!("missing workload {name}");
@@ -695,6 +855,24 @@ mod tests {
             neighborhood.mean_rel_error,
             buriol.mean_rel_error
         );
+    }
+
+    #[test]
+    fn serve_rows_gate_socket_offline_parity_at_zero() {
+        let report = run_suite(&tiny_config()).unwrap();
+        let ingest = report.workload("serve-ingest").unwrap();
+        assert_eq!(ingest.kind, WorkloadKind::Serve);
+        assert_eq!(
+            ingest.mean_rel_error,
+            Some(0.0),
+            "served estimates must be bit-identical to the offline twin"
+        );
+        assert_eq!(ingest.error_bound, Some(0.0), "the parity bound is exact");
+        assert_eq!(ingest.algo.as_deref(), Some("neighborhood-bulk"));
+        assert!(ingest.batch.is_some() && ingest.shards.is_some());
+        let query = report.workload("serve-query").unwrap();
+        assert_eq!(query.kind, WorkloadKind::Serve);
+        assert!(query.p50_latency_secs > 0.0, "queries must be timed");
     }
 
     #[test]

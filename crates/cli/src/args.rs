@@ -144,6 +144,20 @@ pub enum Command {
         /// just work).
         args: Vec<String>,
     },
+    /// Run the multi-tenant streaming estimation daemon (wire protocol:
+    /// `docs/PROTOCOL.md`; operations: `docs/OPERATIONS.md`).
+    Serve {
+        /// Listen address, e.g. `127.0.0.1:7878`; port 0 picks an
+        /// ephemeral port, printed on startup.
+        addr: String,
+    },
+    /// One-shot client operations against a running `serve` daemon.
+    Client {
+        /// Daemon address.
+        addr: String,
+        /// The operation to perform.
+        action: ClientAction,
+    },
     /// Generate a dataset stand-in and write it as an edge list.
     Generate {
         /// Dataset slug (e.g. `orkut`, `dblp`, `syn-3-reg`).
@@ -155,6 +169,52 @@ pub enum Command {
         /// Output path.
         output: PathBuf,
     },
+}
+
+/// The default daemon address for `serve` and `client`.
+pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7878";
+
+/// What `tristream-cli client` should do once connected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    /// CREATE a named stream running a registry algorithm.
+    Create {
+        /// Stream name.
+        name: String,
+        /// Registry algorithm name (validated at parse time).
+        algo: String,
+        /// Root RNG seed.
+        seed: u64,
+        /// Memory budget in 8-byte words.
+        budget_words: u64,
+        /// Engine shards; 0 lets the server choose.
+        shards: u16,
+        /// Sliding-window size; 0 keeps the registry default.
+        window: u64,
+    },
+    /// Stream an edge-list file to a stream as EDGES frames.
+    Send {
+        /// Target stream name.
+        name: String,
+        /// Edge-list file (text or `.tsb`).
+        input: PathBuf,
+        /// Edges per EDGES frame (one frame = one engine batch).
+        batch: usize,
+    },
+    /// QUERY a stream's live estimate.
+    Query {
+        /// Target stream name.
+        name: String,
+    },
+    /// STATS for every live stream.
+    Stats,
+    /// DELETE a named stream.
+    Delete {
+        /// Target stream name.
+        name: String,
+    },
+    /// SHUTDOWN: ask the daemon to drain and exit.
+    Shutdown,
 }
 
 /// The help text printed by `tristream-cli help` (and on parse errors).
@@ -170,6 +230,12 @@ USAGE:
   tristream-cli convert      <INPUT> --output FILE [--timestamps]
   tristream-cli bench        [--smoke] [--check] [--seed S] [--output FILE]
                              [--edges N]
+  tristream-cli serve        [--addr HOST:PORT]
+  tristream-cli client       create NAME --algo NAME [--seed S] [--budget WORDS]
+                                         [--shards K] [--window W] [--addr HOST:PORT]
+  tristream-cli client       send NAME <EDGE_LIST> [--batch W] [--addr HOST:PORT]
+  tristream-cli client       query NAME | stats | delete NAME | shutdown
+                                         [--addr HOST:PORT]
   tristream-cli generate     <DATASET>   [--scale D] [--seed S] --output FILE
   tristream-cli analyze      [check] [--json] [--allows] [--fix-allow] [PATHS…]
   tristream-cli help
@@ -196,6 +262,14 @@ stream-position timestamp column when writing `.tsb`).
 persistent engine, accuracy vs exact) and writes a machine-readable
 BENCH.json (default path: BENCH.json); `--check` makes an accuracy-bound
 violation a non-zero exit, which is how CI gates.
+
+`serve` runs the multi-tenant streaming estimation daemon: clients CREATE
+named streams running any registry algorithm under a word budget, feed
+them EDGES frames, and QUERY live estimates concurrently without stalling
+ingestion; a SHUTDOWN frame drains the server gracefully. `client` is the
+matching one-shot client (default address 127.0.0.1:7878). The wire
+protocol is specified in docs/PROTOCOL.md and day-two operations
+(budgeting, drain, STATS) in docs/OPERATIONS.md.
 
 Datasets for `generate`: amazon, dblp, youtube, livejournal, orkut,
 syn-d-regular, hep-th, syn-3-reg.
@@ -501,6 +575,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Analyze { args })
         }
+        "serve" => {
+            let mut addr = DEFAULT_SERVE_ADDR.to_string();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--addr" => {
+                        addr = string_flag("--addr", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    other => return Err(CliError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Serve { addr })
+        }
+        "client" => parse_client(&rest),
         "generate" => {
             let dataset = positional(&rest, 0, "dataset name")?;
             let mut scale = 1u64;
@@ -537,6 +626,149 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
+}
+
+/// Parses `tristream-cli client <ACTION> …`. Every action accepts
+/// `--addr`; the per-action flags mirror the CREATE frame's fields.
+fn parse_client(rest: &[String]) -> Result<Command, CliError> {
+    let action = positional(
+        rest,
+        0,
+        "client action (create|send|query|stats|delete|shutdown)",
+    )?;
+    let mut addr = DEFAULT_SERVE_ADDR.to_string();
+    match action.as_str() {
+        "create" => {
+            let name = positional(rest, 1, "stream name")?;
+            let mut algo: Option<String> = None;
+            let mut seed = 0u64;
+            let mut budget_words = 1u64 << 14;
+            let mut shards = 0u16;
+            let mut window = 0u64;
+            let mut i = 2;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--addr" => {
+                        addr = string_flag("--addr", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    "--algo" | "-a" => {
+                        algo = Some(string_flag("--algo", rest.get(i + 1))?);
+                        i += 2;
+                    }
+                    "--seed" => {
+                        seed = parse_flag_value("--seed", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    "--budget" => {
+                        budget_words = parse_flag_value("--budget", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    "--shards" => {
+                        shards = parse_flag_value("--shards", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    "--window" => {
+                        window = parse_flag_value("--window", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    other => return Err(CliError::UnknownFlag(other.to_string())),
+                }
+            }
+            // Validated against the registry at parse time, exactly like
+            // `count --algo`, so misuse lists the registered names.
+            let algo = algo.ok_or(CliError::MissingArgument("--algo NAME"))?;
+            if tristream_baselines::registry::find_algo(&algo).is_none() {
+                return Err(CliError::AlgoUsage(format!("unknown algorithm {algo:?}")));
+            }
+            Ok(Command::Client {
+                addr,
+                action: ClientAction::Create {
+                    name,
+                    algo,
+                    seed,
+                    budget_words,
+                    shards,
+                    window,
+                },
+            })
+        }
+        "send" => {
+            let name = positional(rest, 1, "stream name")?;
+            let input = positional(rest, 2, "edge-list path")?;
+            let mut batch = 4_096usize;
+            let mut i = 3;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--addr" => {
+                        addr = string_flag("--addr", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    "--batch" | "-w" => {
+                        batch = parse_flag_value("--batch", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    other => return Err(CliError::UnknownFlag(other.to_string())),
+                }
+            }
+            if batch == 0 {
+                return Err(CliError::InvalidFlagValue {
+                    flag: "--batch",
+                    reason: "batch size must be at least 1",
+                });
+            }
+            Ok(Command::Client {
+                addr,
+                action: ClientAction::Send {
+                    name,
+                    input: PathBuf::from(input),
+                    batch,
+                },
+            })
+        }
+        "query" | "delete" => {
+            let name = positional(rest, 1, "stream name")?;
+            addr = client_addr_only(&rest[2..])?;
+            let action = if action == "query" {
+                ClientAction::Query { name }
+            } else {
+                ClientAction::Delete { name }
+            };
+            Ok(Command::Client { addr, action })
+        }
+        "stats" | "shutdown" => {
+            addr = client_addr_only(&rest[1..])?;
+            let action = if action == "stats" {
+                ClientAction::Stats
+            } else {
+                ClientAction::Shutdown
+            };
+            Ok(Command::Client { addr, action })
+        }
+        other => Err(CliError::UnknownCommand(format!("client {other}"))),
+    }
+}
+
+/// Parses the tail of a client action that takes no flags beyond `--addr`.
+fn client_addr_only(rest: &[String]) -> Result<String, CliError> {
+    let mut addr = DEFAULT_SERVE_ADDR.to_string();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--addr" => {
+                addr = string_flag("--addr", rest.get(i + 1))?;
+                i += 2;
+            }
+            other => return Err(CliError::UnknownFlag(other.to_string())),
+        }
+    }
+    Ok(addr)
+}
+
+fn string_flag(flag: &str, value: Option<&String>) -> Result<String, CliError> {
+    value
+        .cloned()
+        .ok_or_else(|| CliError::BadFlagValue(flag.to_string()))
 }
 
 fn positional(rest: &[String], index: usize, what: &'static str) -> Result<String, CliError> {
@@ -950,6 +1182,138 @@ mod tests {
         ));
         assert!(matches!(
             parse_args(&args(&["bench", "--bogus"])).unwrap_err(),
+            CliError::UnknownFlag(_)
+        ));
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        assert_eq!(
+            parse_args(&args(&["serve"])).unwrap(),
+            Command::Serve {
+                addr: DEFAULT_SERVE_ADDR.to_string()
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["serve", "--addr", "0.0.0.0:9999"])).unwrap(),
+            Command::Serve {
+                addr: "0.0.0.0:9999".to_string()
+            }
+        );
+        assert!(matches!(
+            parse_args(&args(&["serve", "--bogus"])).unwrap_err(),
+            CliError::UnknownFlag(_)
+        ));
+    }
+
+    #[test]
+    fn client_actions_parse() {
+        let c = parse_args(&args(&[
+            "client",
+            "create",
+            "prod",
+            "--algo",
+            "sliding",
+            "--seed",
+            "7",
+            "--budget",
+            "4096",
+            "--shards",
+            "2",
+            "--window",
+            "100",
+            "--addr",
+            "10.0.0.1:7878",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Client {
+                addr: "10.0.0.1:7878".to_string(),
+                action: ClientAction::Create {
+                    name: "prod".to_string(),
+                    algo: "sliding".to_string(),
+                    seed: 7,
+                    budget_words: 4_096,
+                    shards: 2,
+                    window: 100,
+                },
+            }
+        );
+        let c = parse_args(&args(&[
+            "client", "send", "prod", "g.txt", "--batch", "512",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Client {
+                addr: DEFAULT_SERVE_ADDR.to_string(),
+                action: ClientAction::Send {
+                    name: "prod".to_string(),
+                    input: PathBuf::from("g.txt"),
+                    batch: 512,
+                },
+            }
+        );
+        for (parts, action) in [
+            (
+                &["client", "query", "prod"][..],
+                ClientAction::Query {
+                    name: "prod".to_string(),
+                },
+            ),
+            (
+                &["client", "delete", "prod"][..],
+                ClientAction::Delete {
+                    name: "prod".to_string(),
+                },
+            ),
+            (&["client", "stats"][..], ClientAction::Stats),
+            (&["client", "shutdown"][..], ClientAction::Shutdown),
+        ] {
+            assert_eq!(
+                parse_args(&args(parts)).unwrap(),
+                Command::Client {
+                    addr: DEFAULT_SERVE_ADDR.to_string(),
+                    action,
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn client_rejects_misuse() {
+        // create requires --algo, and validates it against the registry.
+        assert!(matches!(
+            parse_args(&args(&["client", "create", "prod"])).unwrap_err(),
+            CliError::MissingArgument("--algo NAME")
+        ));
+        let err = parse_args(&args(&["client", "create", "prod", "--algo", "nope"])).unwrap_err();
+        assert!(matches!(err, CliError::AlgoUsage(_)));
+        assert!(err.to_string().contains("neighborhood-bulk"), "{err}");
+        // send needs a file and a positive batch.
+        assert!(matches!(
+            parse_args(&args(&["client", "send", "prod"])).unwrap_err(),
+            CliError::MissingArgument(_)
+        ));
+        assert!(matches!(
+            parse_args(&args(&["client", "send", "prod", "g.txt", "--batch", "0"])).unwrap_err(),
+            CliError::InvalidFlagValue {
+                flag: "--batch",
+                ..
+            }
+        ));
+        // Unknown actions and stray flags are usage errors.
+        assert!(matches!(
+            parse_args(&args(&["client", "frobnicate"])).unwrap_err(),
+            CliError::UnknownCommand(_)
+        ));
+        assert!(matches!(
+            parse_args(&args(&["client"])).unwrap_err(),
+            CliError::MissingArgument(_)
+        ));
+        assert!(matches!(
+            parse_args(&args(&["client", "stats", "--bogus"])).unwrap_err(),
             CliError::UnknownFlag(_)
         ));
     }

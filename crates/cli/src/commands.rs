@@ -5,8 +5,9 @@
 //! short human-readable report. The functions return their report as a
 //! `String` so they can be tested without capturing stdout.
 
-use crate::args::{Command, HELP};
+use crate::args::{ClientAction, Command, HELP};
 use std::error::Error;
+use std::io::Write;
 use std::path::Path;
 use std::time::Instant;
 use tristream_baselines::registry::{find_algo, AlgoParams};
@@ -24,6 +25,7 @@ use tristream_graph::binary::{
 };
 use tristream_graph::io::{read_edge_list_batched_file, read_edge_list_file, write_edge_list_file};
 use tristream_graph::{Edge, EdgeStream, GraphError, GraphSummary};
+use tristream_serve::{Client, CreateStream, Server};
 
 /// Reads a whole edge-stream file, picking the codec from the extension:
 /// `.tsb` files use the binary reader (duplicates preserved — binary
@@ -305,6 +307,18 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 _ => Err("analyze could not check the workspace".into()),
             }
         }
+        Command::Serve { addr } => {
+            let server = Server::bind(addr.as_str())?;
+            let local = server.local_addr();
+            // Printed (and flushed) before the accept loop blocks, so
+            // scripts and tests can read the bound address back —
+            // `--addr HOST:0` picks an ephemeral port.
+            println!("tristream serve: listening on {local}");
+            std::io::stdout().flush()?;
+            server.run()?;
+            Ok(format!("tristream serve: drained and stopped ({local})\n"))
+        }
+        Command::Client { addr, action } => run_client(&addr, action),
         Command::Generate {
             dataset,
             scale,
@@ -420,6 +434,82 @@ fn run_count_algo(
         counter.memory_words(),
         throughput_line(edges, elapsed)
     ))
+}
+
+/// `client <ACTION>`: one connection, one operation, one report. The
+/// errors are the typed client errors, so a server-side refusal (unknown
+/// stream, draining, …) renders with its protocol error code and detail.
+fn run_client(addr: &str, action: ClientAction) -> Result<String, Box<dyn Error>> {
+    let mut client = Client::connect(addr)?;
+    match action {
+        ClientAction::Create {
+            name,
+            algo,
+            seed,
+            budget_words,
+            shards,
+            window,
+        } => {
+            client.create_stream(&CreateStream {
+                name: name.clone(),
+                algo: algo.clone(),
+                seed,
+                budget_words,
+                shards,
+                window,
+            })?;
+            Ok(format!(
+                "created stream {name:?} (algo = {algo}, seed = {seed}, budget = {budget_words} \
+                 words)\n"
+            ))
+        }
+        ClientAction::Send { name, input, batch } => {
+            // The client controls batch boundaries: one EDGES frame is one
+            // engine batch, so `--batch` here means what it means offline.
+            let stream = read_stream_auto(&input)?;
+            let frames = client.send_edges_batched(&name, stream.edges(), batch)?;
+            Ok(format!(
+                "sent {} edges to {name:?} in {frames} EDGES frame(s) of up to {batch}\n",
+                stream.len()
+            ))
+        }
+        ClientAction::Query { name } => {
+            let reply = client.query(&name)?;
+            Ok(format!(
+                "stream {name:?}: estimate = {:.0} ({} edges, memory = {} words)\n",
+                reply.estimate, reply.edges, reply.memory_words
+            ))
+        }
+        ClientAction::Stats => {
+            let streams = client.stats()?;
+            if streams.is_empty() {
+                return Ok("no live streams\n".to_string());
+            }
+            let mut out = String::new();
+            for s in streams {
+                out.push_str(&format!(
+                    "{} (algo = {}): estimate = {:.0}, {} edges in {} batches, memory = {} \
+                     words, {} queries\n",
+                    s.name,
+                    s.algo,
+                    s.estimate,
+                    s.edges,
+                    s.ingest_batches,
+                    s.memory_words,
+                    s.queries
+                ));
+            }
+            Ok(out)
+        }
+        ClientAction::Delete { name } => {
+            client.delete(&name)?;
+            Ok(format!("deleted stream {name:?}\n"))
+        }
+        ClientAction::Shutdown => {
+            client.shutdown()?;
+            Ok("server acknowledged shutdown and is draining\n".to_string())
+        }
+    }
 }
 
 /// The `count` subcommand's throughput report line: wall-clock edges/sec
@@ -858,6 +948,64 @@ mod tests {
         assert!(json.contains("\"hotpath-pooled-w4096\""), "{json}");
         assert!(json.contains("\"hotpath-reference-w4096\""), "{json}");
         std::fs::remove_file(&json_path).ok();
+    }
+
+    #[test]
+    fn client_commands_drive_a_live_daemon_end_to_end() {
+        // An in-process daemon; the CLI `serve` arm adds only the startup
+        // banner around `Server::run`, which the smoke test covers.
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+        let daemon = std::thread::spawn(move || server.run());
+
+        let path = sample_graph_path();
+        let client = |action: ClientAction| {
+            run(Command::Client {
+                addr: addr.clone(),
+                action,
+            })
+        };
+        let out = client(ClientAction::Create {
+            name: "prod".into(),
+            algo: "exact".into(),
+            seed: 0,
+            budget_words: 1 << 14,
+            shards: 0,
+            window: 0,
+        })
+        .unwrap();
+        assert!(out.contains("created stream \"prod\""), "{out}");
+        let out = client(ClientAction::Send {
+            name: "prod".into(),
+            input: path,
+            batch: 1_024,
+        })
+        .unwrap();
+        assert!(out.contains("sent 3000 edges"), "{out}");
+        let out = client(ClientAction::Query {
+            name: "prod".into(),
+        })
+        .unwrap();
+        // The exact counter over the syn-3-reg stand-in: 1000 triangles.
+        assert!(out.contains("estimate = 1000 "), "{out}");
+        assert!(out.contains("3000 edges"), "{out}");
+        let out = client(ClientAction::Stats).unwrap();
+        assert!(out.contains("prod (algo = exact)"), "{out}");
+        // Server-side refusals render as typed errors, not panics.
+        let err = client(ClientAction::Query {
+            name: "ghost".into(),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("UNKNOWN_STREAM"), "{err}");
+        let out = client(ClientAction::Delete {
+            name: "prod".into(),
+        })
+        .unwrap();
+        assert!(out.contains("deleted stream"), "{out}");
+        assert_eq!(client(ClientAction::Stats).unwrap(), "no live streams\n");
+        let out = client(ClientAction::Shutdown).unwrap();
+        assert!(out.contains("draining"), "{out}");
+        daemon.join().unwrap().unwrap();
     }
 
     #[test]

@@ -8,8 +8,9 @@
 // allow-expect-in-tests only covers `#[test]` bodies, not helpers).
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
+use std::io::{BufRead, BufReader};
 use std::path::PathBuf;
-use std::process::{Command, Output};
+use std::process::{Command, Output, Stdio};
 
 fn cli() -> Command {
     Command::new(env!("CARGO_BIN_EXE_tristream-cli"))
@@ -376,6 +377,89 @@ fn convert_and_binary_count_end_to_end() {
 }
 
 #[test]
+fn serve_daemon_end_to_end_over_the_binary() {
+    // A real daemon process, driven entirely through `client` subcommands:
+    // bind an ephemeral port, read it back from the startup banner, run a
+    // create → send → query → stats → shutdown session, and check the
+    // daemon drains to a clean exit.
+    let edge_list = temp_path("serve.txt");
+    let generate = run(&[
+        "generate",
+        "syn-3-reg",
+        "--scale",
+        "16",
+        "--seed",
+        "21",
+        "--output",
+        edge_list.to_str().unwrap(),
+    ]);
+    assert!(generate.status.success(), "generate failed: {generate:?}");
+
+    let mut daemon = cli()
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawning the daemon");
+    let mut banner = String::new();
+    BufReader::new(daemon.stdout.as_mut().expect("daemon stdout is piped"))
+        .read_line(&mut banner)
+        .expect("reading the startup banner");
+    let addr = banner
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("banner ends with the bound address")
+        .to_string();
+    assert!(
+        banner.contains("listening on"),
+        "banner should name the address:\n{banner}"
+    );
+
+    let client = |args: &[&str]| {
+        let mut full = args.to_vec();
+        full.extend_from_slice(&["--addr", &addr]);
+        run(&full)
+    };
+    let create = client(&["client", "create", "prod", "--algo", "exact"]);
+    assert!(create.status.success(), "create failed: {create:?}");
+    let send = client(&[
+        "client",
+        "send",
+        "prod",
+        edge_list.to_str().unwrap(),
+        "--batch",
+        "512",
+    ]);
+    assert!(send.status.success(), "send failed: {send:?}");
+    let query = client(&["client", "query", "prod"]);
+    assert!(query.status.success(), "query failed: {query:?}");
+    assert!(stdout(&query).contains("estimate = "), "{}", stdout(&query));
+    let stats = client(&["client", "stats"]);
+    assert!(stats.status.success(), "stats failed: {stats:?}");
+    assert!(
+        stdout(&stats).contains("prod (algo = exact)"),
+        "{}",
+        stdout(&stats)
+    );
+    // A server-side refusal is exit 1 with the protocol error code.
+    let ghost = client(&["client", "query", "ghost"]);
+    assert_eq!(ghost.status.code(), Some(1), "{ghost:?}");
+    assert!(
+        String::from_utf8_lossy(&ghost.stderr).contains("UNKNOWN_STREAM"),
+        "{ghost:?}"
+    );
+    let shutdown = client(&["client", "shutdown"]);
+    assert!(shutdown.status.success(), "shutdown failed: {shutdown:?}");
+    let status = daemon.wait().expect("daemon exits after the drain");
+    assert!(
+        status.success(),
+        "daemon should drain to exit 0: {status:?}"
+    );
+
+    let _ = std::fs::remove_file(&edge_list);
+}
+
+#[test]
 fn bench_smoke_emits_machine_readable_json() {
     let json_path = temp_path("bench.json");
     // `--edges 2000` keeps the debug-mode integration test quick; CI runs
@@ -397,7 +481,7 @@ fn bench_smoke_emits_machine_readable_json() {
     let json = std::fs::read_to_string(&json_path).expect("bench wrote the report");
     for field in [
         "\"schema\": \"tristream-bench\"",
-        "\"schema_version\": 3",
+        "\"schema_version\": 4",
         "\"ingest-text\"",
         "\"ingest-binary\"",
         "\"engine-spawn-w256\"",

@@ -23,6 +23,9 @@
 //! * [`binary`] — the compact `.tsb` binary edge-stream codec (fixed-width
 //!   little-endian records, optional timestamp column) that the batched
 //!   readers decode at memcpy speed.
+//! * [`frame`] — length-prefixed frame transport over any `Read`/`Write`
+//!   pair, the wire substrate of the `tristream serve` protocol
+//!   (`docs/PROTOCOL.md`).
 //! * [`stats`] — one-call graph summaries (the left-hand panel of Figure 3).
 
 pub mod adjacency;
@@ -31,6 +34,7 @@ pub mod degree;
 pub mod edge;
 pub mod error;
 pub mod exact;
+pub mod frame;
 pub mod io;
 pub mod stats;
 pub mod stream;

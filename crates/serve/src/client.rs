@@ -1,0 +1,245 @@
+//! A typed, blocking client for the serve protocol — the library behind
+//! `tristream-cli client` and the integration tests.
+//!
+//! One [`Client`] wraps one TCP connection and speaks strict
+//! request/response: every method writes one frame, flushes, and reads
+//! exactly one reply frame. [`Client::connect`] performs the HELLO
+//! handshake, so a constructed client is always version-checked.
+
+use crate::protocol::{Request, Response, StreamStats, WireError, PROTOCOL_VERSION};
+use std::fmt;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use tristream_graph::{frame, Edge, GraphError};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed: connect, framing, or socket I/O.
+    Transport(GraphError),
+    /// The server answered with an ERROR frame.
+    Server(WireError),
+    /// The server answered with something the protocol does not allow
+    /// here (e.g. an ESTIMATE in reply to CREATE, or a hangup mid-reply).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<GraphError> for ClientError {
+    fn from(e: GraphError) -> Self {
+        ClientError::Transport(e)
+    }
+}
+
+impl ClientError {
+    /// The server-side error, when that is what this is.
+    pub fn server_error(&self) -> Option<&WireError> {
+        match self {
+            ClientError::Server(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Parameters for [`Client::create_stream`]. Zero values mean "server
+/// default" where the protocol says so (`shards`, `window`).
+#[derive(Debug, Clone)]
+pub struct CreateStream {
+    /// Stream name (1–255 UTF-8 bytes).
+    pub name: String,
+    /// Registry algorithm name.
+    pub algo: String,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Memory budget in 8-byte words.
+    pub budget_words: u64,
+    /// Engine shards; 0 = server default.
+    pub shards: u16,
+    /// Sliding-window size; 0 = registry default.
+    pub window: u64,
+}
+
+impl CreateStream {
+    /// A stream spec with seed 0, a 16 Ki-word budget, and server-default
+    /// shards/window.
+    pub fn new(name: impl Into<String>, algo: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            algo: algo.into(),
+            seed: 0,
+            budget_words: 1 << 14,
+            shards: 0,
+            window: 0,
+        }
+    }
+}
+
+/// Reply to a QUERY.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateReply {
+    /// The stream's current estimate, bit-identical to the server's value.
+    pub estimate: f64,
+    /// Edges ingested so far.
+    pub edges: u64,
+    /// Measured `memory_words()` across the stream's shards.
+    pub memory_words: u64,
+}
+
+/// One connection to a `tristream serve` daemon.
+#[derive(Debug)]
+pub struct Client {
+    conn: TcpStream,
+}
+
+impl Client {
+    /// Connects and performs the HELLO handshake.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let conn =
+            TcpStream::connect(addr).map_err(|e| ClientError::Transport(GraphError::Io(e)))?;
+        let mut client = Self { conn };
+        client.expect_ok(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        Ok(client)
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let payload = request
+            .encode_payload()
+            .map_err(|e| ClientError::Protocol(format!("unencodable request: {e}")))?;
+        let mut writer = &self.conn;
+        frame::write_frame(&mut writer, request.frame_type().byte(), &payload)?;
+        writer.flush().map_err(GraphError::Io)?;
+        match frame::read_frame(&mut &self.conn)? {
+            None => Err(ClientError::Protocol(
+                "server closed the connection instead of replying".to_string(),
+            )),
+            Some((frame_type, payload)) => Response::decode(frame_type, &payload)
+                .map_err(|e| ClientError::Protocol(e.to_string())),
+        }
+    }
+
+    fn expect_ok(&mut self, request: &Request) -> Result<(), ClientError> {
+        match self.roundtrip(request)? {
+            Response::Ok => Ok(()),
+            Response::Error(err) => Err(ClientError::Server(err)),
+            other => Err(ClientError::Protocol(format!(
+                "expected OK, got {}",
+                other.frame_type().name()
+            ))),
+        }
+    }
+
+    /// CREATE: a new named stream.
+    pub fn create_stream(&mut self, spec: &CreateStream) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Create {
+            name: spec.name.clone(),
+            algo: spec.algo.clone(),
+            seed: spec.seed,
+            budget_words: spec.budget_words,
+            shards: spec.shards,
+            window: spec.window,
+        })
+    }
+
+    /// EDGES: ingest one batch. One call is one engine batch — batch
+    /// boundaries matter to bulk algorithms, so callers control them.
+    pub fn send_edges(&mut self, name: &str, edges: &[Edge]) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Edges {
+            name: name.to_string(),
+            edges: edges.to_vec(),
+        })
+    }
+
+    /// Sends a stream of edges as consecutive EDGES frames of `batch`
+    /// edges each (the final frame may be short) and returns the number of
+    /// frames sent. Matching an offline run's `--batch` here is what makes
+    /// the served estimate bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn send_edges_batched(
+        &mut self,
+        name: &str,
+        edges: &[Edge],
+        batch: usize,
+    ) -> Result<u64, ClientError> {
+        assert!(batch > 0, "batch size must be positive");
+        let mut frames = 0u64;
+        for chunk in edges.chunks(batch) {
+            self.send_edges(name, chunk)?;
+            frames += 1;
+        }
+        Ok(frames)
+    }
+
+    /// QUERY: the stream's live estimate.
+    pub fn query(&mut self, name: &str) -> Result<EstimateReply, ClientError> {
+        match self.roundtrip(&Request::Query {
+            name: name.to_string(),
+        })? {
+            Response::Estimate {
+                estimate,
+                edges,
+                memory_words,
+            } => Ok(EstimateReply {
+                estimate,
+                edges,
+                memory_words,
+            }),
+            Response::Error(err) => Err(ClientError::Server(err)),
+            other => Err(ClientError::Protocol(format!(
+                "expected ESTIMATE, got {}",
+                other.frame_type().name()
+            ))),
+        }
+    }
+
+    /// STATS: per-stream counters for every live stream.
+    pub fn stats(&mut self) -> Result<Vec<StreamStats>, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::StatsReport(streams) => Ok(streams),
+            Response::Error(err) => Err(ClientError::Server(err)),
+            other => Err(ClientError::Protocol(format!(
+                "expected STATS_REPORT, got {}",
+                other.frame_type().name()
+            ))),
+        }
+    }
+
+    /// DELETE: tear down a named stream.
+    pub fn delete(&mut self, name: &str) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Delete {
+            name: name.to_string(),
+        })
+    }
+
+    /// SHUTDOWN: begin a graceful drain of the whole server.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Shutdown)
+    }
+
+    /// Escape hatch for tests: sends a raw frame and reads one raw reply.
+    pub fn raw_roundtrip(
+        &mut self,
+        frame_type: u8,
+        payload: &[u8],
+    ) -> Result<Option<(u8, Vec<u8>)>, ClientError> {
+        let mut writer = &self.conn;
+        frame::write_frame(&mut writer, frame_type, payload)?;
+        writer.flush().map_err(GraphError::Io)?;
+        Ok(frame::read_frame(&mut &self.conn)?)
+    }
+}

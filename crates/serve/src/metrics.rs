@@ -1,0 +1,90 @@
+//! Latency counters for the serving layer — the only module in
+//! `crates/serve` allowed to read the clock (`tristream-analyze` rule D1
+//! scopes `Instant::now` to this file, `crates/bench` and the CLI front
+//! end).
+//!
+//! Keeping the clock behind [`timed`] preserves the workspace's determinism
+//! story: stream *state* (engines, estimates, seeds) never depends on time;
+//! only the observability counters reported by `STATS` do.
+
+use std::time::Instant;
+
+/// A monotonically growing (operations, total nanoseconds) pair — the
+/// per-stream ingest and query counters reported by `STATS`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyCounter {
+    ops: u64,
+    total_nanos: u64,
+}
+
+impl LatencyCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one operation that took `nanos` nanoseconds. Saturates
+    /// instead of wrapping: after ~584 years of accumulated latency the
+    /// counter pins at the maximum rather than lying small.
+    pub fn record(&mut self, nanos: u64) {
+        self.ops = self.ops.saturating_add(1);
+        self.total_nanos = self.total_nanos.saturating_add(nanos);
+    }
+
+    /// Operations recorded.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Total nanoseconds across all recorded operations.
+    pub fn total_nanos(&self) -> u64 {
+        self.total_nanos
+    }
+
+    /// Mean nanoseconds per operation (0 before the first operation).
+    pub fn mean_nanos(&self) -> u64 {
+        self.total_nanos.checked_div(self.ops).unwrap_or(0)
+    }
+}
+
+/// Runs `f` and returns its result together with the elapsed wall-clock
+/// nanoseconds (saturated into a `u64`).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let start = Instant::now();
+    let out = f();
+    let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    (out, nanos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_average() {
+        let mut c = LatencyCounter::new();
+        assert_eq!((c.ops(), c.total_nanos(), c.mean_nanos()), (0, 0, 0));
+        c.record(100);
+        c.record(300);
+        assert_eq!(c.ops(), 2);
+        assert_eq!(c.total_nanos(), 400);
+        assert_eq!(c.mean_nanos(), 200);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut c = LatencyCounter::new();
+        c.record(u64::MAX);
+        c.record(u64::MAX);
+        assert_eq!(c.total_nanos(), u64::MAX);
+        assert_eq!(c.ops(), 2);
+    }
+
+    #[test]
+    fn timed_returns_the_closure_result() {
+        let (value, nanos) = timed(|| 6 * 7);
+        assert_eq!(value, 42);
+        // Can't assert much about a wall clock beyond it not exploding.
+        let _ = nanos;
+    }
+}

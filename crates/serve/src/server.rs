@@ -1,0 +1,337 @@
+//! The `tristream serve` daemon: accept loop, per-connection handlers, and
+//! graceful drain.
+//!
+//! Std-only by design (threads + [`TcpListener`], no async runtime), to
+//! match the workspace's vendored-deps constraint:
+//!
+//! * **One handler thread per connection.** Tenant counts are small and
+//!   engine work dominates; a thread per connection keeps the control flow
+//!   linear and lets the OS do the scheduling.
+//! * **Engine work happens on engine threads.** A handler only *enqueues*
+//!   EDGES batches (bounded queues, backpressure) and *synchronises* for
+//!   queries; per-stream mutexes (see [`crate::table`]) keep tenants
+//!   isolated, so a slow query on one stream never stalls ingest on
+//!   another.
+//! * **Drain is cooperative.** A SHUTDOWN frame flips the draining flag;
+//!   the accept loop stops accepting (woken by a loopback self-connect),
+//!   handlers notice within one poll interval (their reads time out at
+//!   frame boundaries only, so a timeout can never split a frame), finish
+//!   their in-flight request, and exit; finally the stream table is
+//!   dropped, which flushes every queued batch and joins every engine
+//!   worker. The same path serves SIGTERM-style supervision: point the
+//!   supervisor's stop command at `tristream-cli client shutdown` (std has
+//!   no portable signal handling; see `docs/OPERATIONS.md`).
+
+use crate::protocol::{transport_error, ErrorCode, Request, Response, WireError, PROTOCOL_VERSION};
+use crate::table::{ingest_batch, query_stream, StreamTable};
+use std::io::Write;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tristream_graph::{frame, GraphError};
+
+/// How often an idle connection handler re-checks the draining flag. Reads
+/// time out at this interval *only* while waiting for a frame-type byte —
+/// never mid-frame — so polling can't desynchronise the stream.
+const DRAIN_POLL: Duration = Duration::from_millis(50);
+
+/// State shared between the accept loop and every connection handler.
+struct Shared {
+    table: StreamTable,
+    draining: AtomicBool,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the daemon to `addr` (e.g. `"127.0.0.1:7878"`; port 0 picks an
+    /// ephemeral port — read it back with [`Server::local_addr`]).
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            local_addr,
+            shared: Arc::new(Shared {
+                table: StreamTable::new(),
+                draining: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The address the daemon is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Runs the accept loop until a SHUTDOWN frame drains the server.
+    /// Returns once every connection handler has exited and every stream
+    /// engine has flushed its queues and joined its workers.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.shared.draining() {
+                // Woken by the shutdown handler's self-connect (or a late
+                // client); either way the connection is refused by closing.
+                break;
+            }
+            let conn = match conn {
+                Ok(conn) => conn,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionAborted
+                            | std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e),
+            };
+            let shared = Arc::clone(&self.shared);
+            let wake_addr = self.local_addr;
+            let spawned = std::thread::Builder::new()
+                .name("tristream-serve-conn".to_string())
+                .spawn(move || handle_connection(conn, &shared, wake_addr));
+            match spawned {
+                Ok(handle) => handlers.push(handle),
+                // Thread exhaustion: shed this connection, keep serving.
+                Err(_) => continue,
+            }
+            handlers.retain(|h| !h.is_finished());
+        }
+        for handle in handlers {
+            let _ = handle.join();
+        }
+        // Flushes queued batches and joins every engine worker thread.
+        self.shared.table.clear();
+        Ok(())
+    }
+}
+
+/// The loopback address used to wake the accept loop out of `accept()`
+/// when a bind to an unspecified address (0.0.0.0 / ::) makes the listener
+/// address itself unconnectable.
+fn wakeup_addr(local: SocketAddr) -> SocketAddr {
+    match local.ip() {
+        IpAddr::V4(ip) if ip.is_unspecified() => {
+            SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), local.port())
+        }
+        IpAddr::V6(ip) if ip.is_unspecified() => {
+            SocketAddr::new(IpAddr::V6(Ipv6Addr::LOCALHOST), local.port())
+        }
+        _ => local,
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn handle_connection(conn: TcpStream, shared: &Shared, wake_addr: SocketAddr) {
+    // A connection that dies mid-write (peer gone) is not a server error;
+    // everything worth reporting went to the peer as an ERROR frame.
+    let _ = drive_connection(&conn, shared, wake_addr);
+}
+
+/// Whether to keep reading frames from this connection after a response.
+enum Flow {
+    Continue,
+    Close,
+}
+
+fn drive_connection(
+    conn: &TcpStream,
+    shared: &Shared,
+    wake_addr: SocketAddr,
+) -> Result<(), GraphError> {
+    conn.set_read_timeout(Some(DRAIN_POLL))
+        .map_err(GraphError::Io)?;
+    let mut hello_done = false;
+    loop {
+        let frame_type = match frame::read_frame_type(&mut &*conn) {
+            Ok(None) => return Ok(()), // clean EOF at a frame boundary
+            Ok(Some(t)) => t,
+            Err(GraphError::Io(e)) if is_timeout(&e) => {
+                if shared.draining() {
+                    return Ok(()); // idle connection during drain
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        // Mid-frame reads run blocking, so a poll timeout can never split
+        // a frame; the boundary poll above is the only timeout site.
+        conn.set_read_timeout(None).map_err(GraphError::Io)?;
+        let payload = frame::read_frame_body(&mut &*conn);
+        conn.set_read_timeout(Some(DRAIN_POLL))
+            .map_err(GraphError::Io)?;
+        let payload = match payload {
+            Ok(payload) => payload,
+            Err(e @ GraphError::Binary { .. }) => {
+                // Framing is now desynchronised: answer, then hang up.
+                respond(conn, &Response::Error(transport_error(&e)))?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let (response, flow) = match Request::decode(frame_type, &payload) {
+            Err(err) => (Response::Error(err), Flow::Continue),
+            Ok(request) => handle_request(request, shared, &mut hello_done, wake_addr),
+        };
+        respond(conn, &response)?;
+        if matches!(flow, Flow::Close) {
+            return Ok(());
+        }
+    }
+}
+
+fn respond(conn: &TcpStream, response: &Response) -> Result<(), GraphError> {
+    // Response encoding is infallible for everything the server constructs
+    // (ERROR messages are sanitised by the encoder); a failure here would
+    // be a protocol-module bug, answered with a bare OK-less hangup rather
+    // than a panic.
+    let payload = response.encode_payload().unwrap_or_default();
+    let mut writer = conn;
+    frame::write_frame(&mut writer, response.frame_type().byte(), &payload)?;
+    writer.flush().map_err(GraphError::Io)
+}
+
+fn handle_request(
+    request: Request,
+    shared: &Shared,
+    hello_done: &mut bool,
+    wake_addr: SocketAddr,
+) -> (Response, Flow) {
+    // The handshake comes first on every connection.
+    if !*hello_done && !matches!(request, Request::Hello { .. }) {
+        return (
+            Response::Error(WireError::new(
+                ErrorCode::MalformedFrame,
+                "expected HELLO as the first frame",
+            )),
+            Flow::Close,
+        );
+    }
+    match request {
+        Request::Hello { version } => {
+            if version != PROTOCOL_VERSION {
+                return (
+                    Response::Error(WireError::new(
+                        ErrorCode::UnsupportedVersion,
+                        format!("server speaks version {PROTOCOL_VERSION}, client sent {version}"),
+                    )),
+                    Flow::Close,
+                );
+            }
+            *hello_done = true;
+            (Response::Ok, Flow::Continue)
+        }
+        Request::Create {
+            name,
+            algo,
+            seed,
+            budget_words,
+            shards,
+            window,
+        } => {
+            if shared.draining() {
+                return (draining_error(), Flow::Continue);
+            }
+            let result = shared
+                .table
+                .create(&name, &algo, seed, budget_words, shards, window);
+            (
+                match result {
+                    Ok(()) => Response::Ok,
+                    Err(err) => Response::Error(err),
+                },
+                Flow::Continue,
+            )
+        }
+        Request::Delete { name } => {
+            if shared.draining() {
+                return (draining_error(), Flow::Continue);
+            }
+            (
+                match shared.table.delete(&name) {
+                    Ok(()) => Response::Ok,
+                    Err(err) => Response::Error(err),
+                },
+                Flow::Continue,
+            )
+        }
+        Request::Edges { name, edges } => {
+            if shared.draining() {
+                return (draining_error(), Flow::Continue);
+            }
+            (
+                match shared.table.require(&name) {
+                    Ok(entry) => {
+                        ingest_batch(&entry, &edges);
+                        Response::Ok
+                    }
+                    Err(err) => Response::Error(err),
+                },
+                Flow::Continue,
+            )
+        }
+        // Reads stay answerable during a drain: in-flight dashboards see
+        // the final state while the engines flush.
+        Request::Query { name } => (
+            match shared.table.require(&name) {
+                Ok(entry) => {
+                    let (estimate, edges, memory_words) = query_stream(&entry);
+                    Response::Estimate {
+                        estimate,
+                        edges,
+                        memory_words,
+                    }
+                }
+                Err(err) => Response::Error(err),
+            },
+            Flow::Continue,
+        ),
+        Request::Stats => (Response::StatsReport(shared.table.stats()), Flow::Continue),
+        Request::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            // Wake the accept loop out of `accept()`; the connection is
+            // dropped immediately on the other side. Failure is harmless —
+            // the next real connection attempt wakes the loop the same way.
+            let _ = TcpStream::connect_timeout(&wakeup_addr(wake_addr), DRAIN_POLL);
+            (Response::Ok, Flow::Close)
+        }
+    }
+}
+
+fn draining_error() -> Response {
+    Response::Error(WireError::new(
+        ErrorCode::Draining,
+        "server is draining; no new streams or edges accepted",
+    ))
+}

@@ -1,0 +1,471 @@
+//! The stream table: named, isolated, concurrently usable estimation
+//! streams.
+//!
+//! Each entry owns a [`ShardedEstimator`] over boxed registry estimators —
+//! the *same* engine type, built by the *same* factory recipe, as the
+//! offline `count --algo --parallel` path, which is what makes a served
+//! estimate bit-identical to an offline run with the same seed, space and
+//! batch boundaries (pinned by the `socket` integration test).
+//!
+//! Locking is two-level so tenants never interfere:
+//!
+//! * the table's own mutex guards only the `Vec` of entries (lookup,
+//!   create, delete) and is held for microseconds;
+//! * each stream has its own mutex around engine + counters, so a slow
+//!   query on stream A never blocks ingest on stream B.
+//!
+//! Entries are `Arc`-shared: a connection resolves a name to an
+//! `Arc<StreamEntry>` under the table lock, then works on the stream with
+//! the table lock released. `DELETE` removes the entry from the table; the
+//! engine's worker threads are joined when the last `Arc` drops (for a
+//! stream nobody else is touching, that is inside the `DELETE` handler).
+
+use crate::metrics::LatencyCounter;
+use crate::protocol::{ErrorCode, StreamStats, WireError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use tristream_baselines::registry::{find_algo, AlgoParams, StreamHint};
+use tristream_core::{ShardedEstimator, TriangleEstimator};
+use tristream_graph::Edge;
+
+/// What the budget heuristic assumes about a served stream when `CREATE`
+/// resolves its word budget to a space parameter: the stream's true length
+/// is unknowable at create time, so the server sizes for a nominal
+/// million-edge stream. Normative — `docs/PROTOCOL.md` documents it, and
+/// the offline-parity integration test reproduces the resolution with this
+/// same hint.
+pub const SERVE_STREAM_HINT: StreamHint = StreamHint {
+    edges: 1 << 20,
+    vertices: 1 << 17,
+};
+
+/// Default shard count for streams created with `shards = 0`.
+pub const DEFAULT_STREAM_SHARDS: usize = 2;
+
+/// The boxed engine type every stream runs.
+pub type StreamEngine = ShardedEstimator<Box<dyn TriangleEstimator + Send>>;
+
+/// Mutable per-stream state, guarded by the entry's mutex.
+pub struct StreamState {
+    /// The sharded engine (persistent worker threads, bounded queues).
+    pub engine: StreamEngine,
+    /// EDGES-frame enqueue latency.
+    pub ingest: LatencyCounter,
+    /// QUERY latency (includes engine synchronisation).
+    pub query: LatencyCounter,
+}
+
+/// One named stream: immutable identity plus mutexed state.
+pub struct StreamEntry {
+    name: String,
+    algo: &'static str,
+    /// The resolved space parameter (from the CREATE budget), recorded for
+    /// observability.
+    space: usize,
+    state: Mutex<StreamState>,
+}
+
+impl std::fmt::Debug for StreamEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamEntry")
+            .field("name", &self.name)
+            .field("algo", &self.algo)
+            .field("space", &self.space)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamEntry {
+    /// The stream's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The registry algorithm the stream runs.
+    pub fn algo(&self) -> &'static str {
+        self.algo
+    }
+
+    /// The space parameter resolved from the CREATE budget.
+    pub fn space(&self) -> usize {
+        self.space
+    }
+
+    /// Locks the stream's state. Poisoning (an engine panic on another
+    /// connection's thread) is healed by taking the inner value: the
+    /// engine's own shard mutexes re-surface the panic on the next engine
+    /// call, so nothing is masked — but an unrelated stream's handler never
+    /// dies on a poisoned table.
+    pub fn lock(&self) -> MutexGuard<'_, StreamState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Per-stream counters for a STATS report. Synchronises the engine
+    /// (the estimate is the value a QUERY at this instant would see).
+    pub fn stats(&self) -> StreamStats {
+        let state = self.lock();
+        StreamStats {
+            name: self.name.clone(),
+            algo: self.algo.to_string(),
+            edges: state.engine.edges_seen(),
+            estimate: state.engine.estimate(),
+            memory_words: state.engine.memory_words() as u64,
+            ingest_batches: state.ingest.ops(),
+            ingest_nanos: state.ingest.total_nanos(),
+            queries: state.query.ops(),
+            query_nanos: state.query.total_nanos(),
+        }
+    }
+}
+
+/// Builds the engine for a CREATE request, mirroring the offline
+/// `count --algo --parallel` path exactly: the space parameter comes from
+/// [`AlgoSpec::space_for_budget`] under [`SERVE_STREAM_HINT`], pool-type
+/// spaces split `ceil(space / shards)` across shards, per-instance spaces
+/// replicate whole, and shard `i` is seeded `shard_seed(seed, i)` by
+/// [`ShardedEstimator::from_factory`].
+///
+/// Returns the engine and the resolved space parameter.
+///
+/// [`AlgoSpec::space_for_budget`]: tristream_baselines::registry::AlgoSpec::space_for_budget
+pub fn build_stream_engine(
+    algo: &str,
+    seed: u64,
+    budget_words: u64,
+    shards: usize,
+    window: Option<u64>,
+) -> Result<(StreamEngine, usize), WireError> {
+    let spec = find_algo(algo).ok_or_else(|| {
+        WireError::new(
+            ErrorCode::UnknownAlgorithm,
+            format!(
+                "unknown algorithm {algo:?}; registry: {}",
+                tristream_baselines::registry::algo_names_joined()
+            ),
+        )
+    })?;
+    let shards = shards.max(1);
+    let budget = usize::try_from(budget_words).unwrap_or(usize::MAX);
+    let space = spec.space_for_budget(budget, &SERVE_STREAM_HINT);
+    let shard_space = if spec.splits_across_shards {
+        space.div_ceil(shards)
+    } else {
+        space
+    };
+    let engine = ShardedEstimator::from_factory(shards, seed, |shard_seed| {
+        spec.build(&AlgoParams {
+            space: shard_space,
+            seed: shard_seed,
+            window,
+        })
+    });
+    Ok((engine, space))
+}
+
+/// The server's stream table. Backed by a `Vec`, not a map: the tenant
+/// count is small, lookups are one string compare per entry, and STATS
+/// reports stay in deterministic creation order.
+#[derive(Default)]
+pub struct StreamTable {
+    streams: Mutex<Vec<Arc<StreamEntry>>>,
+}
+
+impl std::fmt::Debug for StreamTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamTable")
+            .field("streams", &self.lock().len())
+            .finish()
+    }
+}
+
+impl StreamTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Vec<Arc<StreamEntry>>> {
+        self.streams
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Creates a named stream. `shards == 0` means
+    /// [`DEFAULT_STREAM_SHARDS`]; `window == 0` means the registry default.
+    ///
+    /// The engine is built *outside* the table lock (worker threads spawn
+    /// here), so a CREATE never stalls other tenants' lookups.
+    pub fn create(
+        &self,
+        name: &str,
+        algo: &str,
+        seed: u64,
+        budget_words: u64,
+        shards: u16,
+        window: u64,
+    ) -> Result<(), WireError> {
+        if self.get(name).is_some() {
+            return Err(WireError::new(
+                ErrorCode::DuplicateStream,
+                format!("stream {name:?} already exists"),
+            ));
+        }
+        let shards = if shards == 0 {
+            DEFAULT_STREAM_SHARDS
+        } else {
+            shards as usize
+        };
+        let window = (window > 0).then_some(window);
+        let (engine, space) = build_stream_engine(algo, seed, budget_words, shards, window)?;
+        let entry = Arc::new(StreamEntry {
+            name: name.to_string(),
+            // `find_algo` succeeded inside `build_stream_engine`; re-resolve
+            // for the 'static name rather than threading it back out.
+            algo: find_algo(algo).map_or("?", |spec| spec.name),
+            space,
+            state: Mutex::new(StreamState {
+                engine,
+                ingest: LatencyCounter::new(),
+                query: LatencyCounter::new(),
+            }),
+        });
+        let mut streams = self.lock();
+        // Re-check under the lock: two concurrent CREATEs must not both win.
+        if streams.iter().any(|s| s.name() == name) {
+            return Err(WireError::new(
+                ErrorCode::DuplicateStream,
+                format!("stream {name:?} already exists"),
+            ));
+        }
+        streams.push(entry);
+        Ok(())
+    }
+
+    /// Resolves a name to its entry.
+    pub fn get(&self, name: &str) -> Option<Arc<StreamEntry>> {
+        self.lock().iter().find(|s| s.name() == name).cloned()
+    }
+
+    /// Resolves a name or produces the UNKNOWN_STREAM error.
+    pub fn require(&self, name: &str) -> Result<Arc<StreamEntry>, WireError> {
+        self.get(name).ok_or_else(|| {
+            WireError::new(
+                ErrorCode::UnknownStream,
+                format!("no stream named {name:?}"),
+            )
+        })
+    }
+
+    /// Removes a stream. The engine's queued batches are flushed and its
+    /// workers joined when the last `Arc` drops.
+    pub fn delete(&self, name: &str) -> Result<(), WireError> {
+        let mut streams = self.lock();
+        let before = streams.len();
+        streams.retain(|s| s.name() != name);
+        if streams.len() == before {
+            return Err(WireError::new(
+                ErrorCode::UnknownStream,
+                format!("no stream named {name:?}"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Per-stream counters for every live stream, in creation order.
+    pub fn stats(&self) -> Vec<StreamStats> {
+        // Snapshot the entries first so per-stream synchronisation (which
+        // can wait on engine queues) happens outside the table lock.
+        let entries: Vec<Arc<StreamEntry>> = self.lock().clone();
+        entries.iter().map(|entry| entry.stats()).collect()
+    }
+
+    /// Number of live streams.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the table has no streams.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Drops every stream, flushing queued batches and joining all engine
+    /// worker threads — the final step of a graceful drain.
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+}
+
+/// Ingests one batch into an entry, recording enqueue latency. The batch is
+/// enqueued on the engine's bounded queues and this returns without waiting
+/// for processing (backpressure applies when the queues are full).
+pub fn ingest_batch(entry: &StreamEntry, batch: &[Edge]) {
+    let mut state = entry.lock();
+    let (_, nanos) = crate::metrics::timed(|| state.engine.process_batch(batch));
+    state.ingest.record(nanos);
+}
+
+/// Answers a query against an entry, recording query latency (which
+/// includes waiting for the engine to drain its queues).
+pub fn query_stream(entry: &StreamEntry) -> (f64, u64, u64) {
+    let mut state = entry.lock();
+    let ((estimate, edges, words), nanos) = crate::metrics::timed(|| {
+        (
+            state.engine.estimate(),
+            state.engine.edges_seen(),
+            state.engine.memory_words() as u64,
+        )
+    });
+    state.query.record(nanos);
+    (estimate, edges, words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tristream_core::parallel::shard_seed;
+
+    fn batch(n: u64) -> Vec<Edge> {
+        (0..n).map(|i| Edge::new(i, i + 1)).collect()
+    }
+
+    #[test]
+    fn create_get_delete_round_trip() {
+        let table = StreamTable::new();
+        assert!(table.is_empty());
+        table
+            .create("clicks", "neighborhood-bulk", 7, 1 << 14, 2, 0)
+            .unwrap();
+        assert_eq!(table.len(), 1);
+        let entry = table.require("clicks").unwrap();
+        assert_eq!(entry.name(), "clicks");
+        assert_eq!(entry.algo(), "neighborhood-bulk");
+        assert!(entry.space() >= 1);
+        table.delete("clicks").unwrap();
+        assert!(table.is_empty());
+        assert_eq!(
+            table.require("clicks").unwrap_err().code,
+            ErrorCode::UnknownStream
+        );
+    }
+
+    #[test]
+    fn duplicate_creates_and_unknown_algos_are_refused() {
+        let table = StreamTable::new();
+        table.create("s", "exact", 0, 1 << 10, 1, 0).unwrap();
+        let err = table.create("s", "exact", 0, 1 << 10, 1, 0).unwrap_err();
+        assert_eq!(err.code, ErrorCode::DuplicateStream);
+        let err = table
+            .create("t", "no-such-algo", 0, 1 << 10, 1, 0)
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownAlgorithm);
+        assert!(err.message.contains("neighborhood"), "{err}");
+        let err = table.delete("missing").unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownStream);
+    }
+
+    #[test]
+    fn served_engine_matches_the_offline_factory_recipe_bit_for_bit() {
+        // The parity contract, in miniature: a table-created stream fed
+        // batches must equal a hand-built ShardedEstimator using the
+        // documented recipe (space_for_budget under SERVE_STREAM_HINT,
+        // div_ceil split, shard_seed seeding).
+        let (seed, budget, shards) = (99u64, 1u64 << 14, 3u16);
+        let table = StreamTable::new();
+        table
+            .create("s", "neighborhood-bulk", seed, budget, shards, 0)
+            .unwrap();
+        let entry = table.require("s").unwrap();
+        for chunk in batch(500).chunks(64) {
+            ingest_batch(&entry, chunk);
+        }
+        let (served, edges, _) = query_stream(&entry);
+
+        let spec = find_algo("neighborhood-bulk").unwrap();
+        let space = spec.space_for_budget(budget as usize, &SERVE_STREAM_HINT);
+        let shard_space = space.div_ceil(shards as usize);
+        let mut offline: StreamEngine =
+            ShardedEstimator::from_factory(shards as usize, seed, |shard_seed| {
+                spec.build(&AlgoParams {
+                    space: shard_space,
+                    seed: shard_seed,
+                    window: None,
+                })
+            });
+        for chunk in batch(500).chunks(64) {
+            offline.process_batch(chunk);
+        }
+        assert_eq!(edges, 500);
+        assert_eq!(served.to_bits(), offline.estimate().to_bits());
+        // The factory really does use the workspace seeding contract.
+        let _ = shard_seed(seed, 1);
+    }
+
+    #[test]
+    fn streams_are_isolated() {
+        let table = StreamTable::new();
+        table.create("a", "exact", 0, 1 << 10, 1, 0).unwrap();
+        table.create("b", "exact", 0, 1 << 10, 1, 0).unwrap();
+        let a = table.require("a").unwrap();
+        let b = table.require("b").unwrap();
+        // A triangle into `a` only.
+        ingest_batch(
+            &a,
+            &[
+                Edge::new(1u64, 2u64),
+                Edge::new(2u64, 3u64),
+                Edge::new(1u64, 3u64),
+            ],
+        );
+        let (est_a, edges_a, _) = query_stream(&a);
+        let (est_b, edges_b, _) = query_stream(&b);
+        assert_eq!((est_a, edges_a), (1.0, 3));
+        assert_eq!((est_b, edges_b), (0.0, 0));
+    }
+
+    #[test]
+    fn stats_report_creation_order_and_counters() {
+        let table = StreamTable::new();
+        table.create("first", "exact", 0, 1 << 10, 1, 0).unwrap();
+        table.create("second", "exact", 0, 1 << 10, 1, 0).unwrap();
+        let first = table.require("first").unwrap();
+        ingest_batch(&first, &batch(10));
+        ingest_batch(&first, &batch(10));
+        let _ = query_stream(&first);
+        let stats = table.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "first");
+        assert_eq!(stats[1].name, "second");
+        assert_eq!(stats[0].edges, 20);
+        assert_eq!(stats[0].ingest_batches, 2);
+        assert_eq!(stats[0].queries, 1);
+        assert_eq!(stats[1].ingest_batches, 0);
+        assert!(stats[0].memory_words > 0);
+    }
+
+    #[test]
+    fn zero_shards_and_zero_window_mean_defaults() {
+        let table = StreamTable::new();
+        table
+            .create("w", "sliding", 1, 1 << 12, 0, 0)
+            .expect("defaults must be accepted");
+        let entry = table.require("w").unwrap();
+        ingest_batch(&entry, &batch(8));
+        let (_, edges, _) = query_stream(&entry);
+        assert_eq!(edges, 8);
+    }
+
+    #[test]
+    fn clear_joins_everything() {
+        let table = StreamTable::new();
+        table
+            .create("s", "neighborhood-bulk", 1, 1 << 12, 4, 0)
+            .unwrap();
+        let entry = table.require("s").unwrap();
+        ingest_batch(&entry, &batch(100));
+        drop(entry);
+        table.clear();
+        assert!(table.is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Doc-drift tests holding `docs/PROTOCOL.md` and `docs/OPERATIONS.md` to
+//! the implementation: every frame type, error code, magic byte, version,
+//! and STATS field must appear in the spec, and the top-level docs must
+//! link to it. Adding a protocol variant without documenting it fails here.
+
+use tristream_serve::protocol::{
+    ErrorCode, FrameType, StreamStats, PROTOCOL_MAGIC, PROTOCOL_VERSION,
+};
+
+fn repo_doc(rel: &str) -> String {
+    let path = format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn every_frame_type_is_specified_by_name_and_byte() {
+    let spec = repo_doc("docs/PROTOCOL.md");
+    for t in FrameType::ALL {
+        let heading = format!("{} (0x{:02X})", t.name(), t.byte());
+        assert!(
+            spec.contains(&heading),
+            "docs/PROTOCOL.md is missing a section for frame {heading:?}"
+        );
+    }
+}
+
+#[test]
+fn every_error_code_is_specified_with_its_wire_byte() {
+    let spec = repo_doc("docs/PROTOCOL.md");
+    for c in ErrorCode::ALL {
+        // The error-code table pins name to wire value: `| 1 | MALFORMED_FRAME |`.
+        let row = format!("| {} | {} |", c.byte(), c.name());
+        assert!(
+            spec.contains(&row),
+            "docs/PROTOCOL.md error-code table is missing the row {row:?}"
+        );
+    }
+}
+
+#[test]
+fn magic_and_version_are_specified_byte_for_byte() {
+    let spec = repo_doc("docs/PROTOCOL.md");
+    let magic_bytes = PROTOCOL_MAGIC
+        .iter()
+        .map(|b| format!("0x{b:02X}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    assert!(
+        spec.contains(&magic_bytes),
+        "docs/PROTOCOL.md must spell out the HELLO magic as {magic_bytes:?}"
+    );
+    assert!(
+        spec.contains(&format!("version is **{PROTOCOL_VERSION}**")),
+        "docs/PROTOCOL.md must state the current protocol version"
+    );
+}
+
+#[test]
+fn operations_doc_covers_every_stats_field() {
+    let ops = repo_doc("docs/OPERATIONS.md");
+    // Compile-checked exhaustiveness anchor: the destructure binds every
+    // field without `..`, so adding one to StreamStats without extending
+    // the list below (and the doc) is a compile error here.
+    fn _stats_fields_anchor(s: StreamStats) {
+        let StreamStats {
+            name: _,
+            algo: _,
+            edges: _,
+            estimate: _,
+            memory_words: _,
+            ingest_batches: _,
+            ingest_nanos: _,
+            queries: _,
+            query_nanos: _,
+        } = s;
+    }
+    for field in [
+        "name",
+        "algo",
+        "edges",
+        "estimate",
+        "memory_words",
+        "ingest_batches",
+        "ingest_nanos",
+        "queries",
+        "query_nanos",
+    ] {
+        assert!(
+            ops.contains(&format!("`{field}`")),
+            "docs/OPERATIONS.md STATS reference is missing the `{field}` field"
+        );
+    }
+}
+
+#[test]
+fn top_level_docs_link_to_the_serve_doc_suite() {
+    for doc in ["README.md", "ARCHITECTURE.md"] {
+        let text = repo_doc(doc);
+        for target in ["docs/PROTOCOL.md", "docs/OPERATIONS.md"] {
+            assert!(text.contains(target), "{doc} must link to {target}");
+        }
+    }
+}
