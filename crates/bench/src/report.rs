@@ -2,7 +2,7 @@
 //! under `target/experiments/`, and the versioned machine-readable
 //! `BENCH.json` report emitted by `tristream-cli bench`.
 //!
-//! # `BENCH.json` schema (version 4)
+//! # `BENCH.json` schema (version 5)
 //!
 //! The schema is additive-only: new fields may appear in later versions,
 //! existing fields keep their name, type and meaning, and
@@ -11,10 +11,12 @@
 //! `budget_words`; version 3 added the `"hot-path"` value of `kind` (the
 //! pooled-vs-reference bulk-counter race — no new fields); version 4
 //! added the `"serve"` value of `kind` (the daemon's socket ingest/query
-//! workloads — no new fields). Field by field:
+//! workloads — no new fields); version 5 added the derived
+//! `parallel_vs_sequential_decode_speedup` field (the pipelined-reader
+//! payoff the decode-pipeline gate watches). Field by field:
 //!
 //! * `schema` (string) — always `"tristream-bench"`.
-//! * `schema_version` (integer) — `4`.
+//! * `schema_version` (integer) — `5`.
 //! * `mode` (string) — `"smoke"` or `"full"`.
 //! * `seed` (integer) — base RNG seed the whole suite derives from.
 //! * `workloads` (array) — one object per named workload:
@@ -48,6 +50,9 @@
 //! * `derived` (object):
 //!   * `binary_vs_text_ingest_speedup` (number | null) — `edges_per_sec`
 //!     of `ingest-binary` over `ingest-text`, when both ran.
+//!   * `parallel_vs_sequential_decode_speedup` (number | null) —
+//!     `edges_per_sec` of `ingest-binary-parallel` over `ingest-binary`,
+//!     when both ran.
 //!
 //! Deterministic seeding makes `mean_rel_error` identical run-to-run, so
 //! the accuracy gate is stable; only the latency fields vary with the
@@ -328,8 +333,9 @@ pub struct BenchReport {
 /// The schema version this module writes. Version 2 added `algo`,
 /// `memory_words` and `budget_words` (all nullable — additive only);
 /// version 3 added the `"hot-path"` `kind` value; version 4 added the
-/// `"serve"` `kind` value.
-pub const BENCH_SCHEMA_VERSION: u32 = 4;
+/// `"serve"` `kind` value; version 5 added the
+/// `parallel_vs_sequential_decode_speedup` derived field.
+pub const BENCH_SCHEMA_VERSION: u32 = 5;
 
 /// Tolerance of the hot-path regression gate: the pooled bulk path fails
 /// the gate if its p50 latency exceeds the reference path's by more than
@@ -343,6 +349,16 @@ pub const BENCH_SCHEMA_VERSION: u32 = 4;
 /// asserted bit-for-bit while the rows are produced, so the correctness
 /// half of the gate is fully deterministic.
 pub const HOT_PATH_TOLERANCE: f64 = 1.5;
+
+/// Required `edges_per_sec` speedup of `ingest-binary-parallel` over
+/// `ingest-binary` on machines with at least two hardware threads — on
+/// such machines the pipelined reader overlaps I/O and decoding across
+/// cores, and anything under this bound means the pipeline stopped
+/// pulling its weight. Single-core machines cannot express the overlap,
+/// so there the gate checks only the report's *shape*, not its timings
+/// (see
+/// [`decode_pipeline_regressions`](BenchReport::decode_pipeline_regressions)).
+pub const DECODE_SPEEDUP_BOUND: f64 = 1.5;
 
 impl BenchReport {
     /// Looks up a workload by name.
@@ -403,6 +419,57 @@ impl BenchReport {
                 (!ok).then(|| w.name.clone())
             })
             .collect()
+    }
+
+    /// Failures of the decode-pipeline gate — the CI gate fails when
+    /// non-empty. A report without an `ingest-binary-parallel` row has
+    /// nothing to gate and passes; a report *with* one fails closed on
+    /// shape problems (missing `ingest-binary` partner, unusable
+    /// latencies), on any machine. The performance bounds themselves are
+    /// capability-guarded on at least two hardware threads:
+    ///
+    /// * the pipelined reader must not be slower than the sequential one
+    ///   beyond [`HOT_PATH_TOLERANCE`], and
+    /// * it must be at least [`DECODE_SPEEDUP_BOUND`]× faster.
+    ///
+    /// A single-core machine cannot express the overlap at all — the
+    /// reader thread, decode workers and consumer time-slice one core, so
+    /// the pipeline's coordination is pure cost there and measures only
+    /// the scheduler, not the code. On such machines the shape checks
+    /// still run (they catch renames and missing rows deterministically)
+    /// and both performance bounds are skipped rather than flaked.
+    pub fn decode_pipeline_regressions(&self) -> Vec<String> {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.decode_pipeline_regressions_with_cores(cores)
+    }
+
+    /// [`decode_pipeline_regressions`](Self::decode_pipeline_regressions)
+    /// with the hardware-thread count injected, so the gate logic is
+    /// testable on any machine.
+    fn decode_pipeline_regressions_with_cores(&self, cores: usize) -> Vec<String> {
+        let name = "ingest-binary-parallel";
+        let Some(parallel) = self.workload(name) else {
+            return Vec::new();
+        };
+        let usable =
+            |w: &WorkloadResult| w.p50_latency_secs.is_finite() && w.p50_latency_secs > 0.0;
+        let ok = self.workload("ingest-binary").is_some_and(|sequential| {
+            if !usable(parallel) || !usable(sequential) {
+                return false;
+            }
+            cores < 2
+                || (parallel.p50_latency_secs <= sequential.p50_latency_secs * HOT_PATH_TOLERANCE
+                    && self
+                        .speedup(name, "ingest-binary")
+                        .is_some_and(|s| s >= DECODE_SPEEDUP_BOUND))
+        });
+        if ok {
+            Vec::new()
+        } else {
+            vec![name.to_string()]
+        }
     }
 
     /// Renders the report as pretty-printed JSON in the documented schema.
@@ -477,8 +544,12 @@ impl BenchReport {
         out.push_str("  ],\n");
         out.push_str("  \"derived\": {\n");
         out.push_str(&format!(
-            "    \"binary_vs_text_ingest_speedup\": {}\n",
+            "    \"binary_vs_text_ingest_speedup\": {},\n",
             json_opt_f64(self.speedup("ingest-binary", "ingest-text"))
+        ));
+        out.push_str(&format!(
+            "    \"parallel_vs_sequential_decode_speedup\": {}\n",
+            json_opt_f64(self.speedup("ingest-binary-parallel", "ingest-binary"))
         ));
         out.push_str("  }\n");
         out.push_str("}\n");
@@ -887,7 +958,73 @@ mod tests {
     }
 
     #[test]
-    fn hot_path_and_serve_kinds_serialise_in_schema_v4() {
+    fn decode_pipeline_gate_compares_parallel_against_sequential_rows() {
+        let mut report = sample_report();
+        // sample_report has ingest-binary but no parallel row: nothing to
+        // gate.
+        assert!(report.decode_pipeline_regressions().is_empty());
+        let sequential_p50 = report.workload("ingest-binary").unwrap().p50_latency_secs;
+        report.workloads.push(summarize_workload(
+            "ingest-binary-parallel",
+            WorkloadKind::Ingest,
+            1_000_000,
+            &[sequential_p50 / 2.0],
+            Some(65_536),
+            Some(2),
+            None,
+            None,
+        ));
+        // 2x faster passes both bounds of the gate on a multi-core box.
+        assert!(report.decode_pipeline_regressions_with_cores(4).is_empty());
+        // Slower than the sequential reader beyond the tolerance fails on
+        // a multi-core box…
+        report.workloads.last_mut().unwrap().p50_latency_secs =
+            sequential_p50 * HOT_PATH_TOLERANCE * 1.01;
+        assert_eq!(
+            report.decode_pipeline_regressions_with_cores(4),
+            vec!["ingest-binary-parallel"]
+        );
+        // …and so does faster-but-short-of-the-speedup-bound…
+        report.workloads.last_mut().unwrap().p50_latency_secs = sequential_p50 / 1.2;
+        report.workloads.last_mut().unwrap().edges_per_sec =
+            report.workload("ingest-binary").unwrap().edges_per_sec * 1.2;
+        assert_eq!(
+            report.decode_pipeline_regressions_with_cores(4),
+            vec!["ingest-binary-parallel"]
+        );
+        // …but a single-core machine skips both performance bounds — the
+        // pipeline cannot overlap anything there.
+        assert!(report.decode_pipeline_regressions_with_cores(1).is_empty());
+        // Unusable latency fails closed, on any machine.
+        report.workloads.last_mut().unwrap().p50_latency_secs = f64::NAN;
+        assert_eq!(report.decode_pipeline_regressions_with_cores(1).len(), 1);
+        assert_eq!(report.decode_pipeline_regressions_with_cores(4).len(), 1);
+        // A parallel row without its sequential partner fails closed, on
+        // any machine.
+        report
+            .workloads
+            .retain(|w| w.name != "ingest-binary" && w.name != "ingest-binary-parallel");
+        report.workloads.push(summarize_workload(
+            "ingest-binary-parallel",
+            WorkloadKind::Ingest,
+            10_000,
+            &[0.01],
+            Some(1_024),
+            Some(2),
+            None,
+            None,
+        ));
+        assert_eq!(
+            report.decode_pipeline_regressions_with_cores(1),
+            vec!["ingest-binary-parallel"]
+        );
+        // The derived speedup field serialises alongside the ingest pair.
+        let json = sample_report().to_json();
+        assert!(json.contains("\"parallel_vs_sequential_decode_speedup\": null"));
+    }
+
+    #[test]
+    fn hot_path_and_serve_kinds_serialise_in_current_schema() {
         let mut report = sample_report();
         report.workloads.push(summarize_workload(
             "serve-ingest",
@@ -913,7 +1050,10 @@ mod tests {
         assert_valid_json(&json);
         assert!(json.contains("\"kind\": \"hot-path\""), "{json}");
         assert!(json.contains("\"kind\": \"serve\""), "{json}");
-        assert!(json.contains("\"schema_version\": 4"), "{json}");
+        assert!(
+            json.contains(&format!("\"schema_version\": {BENCH_SCHEMA_VERSION}")),
+            "{json}"
+        );
     }
 
     #[test]

@@ -6,9 +6,11 @@
 //! `String` so they can be tested without capturing stdout.
 
 use crate::args::{ClientAction, Command, HELP};
+use std::cell::Cell;
 use std::error::Error;
 use std::io::Write;
 use std::path::Path;
+use std::rc::Rc;
 use std::time::Instant;
 use tristream_baselines::registry::{find_algo, AlgoParams};
 use tristream_baselines::ExactStreamingCounter;
@@ -24,6 +26,7 @@ use tristream_graph::binary::{
     write_edges_binary_timestamped_file,
 };
 use tristream_graph::io::{read_edge_list_batched_file, read_edge_list_file, write_edge_list_file};
+use tristream_graph::pipeline::read_edges_binary_pipelined_file;
 use tristream_graph::{Edge, EdgeStream, GraphError, GraphSummary};
 use tristream_serve::{Client, CreateStream, Server};
 
@@ -54,6 +57,61 @@ fn open_batched_auto<P: AsRef<Path>>(
     } else {
         Ok(Box::new(read_edge_list_batched_file(path, batch_size)?))
     }
+}
+
+/// [`open_batched_auto`] for the `--parallel` paths: `.tsb` inputs go
+/// through the pipelined reader (a reader thread plus decode workers on
+/// bounded channels), so decoding overlaps with the estimation shards
+/// instead of serialising in front of them. Batches, batch boundaries and
+/// errors are identical to the single-threaded reader, so estimates are
+/// unchanged. Text inputs keep the line reader — parsing text in parallel
+/// would change nothing observable but the thread count.
+fn open_batched_parallel<P: AsRef<Path>>(
+    path: P,
+    batch_size: usize,
+) -> Result<BatchSource, GraphError> {
+    if is_tsb_path(&path) {
+        Ok(Box::new(read_edges_binary_pipelined_file(
+            path,
+            batch_size,
+            decode_workers(),
+        )?))
+    } else {
+        Ok(Box::new(read_edge_list_batched_file(path, batch_size)?))
+    }
+}
+
+/// Wraps a batch source, accumulating the wall clock spent inside
+/// `next()` — the decode component of `count`'s split timing report. With
+/// the pipelined reader this is the time the consumer *waited* on
+/// decoding; fully overlapped decode shows up as a near-zero decode
+/// component, which is exactly the claim worth measuring.
+struct TimedBatches {
+    inner: BatchSource,
+    decode_secs: Rc<Cell<f64>>,
+}
+
+impl Iterator for TimedBatches {
+    type Item = Result<Vec<Edge>, GraphError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let start = Instant::now();
+        let item = self.inner.next();
+        self.decode_secs
+            .set(self.decode_secs.get() + start.elapsed().as_secs_f64());
+        item
+    }
+}
+
+/// The `count` subcommand's decode/estimate split line: how much of the
+/// elapsed wall clock went to producing edges (file I/O + record decoding,
+/// or — under the pipelined reader — waiting for it) versus consuming them
+/// (estimation).
+fn split_line(decode_secs: f64, elapsed_secs: f64) -> String {
+    format!(
+        "wall clock: decode {decode_secs:.3} s, estimate {:.3} s\n",
+        (elapsed_secs - decode_secs).max(0.0)
+    )
 }
 
 /// Executes a parsed command and returns the report to print.
@@ -96,7 +154,12 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 let shards = shards.unwrap_or_else(default_shards).max(1);
                 let start = Instant::now();
                 let mut counter = ParallelBulkTriangleCounter::new(estimators.max(1), shards, seed);
-                let edges = counter.process_source(open_batched_auto(&input, batch)?)?;
+                let decode_secs = Rc::new(Cell::new(0.0));
+                let source = TimedBatches {
+                    inner: open_batched_parallel(&input, batch)?,
+                    decode_secs: Rc::clone(&decode_secs),
+                };
+                let edges = counter.process_source(source)?;
                 // `estimate()` synchronises with the workers, so the elapsed
                 // time (and the throughput derived from it) covers actual
                 // processing, not just enqueueing.
@@ -104,7 +167,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 let elapsed = start.elapsed().as_secs_f64();
                 return Ok(format!(
                     "estimated triangle count: {:.0} (r = {}, shards = {}, batch = {}, {} edges \
-                     in {:.3} s, {} estimators hold a triangle)\n{}",
+                     in {:.3} s, {} estimators hold a triangle)\n{}{}",
                     estimate,
                     counter.num_estimators(),
                     shards,
@@ -112,21 +175,25 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                     edges,
                     elapsed,
                     counter.estimators_with_triangle(),
-                    throughput_line(edges, elapsed)
+                    throughput_line(edges, elapsed),
+                    split_line(decode_secs.get(), elapsed)
                 ));
             }
+            let read_start = Instant::now();
             let stream = read_stream_auto(&input)?;
+            let decode_secs = read_start.elapsed().as_secs_f64();
             if exact {
                 let start = Instant::now();
                 let mut counter = ExactStreamingCounter::new();
                 counter.process_edges(stream.edges());
                 let elapsed = start.elapsed().as_secs_f64();
                 Ok(format!(
-                    "exact triangle count: {} ({} edges in {:.3} s)\n{}",
+                    "exact triangle count: {} ({} edges in {:.3} s)\n{}{}",
                     counter.triangles(),
                     stream.len(),
                     elapsed,
-                    throughput_line(stream.len() as u64, elapsed)
+                    throughput_line(stream.len() as u64, elapsed),
+                    split_line(decode_secs, decode_secs + elapsed)
                 ))
             } else {
                 let start = Instant::now();
@@ -135,14 +202,15 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 let elapsed = start.elapsed().as_secs_f64();
                 Ok(format!(
                     "estimated triangle count: {:.0} (r = {}, batch = {}, {} edges in {:.3} s, \
-                     {} estimators hold a triangle)\n{}",
+                     {} estimators hold a triangle)\n{}{}",
                     counter.estimate(),
                     estimators,
                     batch,
                     stream.len(),
                     elapsed,
                     counter.estimators_with_triangle(),
-                    throughput_line(stream.len() as u64, elapsed)
+                    throughput_line(stream.len() as u64, elapsed),
+                    split_line(decode_secs, decode_secs + elapsed)
                 ))
             }
         }
@@ -244,6 +312,11 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             if let Some(speedup) = report.speedup("ingest-binary", "ingest-text") {
                 out.push_str(&format!("binary vs text ingest speedup: {speedup:.2}x\n"));
             }
+            if let Some(speedup) = report.speedup("ingest-binary-parallel", "ingest-binary") {
+                out.push_str(&format!(
+                    "parallel vs sequential .tsb decode: {speedup:.2}x\n"
+                ));
+            }
             if let Some(speedup) = report.speedup("hotpath-pooled-w4096", "hotpath-reference-w4096")
             {
                 out.push_str(&format!(
@@ -278,6 +351,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             // job runs) and skipped, visibly, otherwise.
             if cfg!(debug_assertions) {
                 out.push_str("hot-path gate: skipped (unoptimised build)\n");
+                out.push_str("decode-pipeline gate: skipped (unoptimised build)\n");
             } else {
                 let regressions = report.hot_path_regressions();
                 if regressions.is_empty() {
@@ -289,6 +363,28 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                         return Err(format!(
                             "hot-path gate failed: {regressions:?} slower than the reference \
                              path beyond the documented tolerance"
+                        )
+                        .into());
+                    }
+                }
+                // The decode-pipeline gate: the pipelined `.tsb` reader
+                // must never be slower than the sequential one beyond the
+                // tolerance, and on multi-core machines must deliver the
+                // documented decode speedup (the capability guard lives in
+                // the report, so single-core runners skip the speedup half
+                // instead of flaking).
+                let regressions = report.decode_pipeline_regressions();
+                if regressions.is_empty() {
+                    out.push_str("decode-pipeline gate: ok\n");
+                } else {
+                    out.push_str(&format!(
+                        "decode-pipeline gate: FAILED for {regressions:?}\n"
+                    ));
+                    if check {
+                        print!("{out}");
+                        return Err(format!(
+                            "decode-pipeline gate failed: {regressions:?} missed the documented \
+                             parallel-decode bound"
                         )
                         .into());
                     }
@@ -382,14 +478,19 @@ fn run_count_algo(
                 window,
             })
         });
-        let edges = counter.process_source(open_batched_auto(input, batch)?)?;
+        let decode_secs = Rc::new(Cell::new(0.0));
+        let source = TimedBatches {
+            inner: open_batched_parallel(input, batch)?,
+            decode_secs: Rc::clone(&decode_secs),
+        };
+        let edges = counter.process_source(source)?;
         // As in the default parallel path: `estimate()` synchronises, so
         // the measured wall clock covers processing.
         let estimate = counter.estimate();
         let elapsed = start.elapsed().as_secs_f64();
         return Ok(format!(
             "estimated triangle count: {:.0} (algo = {}, space = {}, shards = {}, batch = {}, \
-             {} edges in {:.3} s, memory = {} words)\n{}",
+             {} edges in {:.3} s, memory = {} words)\n{}{}",
             estimate,
             spec.name,
             space,
@@ -398,7 +499,8 @@ fn run_count_algo(
             edges,
             elapsed,
             counter.memory_words(),
-            throughput_line(edges, elapsed)
+            throughput_line(edges, elapsed),
+            split_line(decode_secs.get(), elapsed)
         ));
     }
     let mut counter = spec.build(&AlgoParams {
@@ -410,12 +512,17 @@ fn run_count_algo(
     // binary readers produce identical streams, so this changes peak
     // memory, not results); text inputs go through the whole-file reader
     // to keep its deduplicating semantics.
+    let decode_secs = Rc::new(Cell::new(0.0));
     let edges = if is_tsb_path(input) {
-        drain_batch_source(open_batched_auto(input, batch)?, |chunk| {
-            counter.process_edges(chunk)
-        })?
+        let source = TimedBatches {
+            inner: open_batched_auto(input, batch)?,
+            decode_secs: Rc::clone(&decode_secs),
+        };
+        drain_batch_source(source, |chunk| counter.process_edges(chunk))?
     } else {
+        let read_start = Instant::now();
         let stream = read_stream_auto(input)?;
+        decode_secs.set(read_start.elapsed().as_secs_f64());
         for chunk in stream.edges().chunks(batch) {
             counter.process_edges(chunk);
         }
@@ -424,7 +531,7 @@ fn run_count_algo(
     let elapsed = start.elapsed().as_secs_f64();
     Ok(format!(
         "estimated triangle count: {:.0} (algo = {}, space = {}, batch = {}, {} edges in \
-         {:.3} s, memory = {} words)\n{}",
+         {:.3} s, memory = {} words)\n{}{}",
         counter.estimate(),
         spec.name,
         space,
@@ -432,7 +539,8 @@ fn run_count_algo(
         edges,
         elapsed,
         counter.memory_words(),
-        throughput_line(edges, elapsed)
+        throughput_line(edges, elapsed),
+        split_line(decode_secs.get(), elapsed)
     ))
 }
 
@@ -530,6 +638,14 @@ fn default_shards() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Decode workers for the pipelined `.tsb` reader under `--parallel`: one
+/// short of the machine (the estimation shards want the rest), capped at
+/// four — block decoding is memcpy-bound and stops scaling long before the
+/// estimator pool does. See `docs/OPERATIONS.md` on thread budgeting.
+fn decode_workers() -> usize {
+    default_shards().saturating_sub(1).clamp(1, 4)
 }
 
 /// Maps a CLI dataset slug to its [`DatasetKind`].
@@ -855,11 +971,11 @@ mod tests {
             .unwrap()
         };
         let without_elapsed = |report: String| {
-            // Strip the wall-clock-dependent parts: the elapsed field and
-            // the throughput line derived from it.
+            // Strip the wall-clock-dependent parts: the elapsed field, the
+            // throughput line, and the decode/estimate split.
             let report: String = report
                 .lines()
-                .filter(|line| !line.starts_with("throughput:"))
+                .filter(|line| !line.starts_with("throughput:") && !line.starts_with("wall clock:"))
                 .collect();
             let (head, tail) = report.split_once(" in ").expect("report has a time field");
             let (_, tail) = tail.split_once(" s, ").expect("report has a time field");

@@ -169,6 +169,10 @@ fn parallel_count_end_to_end() {
         text.contains("throughput:") && text.contains("edges/sec"),
         "parallel count must report wall-clock throughput:\n{text}"
     );
+    assert!(
+        text.contains("wall clock: decode ") && text.contains(" s, estimate "),
+        "parallel count must split wall clock into decode and estimate components:\n{text}"
+    );
 
     let _ = std::fs::remove_file(&edge_list);
 }
@@ -362,6 +366,13 @@ fn convert_and_binary_count_end_to_end() {
         "{}",
         stdout(&count)
     );
+    // `.tsb` + `--parallel` runs the pipelined decoder; the report must
+    // still split wall clock into decode and estimate components.
+    assert!(
+        stdout(&count).contains("wall clock: decode "),
+        "binary parallel count must report the decode/estimate split:\n{}",
+        stdout(&count)
+    );
 
     // An ambiguous conversion (neither side .tsb) is a usage error.
     let ambiguous = run(&[
@@ -481,9 +492,10 @@ fn bench_smoke_emits_machine_readable_json() {
     let json = std::fs::read_to_string(&json_path).expect("bench wrote the report");
     for field in [
         "\"schema\": \"tristream-bench\"",
-        "\"schema_version\": 4",
+        "\"schema_version\": 5",
         "\"ingest-text\"",
         "\"ingest-binary\"",
+        "\"ingest-binary-parallel\"",
         "\"engine-spawn-w256\"",
         "\"engine-persistent-w65536\"",
         "\"hotpath-reference-w4096\"",
@@ -500,6 +512,7 @@ fn bench_smoke_emits_machine_readable_json() {
         "\"memory_words\"",
         "\"budget_words\"",
         "\"binary_vs_text_ingest_speedup\"",
+        "\"parallel_vs_sequential_decode_speedup\"",
     ] {
         assert!(json.contains(field), "BENCH.json missing {field}:\n{json}");
     }

@@ -62,6 +62,8 @@
 use crate::counter::Aggregation;
 use crate::estimator::EstimatorState;
 use crate::fastmap::FastMap;
+use crate::lanes::{lemire4, LANES};
+
 use crate::pool::{BufferedRng, EstimatorPool};
 use rand::Rng;
 use tristream_graph::Edge;
@@ -82,6 +84,37 @@ pub enum Level1Strategy {
     GeometricSkip,
 }
 
+/// Which kernel [`BulkTriangleCounter::process_batch`] dispatches to.
+///
+/// Both kernels are always compiled and produce **bit-identical** results:
+/// [`Lanes`](Self::Lanes) consumes the RNG stream in exactly the order
+/// [`Scalar`](Self::Scalar) does (and therefore in the order of
+/// [`crate::reference::ReferenceBulkCounter`]); it differs only in memory
+/// schedule — u64×4 draw groups with scalar remainder loops, whole-word
+/// `BitSet` replacement masks, and batched multiply-shift hashing with
+/// probe-start prefetching for the [`FastMap`] scratch tables (see
+/// [`crate::lanes`]). The `simd` cargo feature (default on) selects which
+/// kernel `Default` resolves to; [`BulkTriangleCounter::with_kernel`]
+/// overrides it per instance, which is how the equivalence proptests and
+/// CI's `--no-default-features` perf run pin both paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BulkKernel {
+    /// Hand-unrolled u64×4 lane kernels ([`crate::lanes`]).
+    Lanes,
+    /// The straight-line per-estimator / per-edge loops.
+    Scalar,
+}
+
+impl Default for BulkKernel {
+    fn default() -> Self {
+        if cfg!(feature = "simd") {
+            Self::Lanes
+        } else {
+            Self::Scalar
+        }
+    }
+}
+
 /// Chain terminator for the per-estimator `next` columns in
 /// [`BatchScratch`].
 const CHAIN_END: u32 = u32::MAX;
@@ -100,6 +133,13 @@ struct BatchScratch {
     /// at the end, so the reset is `O(|replaced|)`, not `O(r)`).
     beta_u: Vec<u64>,
     beta_v: Vec<u64>,
+    /// Per-edge endpoint occurrence numbers, recorded during the Step-2a
+    /// scan: entry `i` holds the batch degrees of `batch[i]`'s endpoints
+    /// *at* that edge (the degree after counting it). Step 2c resolves
+    /// EVENT_B subscriptions straight off these columns instead of
+    /// replaying the batch through a second degree-table pass.
+    edge_du: Vec<u64>,
+    edge_dv: Vec<u64>,
     /// Batch-degree table, keyed `(vertex, 0)`; reused by both `edgeIter`
     /// passes.
     deg: FastMap<u64>,
@@ -128,6 +168,8 @@ impl BatchScratch {
             replaced: Vec::with_capacity(r),
             beta_u: vec![0; r],
             beta_v: vec![0; r],
+            edge_du: Vec::new(),
+            edge_dv: Vec::new(),
             deg: FastMap::with_seed(hash_seed),
             subs,
             sub_next: vec![0; r],
@@ -143,10 +185,252 @@ impl BatchScratch {
         self.replaced.clear();
         self.deg.clear();
         self.deg.reserve(2 * w);
+        self.edge_du.resize(w, 0);
+        self.edge_dv.resize(w, 0);
         self.subs.clear();
         self.waiting.clear();
     }
 }
+
+// The helpers below are the shared bodies of the per-item work both kernels
+// perform — the lane kernel calls them with precomputed probe starts, the
+// scalar kernel without. They run inside the batch hot loop.
+// analyze: region(no-alloc)
+
+/// Increments the batch degree of `vertex`, returning the new value.
+#[inline]
+fn bump_degree(deg: &mut FastMap<u64>, vertex: u64) -> u64 {
+    let d = deg.get_mut_or_insert((vertex, 0), 0);
+    *d += 1;
+    *d
+}
+
+/// [`bump_degree`] probing from a precomputed start index.
+#[inline]
+fn bump_degree_from(deg: &mut FastMap<u64>, start: usize, vertex: u64) -> u64 {
+    let d = deg.get_mut_or_insert_from(start, (vertex, 0), 0);
+    *d += 1;
+    *d
+}
+
+/// The Step-2a merge body: stores edge `i`'s endpoint occurrence numbers
+/// (the degree columns Step 2c resolves events against), then lets
+/// estimators whose new level-1 edge is `batch[i]` record the endpoint
+/// degrees at that moment (the β values).
+#[inline]
+fn record_betas(
+    scratch: &mut BatchScratch,
+    pool: &EstimatorPool,
+    i: usize,
+    e: &Edge,
+    du: u64,
+    dv: u64,
+    next_replaced: &mut usize,
+) {
+    scratch.edge_du[i] = du;
+    scratch.edge_dv[i] = dv;
+    while *next_replaced < scratch.replaced.len()
+        && scratch.replaced[*next_replaced].1 as usize == i
+    {
+        let est = scratch.replaced[*next_replaced].0 as usize;
+        debug_assert_eq!(pool.r1_edge(est), Some(*e));
+        scratch.beta_u[est] = du;
+        scratch.beta_v[est] = dv;
+        *next_replaced += 1;
+    }
+}
+
+/// The Step-2b per-estimator body: one `randInt` decides whether estimator
+/// `idx` keeps its level-2 edge or subscribes to the EVENT_B that produces
+/// the new one. Returns whether a subscription was added. Called in
+/// estimator-index order by both kernels, so the RNG consumption order is
+/// identical.
+#[inline]
+fn step2b_estimator(
+    pool: &mut EstimatorPool,
+    scratch: &mut BatchScratch,
+    rng: &mut BufferedRng,
+    idx: usize,
+    deg_x: u64,
+    deg_y: u64,
+) -> bool {
+    let x = pool.r1_u[idx];
+    let y = pool.r1_v[idx];
+    let beta_x = scratch.beta_u[idx];
+    let beta_y = scratch.beta_v[idx];
+    let a = deg_x - beta_x;
+    let b = deg_y - beta_y;
+    let c_minus = pool.c[idx];
+    let c_plus = a + b;
+    if c_plus == 0 {
+        return false; // nothing new adjacent to r1 in this batch
+    }
+    let total = c_minus + c_plus;
+    let phi = rng.gen_range(1..=total);
+    pool.c[idx] = total;
+    if phi <= c_minus {
+        // Keep the existing level-2 edge (and any closed triangle).
+        return false;
+    }
+    // A new level-2 edge will come from this batch; the triangle (if any)
+    // is no longer valid.
+    pool.drop_r2(idx);
+    let (vertex, target_degree) = if phi <= c_minus + a {
+        (x, beta_x + (phi - c_minus))
+    } else {
+        (y, beta_y + (phi - c_minus - a))
+    };
+    let head = scratch
+        .subs
+        .insert((vertex, target_degree), idx as u32)
+        .unwrap_or(CHAIN_END);
+    scratch.sub_next[idx] = head;
+    true
+}
+
+/// The Step-2c per-edge body: resolve any EVENT_B subscriptions that fire
+/// at edge `i`'s endpoint occurrence numbers (recorded by the Step-2a
+/// scan — no second degree-table pass). `starts` carries the precomputed
+/// `(u, du)`/`(v, dv)` probe starts under the lane kernel.
+#[inline]
+fn step2c_edge(
+    pool: &mut EstimatorPool,
+    scratch: &mut BatchScratch,
+    e: &Edge,
+    position: u64,
+    i: usize,
+    starts: Option<(usize, usize)>,
+    pending_subs: &mut usize,
+) {
+    let keys = [
+        (e.u().raw(), scratch.edge_du[i]),
+        (e.v().raw(), scratch.edge_dv[i]),
+    ];
+    for (slot, key) in keys.into_iter().enumerate() {
+        let head = match starts {
+            Some(s) => scratch
+                .subs
+                .get_from(if slot == 0 { s.0 } else { s.1 }, key),
+            None => scratch.subs.get(key),
+        };
+        if let Some(head) = head {
+            let mut cursor = head;
+            while cursor != CHAIN_END {
+                let est = cursor as usize;
+                pool.take_r2(est, *e, position);
+                cursor = scratch.sub_next[est];
+                *pending_subs -= 1;
+            }
+        }
+    }
+}
+
+/// The Step-3 chain walk: `head` is the `waiting` chain of estimators
+/// whose wedge `batch[i]` closes.
+#[inline]
+fn close_wedges(
+    pool: &mut EstimatorPool,
+    scratch: &BatchScratch,
+    e: &Edge,
+    position: u64,
+    head: u32,
+) {
+    let mut cursor = head;
+    while cursor != CHAIN_END {
+        let est = cursor as usize;
+        if !pool.closer_set.get(est) && position > pool.r2_pos[est] {
+            pool.take_closer(est, *e, position);
+        }
+        cursor = scratch.wait_next[est];
+    }
+}
+
+/// Probe starts for the `(endpoint, 0)` degree keys of the edge lane group
+/// starting at `base`, prefetched so the upserts one group later hit warm
+/// cache lines. Requires `base + LANES <= batch.len()`.
+#[inline]
+fn hash_edge_group(
+    deg: &FastMap<u64>,
+    batch: &[Edge],
+    base: usize,
+) -> ([usize; LANES], [usize; LANES]) {
+    let mut us = [0u64; LANES];
+    let mut vs = [0u64; LANES];
+    for (lane, e) in batch[base..base + LANES].iter().enumerate() {
+        us[lane] = e.u().raw();
+        vs[lane] = e.v().raw();
+    }
+    let su = deg.probe_start4(us, [0; LANES]);
+    let sv = deg.probe_start4(vs, [0; LANES]);
+    for lane in 0..LANES {
+        deg.prefetch_slot(su[lane]);
+        deg.prefetch_slot(sv[lane]);
+    }
+    (su, sv)
+}
+
+/// Probe starts for the level-1 endpoint degree lookups of the estimator
+/// lane group starting at `base` (Step 2b). Estimators without a level-1
+/// edge hash whatever stale column values they hold — harmless, since the
+/// lookup is skipped for them.
+#[inline]
+fn hash_r1_group(
+    deg: &FastMap<u64>,
+    pool: &EstimatorPool,
+    base: usize,
+) -> ([usize; LANES], [usize; LANES]) {
+    let mut xs = [0u64; LANES];
+    let mut ys = [0u64; LANES];
+    xs.copy_from_slice(&pool.r1_u[base..base + LANES]);
+    ys.copy_from_slice(&pool.r1_v[base..base + LANES]);
+    let sx = deg.probe_start4(xs, [0; LANES]);
+    let sy = deg.probe_start4(ys, [0; LANES]);
+    for lane in 0..LANES {
+        deg.prefetch_slot(sx[lane]);
+        deg.prefetch_slot(sy[lane]);
+    }
+    (sx, sy)
+}
+
+/// Probe starts for the EVENT_B subscription lookups of the edge lane
+/// group starting at `base` (Step 2c): the `(endpoint, occurrence)` keys
+/// come straight off the `edge_du`/`edge_dv` columns the Step-2a scan
+/// recorded.
+#[inline]
+fn hash_sub_group(
+    scratch: &BatchScratch,
+    batch: &[Edge],
+    base: usize,
+) -> ([usize; LANES], [usize; LANES]) {
+    let mut us = [0u64; LANES];
+    let mut vs = [0u64; LANES];
+    let mut dus = [0u64; LANES];
+    let mut dvs = [0u64; LANES];
+    for (lane, e) in batch[base..base + LANES].iter().enumerate() {
+        us[lane] = e.u().raw();
+        vs[lane] = e.v().raw();
+        dus[lane] = scratch.edge_du[base + lane];
+        dvs[lane] = scratch.edge_dv[base + lane];
+    }
+    let su = scratch.subs.probe_start4(us, dus);
+    let sv = scratch.subs.probe_start4(vs, dvs);
+    (su, sv)
+}
+
+/// Probe starts for the closing-edge lookups of the edge lane group
+/// starting at `base` (Step 3). Edge endpoints are stored normalised
+/// (`u < v`), matching the `(min, max)` keys the wedge scan inserts.
+#[inline]
+fn hash_pair_group(waiting: &FastMap<u32>, batch: &[Edge], base: usize) -> [usize; LANES] {
+    let mut us = [0u64; LANES];
+    let mut vs = [0u64; LANES];
+    for (lane, e) in batch[base..base + LANES].iter().enumerate() {
+        us[lane] = e.u().raw();
+        vs[lane] = e.v().raw();
+    }
+    waiting.probe_start4(us, vs)
+}
+// analyze: endregion
 
 /// Streaming triangle counter that ingests edges in batches in
 /// `O(r + w)` time per batch (Theorem 3.5), built on the struct-of-arrays
@@ -159,6 +443,7 @@ pub struct BulkTriangleCounter {
     rng: BufferedRng,
     aggregation: Aggregation,
     level1_strategy: Level1Strategy,
+    kernel: BulkKernel,
 }
 
 impl BulkTriangleCounter {
@@ -195,7 +480,22 @@ impl BulkTriangleCounter {
             rng: BufferedRng::seed_from_u64(seed),
             aggregation,
             level1_strategy: Level1Strategy::default(),
+            kernel: BulkKernel::default(),
         }
+    }
+
+    /// Selects which hot-path kernel [`process_batch`](Self::process_batch)
+    /// dispatches to (see [`BulkKernel`]); returns `self` for builder-style
+    /// chaining. Both kernels produce bit-identical estimates — this only
+    /// picks the memory schedule.
+    pub fn with_kernel(mut self, kernel: BulkKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The hot-path kernel in use.
+    pub fn kernel(&self) -> BulkKernel {
+        self.kernel
     }
 
     /// Selects how level-1 resampling iterates over the pool (see
@@ -225,7 +525,11 @@ impl BulkTriangleCounter {
     /// sizing unit): [`crate::pool::POOL_COLUMNS`] `u64`s; the three
     /// presence bits per estimator amortise to under half a word per 64
     /// estimators and are covered by the measured
-    /// [`estimator_memory_bytes`](Self::estimator_memory_bytes).
+    /// [`estimator_memory_bytes`](Self::estimator_memory_bytes). The `simd`
+    /// lane kernels ([`BulkKernel::Lanes`]) read and write these same
+    /// columns in u64×4 groups — no shadow state, no padding, no extra
+    /// columns — so this accounting is identical under both kernels and
+    /// equal-memory head-to-head budgets stay honest.
     pub fn words_per_estimator() -> usize {
         crate::pool::POOL_COLUMNS
     }
@@ -262,13 +566,28 @@ impl BulkTriangleCounter {
     }
 
     /// Ingests one batch of edges, advancing every estimator as if the edges
-    /// had been processed one at a time in order. Allocation-free in the
-    /// steady state: all working memory comes from the reused
+    /// had been processed one at a time in order. Dispatches to one of two
+    /// monomorphised kernels (see [`BulkKernel`]); both are allocation-free
+    /// in the steady state: all working memory comes from the reused
     /// `BatchScratch` (the region below lets `tristream-analyze` reject
     /// allocating tokens at review time; `tests/alloc_steady_state.rs` pins
     /// the runtime behaviour).
-    // analyze: region(no-alloc)
     pub fn process_batch(&mut self, batch: &[Edge]) {
+        match self.kernel {
+            BulkKernel::Lanes => self.process_batch_impl::<true>(batch),
+            BulkKernel::Scalar => self.process_batch_impl::<false>(batch),
+        }
+    }
+
+    /// The batch pipeline, monomorphised over the kernel choice: with
+    /// `LANES_ON` the steps run in u64×4 lane groups (scalar remainder
+    /// loops pick up the tail), RNG draws come in [`LANES`]-wide groups in
+    /// the *same order* the scalar path consumes them, Step-1 presence bits
+    /// are written as whole-word masks, and every [`FastMap`] access in the
+    /// edge scans probes from a start index hashed one lane group ahead and
+    /// prefetched. With `LANES_ON = false` this is the plain per-item loop.
+    // analyze: region(no-alloc)
+    fn process_batch_impl<const LANES_ON: bool>(&mut self, batch: &[Edge]) {
         let w = batch.len();
         if w == 0 {
             return;
@@ -283,12 +602,52 @@ impl BulkTriangleCounter {
         match self.level1_strategy {
             Level1Strategy::PerEstimator => {
                 let total = m + w as u64;
-                for idx in 0..r {
-                    let draw = self.rng.gen_range(0..total);
-                    if draw >= m {
-                        let k = (draw - m) as usize;
-                        pool.take_r1(idx, batch[k], m + k as u64 + 1);
-                        scratch.replaced.push((idx as u32, k as u32));
+                if LANES_ON {
+                    // Draw a lane group of reservoir positions at a time and
+                    // accumulate each 64-estimator word's replacement mask,
+                    // so the three presence bitsets are updated with three
+                    // word operations instead of three bit operations per
+                    // replaced estimator.
+                    let mut idx = 0usize;
+                    for word_idx in 0..pool.r1_set.words().len() {
+                        let word_end = ((word_idx + 1) * 64).min(r);
+                        let mut mask = 0u64;
+                        while idx + LANES <= word_end {
+                            let draws = lemire4(self.rng.next_lane(), total);
+                            for (lane, draw) in draws.into_iter().enumerate() {
+                                if draw >= m {
+                                    let i = idx + lane;
+                                    let k = (draw - m) as usize;
+                                    pool.set_r1_columns(i, batch[k], m + k as u64 + 1);
+                                    mask |= 1u64 << (i % 64);
+                                    scratch.replaced.push((i as u32, k as u32));
+                                }
+                            }
+                            idx += LANES;
+                        }
+                        // Scalar remainder: the tail of the final word.
+                        while idx < word_end {
+                            let draw = self.rng.gen_range(0..total);
+                            if draw >= m {
+                                let k = (draw - m) as usize;
+                                pool.set_r1_columns(idx, batch[k], m + k as u64 + 1);
+                                mask |= 1u64 << (idx % 64);
+                                scratch.replaced.push((idx as u32, k as u32));
+                            }
+                            idx += 1;
+                        }
+                        if mask != 0 {
+                            pool.apply_r1_word(word_idx, mask);
+                        }
+                    }
+                } else {
+                    for idx in 0..r {
+                        let draw = self.rng.gen_range(0..total);
+                        if draw >= m {
+                            let k = (draw - m) as usize;
+                            pool.take_r1(idx, batch[k], m + k as u64 + 1);
+                            scratch.replaced.push((idx as u32, k as u32));
+                        }
                     }
                 }
             }
@@ -300,7 +659,10 @@ impl BulkTriangleCounter {
                 // drawn (including the final out-of-range gap
                 // `GeometricSkip::successes_up_to` parks and drops), then
                 // every success draws its batch edge — the exact draw order
-                // of the reference implementation.
+                // of the reference implementation. The gap walk is
+                // inherently sequential (each gap feeds the next cursor),
+                // but the per-success draws are independent and run in lane
+                // groups under the lane kernel.
                 let p = w as f64 / (m + w as u64) as f64;
                 let mut skip = GeometricSkip::new(p);
                 while let Some(pos) = skip.next_success(&mut self.rng) {
@@ -309,11 +671,31 @@ impl BulkTriangleCounter {
                     }
                     scratch.replaced.push(((pos - 1) as u32, 0));
                 }
-                for entry in &mut scratch.replaced {
-                    let idx = entry.0 as usize;
-                    let k = self.rng.gen_range(0..w);
-                    entry.1 = k as u32;
-                    pool.take_r1(idx, batch[k], m + k as u64 + 1);
+                if LANES_ON {
+                    let n = scratch.replaced.len();
+                    let mut i = 0usize;
+                    while i + LANES <= n {
+                        let ks = lemire4(self.rng.next_lane(), w as u64);
+                        for (lane, k) in ks.into_iter().enumerate() {
+                            let entry = &mut scratch.replaced[i + lane];
+                            let k = k as usize;
+                            entry.1 = k as u32;
+                            pool.take_r1(entry.0 as usize, batch[k], m + k as u64 + 1);
+                        }
+                        i += LANES;
+                    }
+                    for entry in &mut scratch.replaced[i..] {
+                        let k = self.rng.gen_range(0..w);
+                        entry.1 = k as u32;
+                        pool.take_r1(entry.0 as usize, batch[k], m + k as u64 + 1);
+                    }
+                } else {
+                    for entry in &mut scratch.replaced {
+                        let idx = entry.0 as usize;
+                        let k = self.rng.gen_range(0..w);
+                        entry.1 = k as u32;
+                        pool.take_r1(idx, batch[k], m + k as u64 + 1);
+                    }
                 }
             }
         }
@@ -326,68 +708,104 @@ impl BulkTriangleCounter {
         // batches, matching the reference's fresh `vec![(0, 0); r]`.
         scratch.replaced.sort_unstable_by_key(|&(_, k)| k);
         let mut next_replaced = 0usize;
-        for (i, e) in batch.iter().enumerate() {
-            let du = {
-                let d = scratch.deg.get_mut_or_insert((e.u().raw(), 0), 0);
-                *d += 1;
-                *d
+        if LANES_ON {
+            let full = w - w % LANES;
+            let mut base = 0usize;
+            let mut starts = if full > 0 {
+                hash_edge_group(&scratch.deg, batch, 0)
+            } else {
+                ([0; LANES], [0; LANES])
             };
-            let dv = {
-                let d = scratch.deg.get_mut_or_insert((e.v().raw(), 0), 0);
-                *d += 1;
-                *d
-            };
-            while next_replaced < scratch.replaced.len()
-                && scratch.replaced[next_replaced].1 as usize == i
-            {
-                let est = scratch.replaced[next_replaced].0 as usize;
-                debug_assert_eq!(pool.r1_edge(est), Some(*e));
-                scratch.beta_u[est] = du;
-                scratch.beta_v[est] = dv;
-                next_replaced += 1;
+            while base < full {
+                let next = if base + LANES < full {
+                    Some(hash_edge_group(&scratch.deg, batch, base + LANES))
+                } else {
+                    None
+                };
+                for lane in 0..LANES {
+                    let i = base + lane;
+                    let e = &batch[i];
+                    let du = bump_degree_from(&mut scratch.deg, starts.0[lane], e.u().raw());
+                    let dv = bump_degree_from(&mut scratch.deg, starts.1[lane], e.v().raw());
+                    record_betas(scratch, pool, i, e, du, dv, &mut next_replaced);
+                }
+                if let Some(n) = next {
+                    starts = n;
+                }
+                base += LANES;
+            }
+            for (i, e) in batch.iter().enumerate().skip(full) {
+                let du = bump_degree(&mut scratch.deg, e.u().raw());
+                let dv = bump_degree(&mut scratch.deg, e.v().raw());
+                record_betas(scratch, pool, i, e, du, dv, &mut next_replaced);
+            }
+        } else {
+            for (i, e) in batch.iter().enumerate() {
+                let du = bump_degree(&mut scratch.deg, e.u().raw());
+                let dv = bump_degree(&mut scratch.deg, e.v().raw());
+                record_betas(scratch, pool, i, e, du, dv, &mut next_replaced);
             }
         }
 
         // ---- Step 2b: one randInt per estimator; subscribe to EVENT_B. ----
         let mut pending_subs = 0usize;
-        for idx in 0..r {
-            if !pool.r1_set.get(idx) {
-                continue;
-            }
-            let x = pool.r1_u[idx];
-            let y = pool.r1_v[idx];
-            let beta_x = scratch.beta_u[idx];
-            let beta_y = scratch.beta_v[idx];
-            let deg_x = scratch.deg.get((x, 0)).unwrap_or(0);
-            let deg_y = scratch.deg.get((y, 0)).unwrap_or(0);
-            let a = deg_x - beta_x;
-            let b = deg_y - beta_y;
-            let c_minus = pool.c[idx];
-            let c_plus = a + b;
-            if c_plus == 0 {
-                continue; // nothing new adjacent to r1 in this batch
-            }
-            let total = c_minus + c_plus;
-            let phi = self.rng.gen_range(1..=total);
-            pool.c[idx] = total;
-            if phi <= c_minus {
-                // Keep the existing level-2 edge (and any closed triangle).
-                continue;
-            }
-            // A new level-2 edge will come from this batch; the triangle (if
-            // any) is no longer valid.
-            pool.drop_r2(idx);
-            let (vertex, target_degree) = if phi <= c_minus + a {
-                (x, beta_x + (phi - c_minus))
+        if LANES_ON {
+            let full_r = r - r % LANES;
+            let mut base = 0usize;
+            let mut starts = if full_r > 0 {
+                hash_r1_group(&scratch.deg, pool, 0)
             } else {
-                (y, beta_y + (phi - c_minus - a))
+                ([0; LANES], [0; LANES])
             };
-            let head = scratch
-                .subs
-                .insert((vertex, target_degree), idx as u32)
-                .unwrap_or(CHAIN_END);
-            scratch.sub_next[idx] = head;
-            pending_subs += 1;
+            while base < full_r {
+                let next = if base + LANES < full_r {
+                    Some(hash_r1_group(&scratch.deg, pool, base + LANES))
+                } else {
+                    None
+                };
+                for lane in 0..LANES {
+                    let idx = base + lane;
+                    if !pool.r1_set.get(idx) {
+                        continue;
+                    }
+                    let deg_x = scratch
+                        .deg
+                        .get_from(starts.0[lane], (pool.r1_u[idx], 0))
+                        .unwrap_or(0);
+                    let deg_y = scratch
+                        .deg
+                        .get_from(starts.1[lane], (pool.r1_v[idx], 0))
+                        .unwrap_or(0);
+                    if step2b_estimator(pool, scratch, &mut self.rng, idx, deg_x, deg_y) {
+                        pending_subs += 1;
+                    }
+                }
+                if let Some(n) = next {
+                    starts = n;
+                }
+                base += LANES;
+            }
+            for idx in full_r..r {
+                if !pool.r1_set.get(idx) {
+                    continue;
+                }
+                let deg_x = scratch.deg.get((pool.r1_u[idx], 0)).unwrap_or(0);
+                let deg_y = scratch.deg.get((pool.r1_v[idx], 0)).unwrap_or(0);
+                if step2b_estimator(pool, scratch, &mut self.rng, idx, deg_x, deg_y) {
+                    pending_subs += 1;
+                }
+            }
+        } else {
+            for idx in 0..r {
+                if !pool.r1_set.get(idx) {
+                    continue;
+                }
+                let deg_x = scratch.deg.get((pool.r1_u[idx], 0)).unwrap_or(0);
+                let deg_y = scratch.deg.get((pool.r1_v[idx], 0)).unwrap_or(0);
+                if step2b_estimator(pool, scratch, &mut self.rng, idx, deg_x, deg_y) {
+                    pending_subs += 1;
+                }
+            }
         }
         // Restore the all-zero β invariant for the next batch.
         for &(est, _) in &scratch.replaced {
@@ -395,32 +813,66 @@ impl BulkTriangleCounter {
             scratch.beta_v[est as usize] = 0;
         }
 
-        // ---- Step 2c: second edgeIter pass — resolve events to edges. -----
-        // Each (vertex, degree) event fires exactly once per batch, so the
-        // subscription table never needs deletions; a countdown of pending
-        // subscriptions ends the scan early instead.
+        // ---- Step 2c: resolve events against the recorded occurrences. ----
+        // The Step-2a scan already recorded every edge's endpoint
+        // occurrence numbers in `edge_du`/`edge_dv`, so resolving is a
+        // probe of the (small) subscription table per endpoint — no second
+        // degree-table pass. Each (vertex, degree) event fires exactly once
+        // per batch, so the table never needs deletions; a countdown of
+        // pending subscriptions ends the scan early instead.
         if pending_subs > 0 {
-            scratch.deg.clear();
-            for (i, e) in batch.iter().enumerate() {
-                let position = m + i as u64 + 1;
-                for vertex in [e.u().raw(), e.v().raw()] {
-                    let d = {
-                        let entry = scratch.deg.get_mut_or_insert((vertex, 0), 0);
-                        *entry += 1;
-                        *entry
+            if LANES_ON {
+                let full = w - w % LANES;
+                let mut base = 0usize;
+                let mut starts = if full > 0 {
+                    hash_sub_group(scratch, batch, 0)
+                } else {
+                    ([0; LANES], [0; LANES])
+                };
+                'groups: while base < full {
+                    let next = if base + LANES < full {
+                        Some(hash_sub_group(scratch, batch, base + LANES))
+                    } else {
+                        None
                     };
-                    if let Some(head) = scratch.subs.get((vertex, d)) {
-                        let mut cursor = head;
-                        while cursor != CHAIN_END {
-                            let est = cursor as usize;
-                            pool.take_r2(est, *e, position);
-                            cursor = scratch.sub_next[est];
-                            pending_subs -= 1;
+                    for lane in 0..LANES {
+                        let i = base + lane;
+                        let position = m + i as u64 + 1;
+                        let lane_starts = (starts.0[lane], starts.1[lane]);
+                        step2c_edge(
+                            pool,
+                            scratch,
+                            &batch[i],
+                            position,
+                            i,
+                            Some(lane_starts),
+                            &mut pending_subs,
+                        );
+                        if pending_subs == 0 {
+                            break 'groups;
+                        }
+                    }
+                    if let Some(n) = next {
+                        starts = n;
+                    }
+                    base += LANES;
+                }
+                if pending_subs > 0 {
+                    for (i, e) in batch.iter().enumerate().skip(full) {
+                        let position = m + i as u64 + 1;
+                        step2c_edge(pool, scratch, e, position, i, None, &mut pending_subs);
+                        if pending_subs == 0 {
+                            break;
                         }
                     }
                 }
-                if pending_subs == 0 {
-                    break;
+            } else {
+                for (i, e) in batch.iter().enumerate() {
+                    let position = m + i as u64 + 1;
+                    step2c_edge(pool, scratch, e, position, i, None, &mut pending_subs);
+                    if pending_subs == 0 {
+                        break;
+                    }
                 }
             }
             debug_assert_eq!(
@@ -431,7 +883,9 @@ impl BulkTriangleCounter {
 
         // ---- Step 3: find wedge-closing edges within the batch. -----------
         // Candidates are exactly the estimators with a wedge but no closer:
-        // one `r2_set & !closer_set` word per 64 estimators.
+        // one `r2_set & !closer_set` word per 64 estimators, skipping empty
+        // words outright (both kernels — the scan was word-parallel before
+        // the lane kernels existed and stays shared).
         let mut waiting_count = 0usize;
         for word_idx in 0..pool.r2_set.words().len() {
             let mut bits = pool.r2_set.words()[word_idx] & !pool.closer_set.words()[word_idx];
@@ -459,16 +913,46 @@ impl BulkTriangleCounter {
             }
         }
         if waiting_count > 0 {
-            for (i, e) in batch.iter().enumerate() {
-                let position = m + i as u64 + 1;
-                if let Some(head) = scratch.waiting.get((e.u().raw(), e.v().raw())) {
-                    let mut cursor = head;
-                    while cursor != CHAIN_END {
-                        let est = cursor as usize;
-                        if !pool.closer_set.get(est) && position > pool.r2_pos[est] {
-                            pool.take_closer(est, *e, position);
+            if LANES_ON {
+                let full = w - w % LANES;
+                let mut base = 0usize;
+                let mut starts = if full > 0 {
+                    hash_pair_group(&scratch.waiting, batch, 0)
+                } else {
+                    [0; LANES]
+                };
+                while base < full {
+                    let next = if base + LANES < full {
+                        Some(hash_pair_group(&scratch.waiting, batch, base + LANES))
+                    } else {
+                        None
+                    };
+                    for (lane, &start) in starts.iter().enumerate() {
+                        let i = base + lane;
+                        let e = &batch[i];
+                        let position = m + i as u64 + 1;
+                        if let Some(head) =
+                            scratch.waiting.get_from(start, (e.u().raw(), e.v().raw()))
+                        {
+                            close_wedges(pool, scratch, e, position, head);
                         }
-                        cursor = scratch.wait_next[est];
+                    }
+                    if let Some(n) = next {
+                        starts = n;
+                    }
+                    base += LANES;
+                }
+                for (i, e) in batch.iter().enumerate().skip(full) {
+                    let position = m + i as u64 + 1;
+                    if let Some(head) = scratch.waiting.get((e.u().raw(), e.v().raw())) {
+                        close_wedges(pool, scratch, e, position, head);
+                    }
+                }
+            } else {
+                for (i, e) in batch.iter().enumerate() {
+                    let position = m + i as u64 + 1;
+                    if let Some(head) = scratch.waiting.get((e.u().raw(), e.v().raw())) {
+                        close_wedges(pool, scratch, e, position, head);
                     }
                 }
             }

@@ -28,6 +28,8 @@
 //! platform. Values are `Copy` (the hot paths store counters, chain heads
 //! and small flag structs).
 
+use crate::lanes::LANES;
+
 /// Seed used by [`FastMap::default`] (and `Default`-constructed owners that
 /// have no seed of their own to derive from).
 pub const DEFAULT_FASTMAP_SEED: u64 = 0x5EED_FA57_0000_0001;
@@ -54,6 +56,12 @@ pub struct FastMap<V> {
     len: usize,
     /// Mixed into the hash; derived once from the owner's seed.
     seed: u64,
+    /// One bit per slot: set when some live key's probe *start* (its hash)
+    /// is that index. A clear bit proves the probed key absent without
+    /// touching the slot array — for the miss-heavy per-batch scans this
+    /// turns a random ~32-byte slot load into an L1-resident bitmap test.
+    /// Rebuilt on growth, zeroed by [`FastMap::clear`].
+    start_bits: Vec<u64>,
 }
 
 impl<V: Copy + Default> Default for FastMap<V> {
@@ -72,6 +80,7 @@ impl<V: Copy + Default> FastMap<V> {
             live_gen: 1,
             len: 0,
             seed: mix64(seed ^ 0xA076_1D64_78BD_642F),
+            start_bits: Vec::new(),
         }
     }
 
@@ -85,11 +94,16 @@ impl<V: Copy + Default> FastMap<V> {
         self.len == 0
     }
 
-    /// Removes every entry in `O(1)` by bumping the generation stamp. The
-    /// backing storage is retained, which is the whole point: per-batch
-    /// maps are cleared, never reallocated.
+    /// Removes every entry by bumping the generation stamp (no slot is
+    /// touched; only the probe-start filter — one bit per slot — is
+    /// zeroed, so clearing costs `capacity / 512` bytes of sequential
+    /// writes). The backing storage is retained, which is the whole point:
+    /// per-batch maps are cleared, never reallocated.
     pub fn clear(&mut self) {
         self.len = 0;
+        for word in &mut self.start_bits {
+            *word = 0;
+        }
         if self.live_gen == u32::MAX {
             for slot in &mut self.slots {
                 slot.gen = 0;
@@ -134,6 +148,8 @@ impl<V: Copy + Default> FastMap<V> {
             ],
         );
         let old_gen = self.live_gen;
+        self.start_bits.clear();
+        self.start_bits.resize(new_cap.div_ceil(64), 0);
         self.mask = new_cap - 1;
         self.live_gen = 1;
         let live = self.len;
@@ -152,11 +168,12 @@ impl<V: Copy + Default> FastMap<V> {
     // analyze: region(no-alloc)
 
     /// Index of the slot holding `key`, or of the empty slot where it would
-    /// be inserted. The table is never full (≤ 50 % load), so the probe
-    /// always terminates.
+    /// be inserted, probing from a precomputed start index (`start` must
+    /// equal `hash(k0, k1)` for the current table size). The table is never
+    /// full (≤ 50 % load), so the probe always terminates.
     #[inline]
-    fn probe(&self, k0: u64, k1: u64) -> (bool, usize) {
-        let mut idx = self.hash(k0, k1);
+    fn probe_from(&self, start: usize, k0: u64, k1: u64) -> (bool, usize) {
+        let mut idx = start;
         loop {
             let slot = &self.slots[idx];
             if slot.gen != self.live_gen {
@@ -169,20 +186,120 @@ impl<V: Copy + Default> FastMap<V> {
         }
     }
 
+    /// Whether some live key whose probe start is `start` has been
+    /// inserted since the last clear/growth. A `false` answer proves a key
+    /// hashing to `start` absent; `true` only means the probe must walk.
+    #[inline]
+    fn start_hit(&self, start: usize) -> bool {
+        (self.start_bits[start >> 6] >> (start & 63)) & 1 != 0
+    }
+
+    /// Marks `start` in the probe-start filter (called on every insert).
+    #[inline]
+    fn mark_start(&mut self, start: usize) {
+        self.start_bits[start >> 6] |= 1u64 << (start & 63);
+    }
+
+    /// The probe start (multiply-shift hash) over a lane group: evaluated
+    /// for [`LANES`] keys at once, giving the backend a branch-free run of
+    /// independent multiplies to schedule. Exposed crate-privately so the
+    /// bulk lane kernels can compute a group of probe starts ahead of use
+    /// and prefetch the slots; each index is a pure function of the key,
+    /// the seed and the table size, so it stays valid until the next
+    /// growth.
+    #[inline]
+    pub(crate) fn probe_start4(&self, k0: [u64; LANES], k1: [u64; LANES]) -> [usize; LANES] {
+        let mut out = [0usize; LANES];
+        for (lane, slot) in out.iter_mut().enumerate() {
+            *slot = self.hash(k0[lane], k1[lane]);
+        }
+        out
+    }
+
+    /// Prefetches the cache line of slot `idx` (no-op off x86-64). Purely a
+    /// scheduling hint — see [`crate::lanes::prefetch_read`].
+    #[inline]
+    pub(crate) fn prefetch_slot(&self, idx: usize) {
+        crate::lanes::prefetch_read(&self.slots, idx);
+    }
+
+    /// [`get`](Self::get) with a precomputed probe start — `start` must be
+    /// the multiply-shift hash of `key` for the current table size
+    /// (debug-asserted), as produced by [`probe_start4`](Self::probe_start4).
+    #[inline]
+    pub(crate) fn get_from(&self, start: usize, key: (u64, u64)) -> Option<V> {
+        if self.len == 0 {
+            return None;
+        }
+        debug_assert_eq!(start, self.hash(key.0, key.1), "stale probe start");
+        if !self.start_hit(start) {
+            return None;
+        }
+        let (found, idx) = self.probe_from(start, key.0, key.1);
+        found.then(|| self.slots[idx].val)
+    }
+
+    /// [`get_mut_or_insert`](Self::get_mut_or_insert) with a precomputed
+    /// probe start. Behaviour is identical — including the growth check —
+    /// except the hash is only recomputed on the cold growth path, where
+    /// precomputed starts go stale.
+    #[inline]
+    pub(crate) fn get_mut_or_insert_from(
+        &mut self,
+        start: usize,
+        key: (u64, u64),
+        default: V,
+    ) -> &mut V {
+        let cap_before = self.slots.len();
+        self.reserve(1);
+        let start = if self.slots.len() == cap_before {
+            debug_assert_eq!(start, self.hash(key.0, key.1), "stale probe start");
+            start
+        } else {
+            self.hash(key.0, key.1)
+        };
+        self.get_mut_or_insert_at(start, key, default)
+    }
+
+    /// Shared upsert tail: `start` is the (fresh) hash of `key`.
+    #[inline]
+    fn get_mut_or_insert_at(&mut self, start: usize, key: (u64, u64), default: V) -> &mut V {
+        let (found, idx) = self.probe_from(start, key.0, key.1);
+        if !found {
+            self.slots[idx] = Slot {
+                k0: key.0,
+                k1: key.1,
+                gen: self.live_gen,
+                val: default,
+            };
+            self.len += 1;
+            self.mark_start(start);
+        }
+        &mut self.slots[idx].val
+    }
+
     /// Looks up a key, returning a copy of its value.
     #[inline]
     pub fn get(&self, key: (u64, u64)) -> Option<V> {
         if self.len == 0 {
             return None;
         }
-        let (found, idx) = self.probe(key.0, key.1);
+        let start = self.hash(key.0, key.1);
+        if !self.start_hit(start) {
+            return None;
+        }
+        let (found, idx) = self.probe_from(start, key.0, key.1);
         found.then(|| self.slots[idx].val)
     }
 
     /// Whether a key is present.
     #[inline]
     pub fn contains_key(&self, key: (u64, u64)) -> bool {
-        self.len != 0 && self.probe(key.0, key.1).0
+        if self.len == 0 {
+            return false;
+        }
+        let start = self.hash(key.0, key.1);
+        self.start_hit(start) && self.probe_from(start, key.0, key.1).0
     }
 
     /// Inserts or overwrites, returning the previous value if the key was
@@ -190,7 +307,8 @@ impl<V: Copy + Default> FastMap<V> {
     #[inline]
     pub fn insert(&mut self, key: (u64, u64), val: V) -> Option<V> {
         self.reserve(1);
-        let (found, idx) = self.probe(key.0, key.1);
+        let start = self.hash(key.0, key.1);
+        let (found, idx) = self.probe_from(start, key.0, key.1);
         let slot = &mut self.slots[idx];
         if found {
             let old = slot.val;
@@ -204,6 +322,7 @@ impl<V: Copy + Default> FastMap<V> {
                 val,
             };
             self.len += 1;
+            self.mark_start(start);
             None
         }
     }
@@ -213,7 +332,8 @@ impl<V: Copy + Default> FastMap<V> {
     #[inline]
     pub fn insert_if_absent(&mut self, key: (u64, u64), val: V) -> bool {
         self.reserve(1);
-        let (found, idx) = self.probe(key.0, key.1);
+        let start = self.hash(key.0, key.1);
+        let (found, idx) = self.probe_from(start, key.0, key.1);
         if found {
             return false;
         }
@@ -224,6 +344,7 @@ impl<V: Copy + Default> FastMap<V> {
             val,
         };
         self.len += 1;
+        self.mark_start(start);
         true
     }
 
@@ -232,17 +353,8 @@ impl<V: Copy + Default> FastMap<V> {
     #[inline]
     pub fn get_mut_or_insert(&mut self, key: (u64, u64), default: V) -> &mut V {
         self.reserve(1);
-        let (found, idx) = self.probe(key.0, key.1);
-        if !found {
-            self.slots[idx] = Slot {
-                k0: key.0,
-                k1: key.1,
-                gen: self.live_gen,
-                val: default,
-            };
-            self.len += 1;
-        }
-        &mut self.slots[idx].val
+        let start = self.hash(key.0, key.1);
+        self.get_mut_or_insert_at(start, key, default)
     }
     // analyze: endregion
 
@@ -403,6 +515,57 @@ mod tests {
             map.iter().collect::<Vec<_>>()
         };
         assert_eq!(build(5), build(5), "same seed, same iteration order");
+    }
+
+    #[test]
+    fn lane_probe_starts_match_the_scalar_hash() {
+        let mut map = FastMap::with_seed(21);
+        for i in 0..64u64 {
+            map.insert((i, i ^ 5), i);
+        }
+        let k0 = [3u64, 17, 200, 63];
+        let k1 = [3u64 ^ 5, 17 ^ 5, 0, 63 ^ 5];
+        let starts = map.probe_start4(k0, k1);
+        for lane in 0..LANES {
+            // A splatted group must agree with the mixed group lane-wise —
+            // each lane's start is a pure function of its own key.
+            let splat = map.probe_start4([k0[lane]; LANES], [k1[lane]; LANES]);
+            assert_eq!(splat, [starts[lane]; LANES]);
+            map.prefetch_slot(starts[lane]); // must be a harmless hint
+            assert_eq!(
+                map.get_from(starts[lane], (k0[lane], k1[lane])),
+                map.get((k0[lane], k1[lane])),
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn get_mut_or_insert_from_matches_get_mut_or_insert() {
+        let mut plain = FastMap::with_seed(33);
+        let mut prehashed = FastMap::with_seed(33);
+        for i in 0..2_000u64 {
+            let key = (i % 311, 0);
+            let a = {
+                let v = plain.get_mut_or_insert(key, 0u64);
+                *v += 1;
+                *v
+            };
+            let b = {
+                let start = prehashed.probe_start4([key.0; LANES], [key.1; LANES])[0];
+                let v = prehashed.get_mut_or_insert_from(start, key, 0u64);
+                *v += 1;
+                *v
+            };
+            assert_eq!(a, b, "upsert {i}");
+            assert_eq!(plain.len(), prehashed.len());
+            assert_eq!(plain.capacity(), prehashed.capacity(), "growth parity");
+        }
+        let mut lhs: Vec<_> = plain.iter().collect();
+        let mut rhs: Vec<_> = prehashed.iter().collect();
+        lhs.sort_unstable();
+        rhs.sort_unstable();
+        assert_eq!(lhs, rhs);
     }
 
     #[test]

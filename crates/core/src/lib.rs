@@ -56,6 +56,7 @@ pub mod counter;
 pub mod engine;
 pub mod estimator;
 pub mod fastmap;
+pub mod lanes;
 pub mod parallel;
 pub mod pool;
 pub mod reference;
@@ -65,7 +66,7 @@ pub mod theory;
 pub mod traits;
 pub mod transitivity;
 
-pub use bulk::{BulkTriangleCounter, Level1Strategy};
+pub use bulk::{BulkKernel, BulkTriangleCounter, Level1Strategy};
 pub use clique::FourCliqueCounter;
 pub use counter::{Aggregation, TriangleCounter};
 pub use engine::ShardedEngine;

@@ -188,6 +188,30 @@ impl EstimatorPool {
         self.closer_set.clear(i);
     }
 
+    /// Column-only half of [`take_r1`](Self::take_r1) for the lane kernels:
+    /// writes the level-1 endpoint/position columns and zeroes the counter
+    /// but leaves the presence bitsets untouched — the caller accumulates a
+    /// per-word replacement mask and applies it once through
+    /// [`apply_r1_word`](Self::apply_r1_word).
+    #[inline]
+    pub(crate) fn set_r1_columns(&mut self, i: usize, edge: Edge, position: u64) {
+        self.r1_u[i] = edge.u().raw();
+        self.r1_v[i] = edge.v().raw();
+        self.r1_pos[i] = position;
+        self.c[i] = 0;
+    }
+
+    /// Applies one word of Step-1 replacements: every estimator whose bit is
+    /// set in `mask` flips its presence bits exactly as
+    /// [`take_r1`](Self::take_r1) would, but for up to 64 estimators in
+    /// three word operations instead of three bit operations each.
+    #[inline]
+    pub(crate) fn apply_r1_word(&mut self, word_idx: usize, mask: u64) {
+        self.r1_set.words[word_idx] |= mask;
+        self.r2_set.words[word_idx] &= !mask;
+        self.closer_set.words[word_idx] &= !mask;
+    }
+
     /// Takes `edge` as estimator `i`'s new level-2 edge, invalidating any
     /// held closing edge.
     #[inline]
@@ -422,6 +446,32 @@ impl BufferedRng {
         }
         self.pos = 0;
     }
+
+    /// Draws [`crate::lanes::LANES`] consecutive raw values in one call —
+    /// bit-identical to that many [`next_u64`](RngCore::next_u64) calls,
+    /// with the fast path paying a single bounds check for the whole group.
+    #[inline]
+    pub(crate) fn next_lane(&mut self) -> [u64; crate::lanes::LANES] {
+        let p = self.pos;
+        if p + crate::lanes::LANES <= self.buf.len() {
+            self.pos = p + crate::lanes::LANES;
+            [
+                self.buf[p],
+                self.buf[p + 1],
+                self.buf[p + 2],
+                self.buf[p + 3],
+            ]
+        } else {
+            // Straddles a refill boundary: fall back to one-at-a-time draws
+            // so the consumed stream stays in order.
+            [
+                self.next_u64(),
+                self.next_u64(),
+                self.next_u64(),
+                self.next_u64(),
+            ]
+        }
+    }
 }
 
 impl RngCore for BufferedRng {
@@ -549,5 +599,46 @@ mod tests {
         let a: f64 = direct.gen_range(f64::MIN_POSITIVE..1.0);
         let b: f64 = buffered.gen_range(f64::MIN_POSITIVE..1.0);
         assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn lane_draws_consume_the_same_stream_as_single_draws() {
+        let mut direct = SmallRng::seed_from_u64(99);
+        let mut buffered = BufferedRng::seed_from_u64(99);
+        // Offset the buffer position so lane draws straddle refill
+        // boundaries at some point during the loop.
+        for _ in 0..3 {
+            assert_eq!(direct.next_u64(), buffered.next_u64());
+        }
+        for _ in 0..400 {
+            let lane = buffered.next_lane();
+            for value in lane {
+                assert_eq!(direct.next_u64(), value);
+            }
+            assert_eq!(direct.next_u64(), buffered.next_u64());
+        }
+    }
+
+    #[test]
+    fn lane_column_writes_plus_word_mask_match_take_r1() {
+        let mut a = EstimatorPool::new(70);
+        let mut b = EstimatorPool::new(70);
+        let edges = [Edge::new(1u64, 2u64), Edge::new(3u64, 4u64)];
+        // Give estimator 65 downstream state so the mask clears it.
+        for pool in [&mut a, &mut b] {
+            pool.take_r1(65, edges[0], 1);
+            pool.c[65] = 1;
+            pool.take_r2(65, edges[1], 2);
+        }
+        for (i, pos) in [(0usize, 10u64), (63, 11), (65, 12)] {
+            a.take_r1(i, edges[1], pos);
+            b.set_r1_columns(i, edges[1], pos);
+        }
+        b.apply_r1_word(0, (1 << 0) | (1 << 63));
+        b.apply_r1_word(1, 1 << 1);
+        for i in 0..70 {
+            assert_eq!(a.state(i), b.state(i), "estimator {i}");
+        }
+        assert!(b.validate());
     }
 }

@@ -49,7 +49,7 @@ pub const TSB_VERSION: u16 = 1;
 const FLAG_TIMESTAMPS: u16 = 1;
 
 /// Size of the fixed header in bytes.
-const HEADER_LEN: u64 = 16;
+pub(crate) const HEADER_LEN: u64 = 16;
 
 /// The parsed fixed header of a `.tsb` stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,7 +81,7 @@ pub fn is_tsb_path<P: AsRef<Path>>(path: P) -> bool {
         .is_some_and(|ext| ext.eq_ignore_ascii_case("tsb"))
 }
 
-fn binary_error(offset: u64, reason: &'static str) -> GraphError {
+pub(crate) fn binary_error(offset: u64, reason: &'static str) -> GraphError {
     GraphError::Binary { offset, reason }
 }
 
@@ -89,7 +89,7 @@ fn binary_error(offset: u64, reason: &'static str) -> GraphError {
 /// stream is truncated (corruption); any other kind is a real I/O failure
 /// and must surface as such, so a transient disk error is never
 /// misdiagnosed as a malformed file.
-fn read_failed(e: std::io::Error, offset: u64, reason: &'static str) -> GraphError {
+pub(crate) fn read_failed(e: std::io::Error, offset: u64, reason: &'static str) -> GraphError {
     if e.kind() == std::io::ErrorKind::UnexpectedEof {
         binary_error(offset, reason)
     } else {
@@ -178,7 +178,7 @@ pub fn write_edges_binary_timestamped_file<P: AsRef<Path>>(
 }
 
 /// Decodes one record. `offset` is the record's byte offset, for errors.
-fn decode_edge(raw: &[u8], offset: u64) -> Result<Edge, GraphError> {
+pub(crate) fn decode_edge(raw: &[u8], offset: u64) -> Result<Edge, GraphError> {
     #[allow(clippy::expect_used)]
     // analyze: allow(P1, reason = "infallible: callers hand decode_edge chunks_exact(record_len >= 16) slices, so the constant-width subslice always converts")
     let u = u64::from_le_bytes(raw[0..8].try_into().expect("8-byte slice"));

@@ -1,0 +1,250 @@
+//! Purpose-built bounded channels with an allocation-free steady state.
+//!
+//! The decode pipeline ([`crate::pipeline`]) pins a hard invariant: once
+//! every buffer is in circulation, moving a batch through the pipeline
+//! performs **zero heap allocations** — reader thread, decode workers and
+//! consumer included (`tests/alloc_steady_state.rs`). `std::sync::mpsc`
+//! cannot honour that: its channels lazily allocate a per-thread wakeup
+//! context and grow a per-channel waker list the *first time a thread
+//! blocks on them*, and whether a given send or receive is the first to
+//! block depends on scheduling — the allocation lands at an arbitrary
+//! point mid-stream.
+//!
+//! This channel is the boring alternative: a `VecDeque` ring buffer
+//! sized exactly to capacity at construction, one mutex, two condvars.
+//! Blocking waits go through `Condvar::wait` (a futex on Linux — no heap
+//! traffic), so after `channel()` returns, no operation on either handle
+//! allocates. The hot path moves one `Vec` per send, a few dozen
+//! nanoseconds of lock traffic per *batch* — noise against the microseconds
+//! spent decoding the records inside it.
+//!
+//! Semantics follow `std::sync::mpsc` where it matters: multiple-producer
+//! (clone the sender), single-consumer, disconnect on either side wakes
+//! the other. Departures are deliberate: `recv` returns `Option` (`None`
+//! = drained and hung up) and failed sends hand the value back instead of
+//! wrapping it in an error type.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Shared core of one channel: the ring plus liveness counts.
+struct State<T> {
+    buf: VecDeque<T>,
+    /// Live [`Sender`] handles; 0 means hung up, `recv` drains then ends.
+    senders: usize,
+    /// Live [`Receiver`] handles; 0 means sends fail immediately.
+    receivers: usize,
+}
+
+struct Inner<T> {
+    /// Ring capacity. `buf` is pre-sized to this and never grows past it,
+    /// which is what makes every post-construction operation alloc-free.
+    cap: usize,
+    state: Mutex<State<T>>,
+    /// Signalled on push and on sender hang-up.
+    not_empty: Condvar,
+    /// Signalled on pop and on receiver hang-up.
+    not_full: Condvar,
+}
+
+/// Locks the state, shrugging off poisoning: the state is a plain ring
+/// plus two counters, valid after any interrupted operation.
+fn lock<T>(inner: &Inner<T>) -> MutexGuard<'_, State<T>> {
+    match inner.state.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, State<T>>) -> MutexGuard<'a, State<T>> {
+    match cv.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Creates a bounded channel holding at most `cap` values.
+///
+/// # Panics
+///
+/// Panics if `cap` is zero (rendezvous channels are not supported — the
+/// pipeline always wants at least one buffer of slack).
+pub(crate) fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "ring channels must have capacity");
+    let inner = Arc::new(Inner {
+        cap,
+        state: Mutex::new(State {
+            buf: VecDeque::with_capacity(cap),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender(Arc::clone(&inner)), Receiver(inner))
+}
+
+/// Producing half of a [`channel`]. Cloneable; the channel hangs up when
+/// the last clone drops.
+pub(crate) struct Sender<T>(Arc<Inner<T>>);
+
+impl<T> Sender<T> {
+    /// Blocks until there is room, then enqueues. Hands `value` back if
+    /// the receiver is gone.
+    pub(crate) fn send(&self, value: T) -> Result<(), T> {
+        let mut s = lock(&self.0);
+        loop {
+            if s.receivers == 0 {
+                return Err(value);
+            }
+            if s.buf.len() < self.0.cap {
+                s.buf.push_back(value);
+                drop(s);
+                self.0.not_empty.notify_one();
+                return Ok(());
+            }
+            s = wait(&self.0.not_full, s);
+        }
+    }
+
+    /// Enqueues if there is room right now; hands `value` back when the
+    /// ring is full or the receiver is gone.
+    pub(crate) fn try_send(&self, value: T) -> Result<(), T> {
+        let mut s = lock(&self.0);
+        if s.receivers == 0 || s.buf.len() >= self.0.cap {
+            return Err(value);
+        }
+        s.buf.push_back(value);
+        drop(s);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        lock(&self.0).senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut s = lock(&self.0);
+        s.senders -= 1;
+        let hung_up = s.senders == 0;
+        drop(s);
+        if hung_up {
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+/// Consuming half of a [`channel`].
+pub(crate) struct Receiver<T>(Arc<Inner<T>>);
+
+impl<T> Receiver<T> {
+    /// Blocks for the next value. `None` once the ring is drained and
+    /// every sender has hung up.
+    pub(crate) fn recv(&self) -> Option<T> {
+        let mut s = lock(&self.0);
+        loop {
+            if let Some(value) = s.buf.pop_front() {
+                drop(s);
+                self.0.not_full.notify_one();
+                return Some(value);
+            }
+            if s.senders == 0 {
+                return None;
+            }
+            s = wait(&self.0.not_empty, s);
+        }
+    }
+
+    /// Dequeues a value if one is ready right now.
+    pub(crate) fn try_recv(&self) -> Option<T> {
+        let mut s = lock(&self.0);
+        let value = s.buf.pop_front();
+        drop(s);
+        if value.is_some() {
+            self.0.not_full.notify_one();
+        }
+        value
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut s = lock(&self.0);
+        s.receivers -= 1;
+        let hung_up = s.receivers == 0;
+        drop(s);
+        if hung_up {
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_arrive_in_order_across_threads() {
+        let (tx, rx) = channel::<u32>(3);
+        let sender = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        for i in 0..100 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+        assert_eq!(rx.recv(), None, "sender hung up after the last value");
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn try_ops_report_full_and_empty_without_blocking() {
+        let (tx, rx) = channel::<u8>(2);
+        assert_eq!(rx.try_recv(), None);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        assert_eq!(tx.try_send(3), Err(3), "full ring hands the value back");
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(tx.try_send(3), Ok(()), "pop made room");
+    }
+
+    #[test]
+    fn dropping_the_receiver_fails_sends_with_the_value() {
+        let (tx, rx) = channel::<String>(1);
+        drop(rx);
+        assert_eq!(tx.send("lost".to_string()), Err("lost".to_string()));
+        assert_eq!(tx.try_send("lost".to_string()), Err("lost".to_string()));
+    }
+
+    #[test]
+    fn dropping_the_receiver_wakes_a_blocked_sender() {
+        let (tx, rx) = channel::<u8>(1);
+        tx.send(0).unwrap();
+        let blocked = std::thread::spawn(move || tx.send(1));
+        // Give the sender a moment to park on the full ring, then hang up.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(blocked.join().unwrap(), Err(1));
+    }
+
+    #[test]
+    fn receiver_drains_the_ring_after_all_senders_drop() {
+        let (tx, rx) = channel::<u8>(4);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1), "one sender left, ring still drains");
+        drop(tx2);
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.try_recv(), None);
+    }
+}
