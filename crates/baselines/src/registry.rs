@@ -78,6 +78,14 @@ pub struct AlgoSpec {
     /// space roughly constant), as opposed to a per-instance parameter —
     /// like `pagh-tsourakakis`' color count — every shard needs in full.
     pub splits_across_shards: bool,
+    /// Whether the built estimator implements
+    /// [`TriangleEstimator::snapshot`]/`restore` (the `TSS\0` checkpoint
+    /// container). Layers that persist state — `serve --state-dir`, the
+    /// CLI `checkpoint` path — consult this flag *before* building so they
+    /// can refuse unsupported configurations with a typed error instead of
+    /// silently skipping streams; a registry test pins it to what the
+    /// constructed estimator actually reports.
+    pub snapshotable: bool,
     build: fn(&AlgoParams) -> Box<dyn TriangleEstimator + Send>,
     space_for_budget: fn(usize, &StreamHint) -> usize,
 }
@@ -213,6 +221,7 @@ static REGISTRY: [AlgoSpec; 7] = [
         reference: "Pavan et al., VLDB 2013, §3.1–3.2 (Algorithm 1)",
         default_space: 100_000,
         splits_across_shards: true,
+        snapshotable: false,
         build: build_neighborhood,
         space_for_budget: budget_neighborhood,
     },
@@ -222,6 +231,7 @@ static REGISTRY: [AlgoSpec; 7] = [
         reference: "Pavan et al., VLDB 2013, §3.3 (Theorem 3.5)",
         default_space: 100_000,
         splits_across_shards: true,
+        snapshotable: true,
         build: build_neighborhood_bulk,
         space_for_budget: budget_neighborhood_bulk,
     },
@@ -231,6 +241,7 @@ static REGISTRY: [AlgoSpec; 7] = [
         reference: "Pavan et al., VLDB 2013, §5.2 (Theorem 5.8)",
         default_space: 20_000,
         splits_across_shards: true,
+        snapshotable: false,
         build: build_sliding,
         space_for_budget: budget_sliding,
     },
@@ -240,6 +251,7 @@ static REGISTRY: [AlgoSpec; 7] = [
         reference: "folklore exact streaming count (ground truth)",
         default_space: 1,
         splits_across_shards: false,
+        snapshotable: false,
         build: build_exact,
         space_for_budget: budget_exact,
     },
@@ -249,6 +261,7 @@ static REGISTRY: [AlgoSpec; 7] = [
         reference: "Buriol et al., PODS 2006",
         default_space: 100_000,
         splits_across_shards: true,
+        snapshotable: false,
         build: build_buriol,
         space_for_budget: budget_buriol,
     },
@@ -258,6 +271,7 @@ static REGISTRY: [AlgoSpec; 7] = [
         reference: "Jowhari & Ghodsi, COCOON 2005",
         default_space: 10_000,
         splits_across_shards: true,
+        snapshotable: false,
         build: build_jowhari_ghodsi,
         space_for_budget: budget_jowhari_ghodsi,
     },
@@ -267,6 +281,7 @@ static REGISTRY: [AlgoSpec; 7] = [
         reference: "Pagh & Tsourakakis, IPL 2012",
         default_space: 8,
         splits_across_shards: false,
+        snapshotable: false,
         build: build_pagh_tsourakakis,
         space_for_budget: budget_pagh_tsourakakis,
     },
@@ -382,6 +397,28 @@ mod tests {
                 spec.name
             );
             assert_eq!(boxed.edges_seen(), stream.len() as u64, "{}", spec.name);
+        }
+    }
+
+    /// The `snapshotable` capability flag is a promise about the built
+    /// estimator; it must agree with what the estimator itself reports, in
+    /// both directions, or `serve --state-dir` would either refuse a
+    /// checkpointable algorithm or silently skip one it accepted.
+    #[test]
+    fn snapshotable_flags_match_what_built_estimators_report() {
+        for spec in registry() {
+            let est = spec.build(&AlgoParams::new(16, 3));
+            assert_eq!(
+                est.supports_snapshot(),
+                spec.snapshotable,
+                "{}: registry flag disagrees with the estimator",
+                spec.name
+            );
+            if spec.snapshotable {
+                assert!(est.snapshot().is_ok(), "{}", spec.name);
+            } else {
+                assert!(est.snapshot().is_err(), "{}", spec.name);
+            }
         }
     }
 

@@ -2,7 +2,7 @@
 //! under `target/experiments/`, and the versioned machine-readable
 //! `BENCH.json` report emitted by `tristream-cli bench`.
 //!
-//! # `BENCH.json` schema (version 5)
+//! # `BENCH.json` schema (version 6)
 //!
 //! The schema is additive-only: new fields may appear in later versions,
 //! existing fields keep their name, type and meaning, and
@@ -13,10 +13,13 @@
 //! added the `"serve"` value of `kind` (the daemon's socket ingest/query
 //! workloads — no new fields); version 5 added the derived
 //! `parallel_vs_sequential_decode_speedup` field (the pipelined-reader
-//! payoff the decode-pipeline gate watches). Field by field:
+//! payoff the decode-pipeline gate watches); version 6 added the
+//! `"snapshot"` value of `kind` and the nullable `snapshot_words` field
+//! (checkpoint encode/restore latency and container size, with restore
+//! bit-parity gated at exactly zero). Field by field:
 //!
 //! * `schema` (string) — always `"tristream-bench"`.
-//! * `schema_version` (integer) — `5`.
+//! * `schema_version` (integer) — `6`.
 //! * `mode` (string) — `"smoke"` or `"full"`.
 //! * `seed` (integer) — base RNG seed the whole suite derives from.
 //! * `workloads` (array) — one object per named workload:
@@ -24,7 +27,7 @@
 //!     `"ingest-binary"`, `"engine-persistent-w4096"`,
 //!     `"accuracy-jowhari-ghodsi"`, `"hotpath-pooled-w4096"`.
 //!   * `kind` (string) — `"ingest"`, `"engine"`, `"accuracy"`,
-//!     `"hot-path"` or `"serve"`.
+//!     `"hot-path"`, `"serve"` or `"snapshot"`.
 //!   * `edges` (integer) — edges processed per trial.
 //!   * `trials` (integer) — number of timed trials.
 //!   * `batch` (integer | null) — batch size `w`, when the workload has one.
@@ -40,6 +43,10 @@
 //!   * `budget_words` (integer | null) — the memory budget the workload's
 //!     space parameter was sized for; comparing against `memory_words`
 //!     shows how close the equal-space setup landed.
+//!   * `snapshot_words` (integer | null) — size of the `TSS\0` snapshot
+//!     container in 8-byte words (worst case across trials), for
+//!     `snapshot` workloads; comparing against `memory_words` shows the
+//!     serialization overhead of a checkpoint over the resident sketch.
 //!   * `p50_latency_secs` / `p95_latency_secs` (number) — nearest-rank
 //!     percentiles of per-trial wall-clock seconds.
 //!   * `edges_per_sec` (number) — `edges / p50_latency_secs`.
@@ -204,6 +211,10 @@ pub enum WorkloadKind {
     /// and QUERY latency through `tristream-serve`, including framing,
     /// protocol decode, and engine enqueue/sync.
     Serve,
+    /// Checkpoint mechanics: `TSS\0` snapshot encode and restore latency,
+    /// container size vs resident `memory_words()`, and — the gated half —
+    /// restore bit-parity against the uninterrupted run (bound exactly 0).
+    Snapshot,
 }
 
 impl WorkloadKind {
@@ -214,6 +225,7 @@ impl WorkloadKind {
             WorkloadKind::Accuracy => "accuracy",
             WorkloadKind::HotPath => "hot-path",
             WorkloadKind::Serve => "serve",
+            WorkloadKind::Snapshot => "snapshot",
         }
     }
 }
@@ -243,6 +255,9 @@ pub struct WorkloadResult {
     pub memory_words: Option<u64>,
     /// Memory budget the space parameter was sized for (head-to-head).
     pub budget_words: Option<u64>,
+    /// Size of the `TSS\0` snapshot container in 8-byte words, worst case
+    /// across trials (snapshot workloads).
+    pub snapshot_words: Option<u64>,
     /// Nearest-rank p50 of per-trial wall-clock seconds.
     pub p50_latency_secs: f64,
     /// Nearest-rank p95 of per-trial wall-clock seconds.
@@ -311,6 +326,7 @@ pub fn summarize_workload(
         algo: None,
         memory_words: None,
         budget_words: None,
+        snapshot_words: None,
         p50_latency_secs: p50,
         p95_latency_secs: p95,
         edges_per_sec: if p50 > 0.0 { edges as f64 / p50 } else { 0.0 },
@@ -334,8 +350,10 @@ pub struct BenchReport {
 /// `memory_words` and `budget_words` (all nullable — additive only);
 /// version 3 added the `"hot-path"` `kind` value; version 4 added the
 /// `"serve"` `kind` value; version 5 added the
-/// `parallel_vs_sequential_decode_speedup` derived field.
-pub const BENCH_SCHEMA_VERSION: u32 = 5;
+/// `parallel_vs_sequential_decode_speedup` derived field; version 6
+/// added the `"snapshot"` `kind` value and the nullable `snapshot_words`
+/// field.
+pub const BENCH_SCHEMA_VERSION: u32 = 6;
 
 /// Tolerance of the hot-path regression gate: the pooled bulk path fails
 /// the gate if its p50 latency exceeds the reference path's by more than
@@ -513,6 +531,11 @@ impl BenchReport {
             out.push_str(&format!(
                 "      \"budget_words\": {},\n",
                 w.budget_words
+                    .map_or_else(|| "null".to_string(), |v| v.to_string())
+            ));
+            out.push_str(&format!(
+                "      \"snapshot_words\": {},\n",
+                w.snapshot_words
                     .map_or_else(|| "null".to_string(), |v| v.to_string())
             ));
             out.push_str(&format!(
@@ -864,6 +887,7 @@ mod tests {
             "\"algo\"",
             "\"memory_words\"",
             "\"budget_words\"",
+            "\"snapshot_words\"",
             "\"p50_latency_secs\"",
             "\"p95_latency_secs\"",
             "\"edges_per_sec\"",
@@ -1024,7 +1048,7 @@ mod tests {
     }
 
     #[test]
-    fn hot_path_and_serve_kinds_serialise_in_current_schema() {
+    fn hot_path_serve_and_snapshot_kinds_serialise_in_current_schema() {
         let mut report = sample_report();
         report.workloads.push(summarize_workload(
             "serve-ingest",
@@ -1046,10 +1070,29 @@ mod tests {
             Some(2_048),
             None,
         ));
+        report.workloads.push({
+            let mut w = summarize_workload(
+                "snapshot-restore",
+                WorkloadKind::Snapshot,
+                10_000,
+                &[0.002],
+                Some(1_024),
+                Some(2),
+                None,
+                Some((0.0, 0.0)),
+            );
+            w.snapshot_words = Some(4_200);
+            w.memory_words = Some(4_100);
+            w
+        });
         let json = report.to_json();
         assert_valid_json(&json);
         assert!(json.contains("\"kind\": \"hot-path\""), "{json}");
         assert!(json.contains("\"kind\": \"serve\""), "{json}");
+        assert!(json.contains("\"kind\": \"snapshot\""), "{json}");
+        assert!(json.contains("\"snapshot_words\": 4200"), "{json}");
+        // Workloads outside the snapshot family carry an explicit null.
+        assert!(json.contains("\"snapshot_words\": null"), "{json}");
         assert!(
             json.contains(&format!("\"schema_version\": {BENCH_SCHEMA_VERSION}")),
             "{json}"

@@ -41,6 +41,15 @@
 //!   offline twin built by the recipe `docs/PROTOCOL.md` documents, and
 //!   the mismatch fraction is the row's gated error (bound 0), so
 //!   `bench --check` enforces socket/offline parity.
+//! * `snapshot-encode` / `snapshot-restore` — checkpoint mechanics on the
+//!   serve engine recipe: a `TSS\0` snapshot is taken mid-stream
+//!   (`snapshot-encode` times the serialization and records the container
+//!   size in words next to the resident `memory_words()`), restored into
+//!   a freshly built engine (`snapshot-restore`), and both runs then
+//!   finish the stream. The gated statistic on `snapshot-restore` is the
+//!   fraction of trials whose restored run did not finish bit-identical
+//!   to the uninterrupted one, with a bound of exactly zero — so
+//!   `bench --check` enforces restore bit-parity.
 //!
 //! [`ShardedEngine`]: tristream_core::engine::ShardedEngine
 //! [`ReferenceBulkCounter`]: tristream_core::reference::ReferenceBulkCounter
@@ -206,6 +215,7 @@ pub fn run_suite(config: &BenchConfig) -> Result<BenchReport, GraphError> {
     workloads.extend(accuracy_workloads(config));
     workloads.extend(head_to_head_workloads(config));
     workloads.extend(serve_workloads(config, &engine_stream)?);
+    workloads.extend(snapshot_workloads(config, &engine_stream));
     Ok(BenchReport {
         mode: config.mode.clone(),
         seed: config.seed,
@@ -710,19 +720,109 @@ fn serve_workloads(
     Ok(vec![ingest, query])
 }
 
-/// The offline twin of a served stream: the engine recipe
-/// `docs/PROTOCOL.md` documents for CREATE (`space_for_budget` under
-/// [`SERVE_STREAM_HINT`], ceil split across shards, shard-salted seeds),
-/// fed the same batch boundaries the EDGES frames carried. Its estimate
-/// must match the daemon's bit for bit.
-fn offline_twin_estimate(
+/// The `snapshot-*` family: checkpoint mechanics on the serve engine
+/// recipe. Per trial a fresh engine ingests the front of the stream up to
+/// a batch-aligned cut (where the daemon's checkpoint cadence would
+/// fire), its `TSS\0` snapshot is timed, the bytes are restored into a
+/// freshly built engine, and both engines then finish the stream over the
+/// same batch boundaries. The gated statistic on `snapshot-restore` is
+/// *parity* with a bound of exactly zero: the fraction of trials whose
+/// restored run did not finish bit-identical to the uninterrupted one — a
+/// checkpoint must be a perfect continuation, never an approximation.
+/// Both rows record the container size (`snapshot_words`) next to the
+/// resident `memory_words()` at the cut, so the report shows the
+/// serialization overhead a checkpoint pays over the sketch it captures.
+fn snapshot_workloads(config: &BenchConfig, stream: &EdgeStream) -> Vec<WorkloadResult> {
+    let edges = stream.edges();
+    // Same batch size and engine parameters as the serve family, so the
+    // snapshot rows describe the checkpoints the daemon actually writes.
+    let w = config.engine_batches[config.engine_batches.len() / 2];
+    let shards = config.shards.max(1);
+    let algo = "neighborhood-bulk";
+    let budget_words = config.engine_estimators as u64;
+    // The last batch boundary at or before the midpoint — a point the
+    // EDGES-cadence checkpointer could genuinely have fired at.
+    let cut = ((edges.len() / 2 / w.max(1)).max(1) * w).min(edges.len());
+
+    let mut encode_latencies = Vec::with_capacity(config.trials);
+    let mut restore_latencies = Vec::with_capacity(config.trials);
+    let mut parity_mismatches = 0u32;
+    let mut measured_words = 0u64;
+    let mut container_words = 0u64;
+    for t in 0..config.trials {
+        let trial_seed = config.seed.wrapping_add(t as u64);
+        let mut engine = serve_recipe_engine(algo, trial_seed, budget_words, shards);
+        for chunk in edges[..cut].chunks(w) {
+            engine.process_batch(chunk);
+        }
+        measured_words = measured_words.max(engine.memory_words() as u64);
+
+        let start = Instant::now();
+        let bytes = engine
+            .snapshot()
+            .unwrap_or_else(|e| panic!("snapshot workload encode: {e}"));
+        encode_latencies.push(start.elapsed().as_secs_f64());
+        container_words = container_words.max((bytes.len() as u64).div_ceil(8));
+
+        // Restore into a freshly built engine, as crash recovery does.
+        let mut restored = serve_recipe_engine(algo, trial_seed, budget_words, shards);
+        let start = Instant::now();
+        restored
+            .restore(&bytes)
+            .unwrap_or_else(|e| panic!("snapshot workload restore: {e}"));
+        restore_latencies.push(start.elapsed().as_secs_f64());
+
+        for chunk in edges[cut..].chunks(w) {
+            engine.process_batch(chunk);
+            restored.process_batch(chunk);
+        }
+        if engine.estimate().to_bits() != restored.estimate().to_bits() {
+            parity_mismatches += 1;
+        }
+    }
+
+    let extras = |workload: &mut WorkloadResult| {
+        workload.algo = Some(algo.to_string());
+        workload.budget_words = Some(budget_words);
+        workload.memory_words = Some(measured_words);
+        workload.snapshot_words = Some(container_words);
+    };
+    let mut encode = summarize_workload(
+        "snapshot-encode",
+        WorkloadKind::Snapshot,
+        cut as u64,
+        &encode_latencies,
+        Some(w),
+        Some(shards),
+        None,
+        None,
+    );
+    extras(&mut encode);
+    let parity_error = f64::from(parity_mismatches) / config.trials.max(1) as f64;
+    let mut restore = summarize_workload(
+        "snapshot-restore",
+        WorkloadKind::Snapshot,
+        edges.len() as u64,
+        &restore_latencies,
+        Some(w),
+        Some(shards),
+        None,
+        Some((parity_error, 0.0)),
+    );
+    extras(&mut restore);
+    vec![encode, restore]
+}
+
+/// Builds the serve engine recipe `docs/PROTOCOL.md` documents for CREATE
+/// (`space_for_budget` under [`SERVE_STREAM_HINT`], ceil split across
+/// shards, shard-salted seeds) — the estimator a CREATE frame with these
+/// parameters stands up.
+fn serve_recipe_engine(
     algo: &str,
     seed: u64,
     budget_words: u64,
     shards: usize,
-    edges: &[Edge],
-    w: usize,
-) -> f64 {
+) -> ShardedEstimator<Box<dyn TriangleEstimator + Send>> {
     let spec =
         find_algo(algo).unwrap_or_else(|| panic!("algorithm {algo:?} is not in the registry"));
     let budget = usize::try_from(budget_words).unwrap_or(usize::MAX);
@@ -732,14 +832,27 @@ fn offline_twin_estimate(
     } else {
         space
     };
-    let mut twin: ShardedEstimator<Box<dyn TriangleEstimator + Send>> =
-        ShardedEstimator::from_factory(shards, seed, |shard_seed| {
-            spec.build(&AlgoParams {
-                space: shard_space,
-                seed: shard_seed,
-                window: None,
-            })
-        });
+    ShardedEstimator::from_factory(shards, seed, |shard_seed| {
+        spec.build(&AlgoParams {
+            space: shard_space,
+            seed: shard_seed,
+            window: None,
+        })
+    })
+}
+
+/// The offline twin of a served stream: the [`serve_recipe_engine`], fed
+/// the same batch boundaries the EDGES frames carried. Its estimate must
+/// match the daemon's bit for bit.
+fn offline_twin_estimate(
+    algo: &str,
+    seed: u64,
+    budget_words: u64,
+    shards: usize,
+    edges: &[Edge],
+    w: usize,
+) -> f64 {
+    let mut twin = serve_recipe_engine(algo, seed, budget_words, shards);
     for chunk in edges.chunks(w) {
         twin.process_batch(chunk);
     }
@@ -781,11 +894,11 @@ mod tests {
     fn suite_runs_end_to_end_and_passes_its_own_gate() {
         let report = run_suite(&tiny_config()).unwrap();
         // 3 ingest + 2 engine + 2 hot-path (one batch size) + 2 accuracy +
-        // 2 serve + the equal-memory head-to-head family (one row per
-        // registry entry).
+        // 2 serve + 2 snapshot + the equal-memory head-to-head family (one
+        // row per registry entry).
         assert_eq!(
             report.workloads.len(),
-            11 + tristream_baselines::registry().len()
+            13 + tristream_baselines::registry().len()
         );
         for name in [
             "ingest-text",
@@ -806,6 +919,8 @@ mod tests {
             "accuracy-pagh-tsourakakis",
             "serve-ingest",
             "serve-query",
+            "snapshot-encode",
+            "snapshot-restore",
         ] {
             let w = report.workload(name).unwrap_or_else(|| {
                 panic!("missing workload {name}");
@@ -932,6 +1047,36 @@ mod tests {
         let query = report.workload("serve-query").unwrap();
         assert_eq!(query.kind, WorkloadKind::Serve);
         assert!(query.p50_latency_secs > 0.0, "queries must be timed");
+    }
+
+    #[test]
+    fn snapshot_rows_gate_restore_parity_at_zero() {
+        let report = run_suite(&tiny_config()).unwrap();
+        let restore = report.workload("snapshot-restore").unwrap();
+        assert_eq!(restore.kind, WorkloadKind::Snapshot);
+        assert_eq!(
+            restore.mean_rel_error,
+            Some(0.0),
+            "a restored run must finish bit-identical to the uninterrupted one"
+        );
+        assert_eq!(restore.error_bound, Some(0.0), "the parity bound is exact");
+        assert_eq!(restore.algo.as_deref(), Some("neighborhood-bulk"));
+        let encode = report.workload("snapshot-encode").unwrap();
+        assert_eq!(encode.kind, WorkloadKind::Snapshot);
+        assert!(
+            encode.mean_rel_error.is_none(),
+            "only the restore row carries the parity gate"
+        );
+        // Both rows describe the same checkpoint: its container size next
+        // to the resident sketch it captured.
+        for row in [encode, restore] {
+            let words = row.snapshot_words.expect("container size is recorded");
+            let resident = row.memory_words.expect("resident words are recorded");
+            assert!(words > 0 && resident > 0, "{}: empty sizes", row.name);
+        }
+        // The snapshot covers the front of the stream, the parity statement
+        // covers all of it.
+        assert!(encode.edges > 0 && encode.edges < restore.edges);
     }
 
     #[test]

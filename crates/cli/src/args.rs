@@ -150,13 +150,47 @@ pub enum Command {
         /// Listen address, e.g. `127.0.0.1:7878`; port 0 picks an
         /// ephemeral port, printed on startup.
         addr: String,
+        /// Checkpoint directory: enables periodic per-stream checkpoints
+        /// and crash recovery on startup (`None`: memory-only, as before).
+        state_dir: Option<PathBuf>,
+        /// Checkpoint every N EDGES frames per stream (`None`: the server
+        /// default). Only valid together with `--state-dir`.
+        checkpoint_every: Option<u64>,
+        /// Close connections idle for this many seconds (`None`: no idle
+        /// deadline, as before).
+        idle_timeout_secs: Option<u64>,
     },
     /// One-shot client operations against a running `serve` daemon.
     Client {
         /// Daemon address.
         addr: String,
+        /// Transport-failure retries (`0`: fail fast). Server refusals
+        /// (ERROR frames) are never retried.
+        retries: u32,
         /// The operation to perform.
         action: ClientAction,
+    },
+    /// SNAPSHOT a served stream and write the checkpoint to a local file.
+    Checkpoint {
+        /// Target stream name.
+        name: String,
+        /// Where to write the checkpoint bytes.
+        output: PathBuf,
+        /// Daemon address.
+        addr: String,
+        /// Transport-failure retries (`0`: fail fast).
+        retries: u32,
+    },
+    /// RESTORE a stream on the daemon from a local checkpoint file.
+    Restore {
+        /// Checkpoint file previously written by `checkpoint` (or the
+        /// daemon's own `--state-dir`).
+        input: PathBuf,
+        /// Daemon address.
+        addr: String,
+        /// Transport-failure retries for the *connect* only — the RESTORE
+        /// request itself is never retried (it mutates the server).
+        retries: u32,
     },
     /// Generate a dataset stand-in and write it as an edge list.
     Generate {
@@ -230,12 +264,15 @@ USAGE:
   tristream-cli convert      <INPUT> --output FILE [--timestamps]
   tristream-cli bench        [--smoke] [--check] [--seed S] [--output FILE]
                              [--edges N]
-  tristream-cli serve        [--addr HOST:PORT]
+  tristream-cli serve        [--addr HOST:PORT] [--state-dir DIR]
+                             [--checkpoint-every N] [--idle-timeout SECS]
   tristream-cli client       create NAME --algo NAME [--seed S] [--budget WORDS]
                                          [--shards K] [--window W] [--addr HOST:PORT]
   tristream-cli client       send NAME <EDGE_LIST> [--batch W] [--addr HOST:PORT]
   tristream-cli client       query NAME | stats | delete NAME | shutdown
-                                         [--addr HOST:PORT]
+                                         [--addr HOST:PORT] [--retries N]
+  tristream-cli checkpoint   NAME --output FILE [--addr HOST:PORT] [--retries N]
+  tristream-cli restore      <CHECKPOINT>      [--addr HOST:PORT] [--retries N]
   tristream-cli generate     <DATASET>   [--scale D] [--seed S] --output FILE
   tristream-cli analyze      [check] [--json] [--allows] [--fix-allow] [PATHS…]
   tristream-cli help
@@ -267,9 +304,17 @@ violation a non-zero exit, which is how CI gates.
 named streams running any registry algorithm under a word budget, feed
 them EDGES frames, and QUERY live estimates concurrently without stalling
 ingestion; a SHUTDOWN frame drains the server gracefully. `client` is the
-matching one-shot client (default address 127.0.0.1:7878). The wire
-protocol is specified in docs/PROTOCOL.md and day-two operations
-(budgeting, drain, STATS) in docs/OPERATIONS.md.
+matching one-shot client (default address 127.0.0.1:7878). With
+`--state-dir DIR` the daemon checkpoints every snapshotable stream to DIR
+every N EDGES frames (`--checkpoint-every`, atomic writes) and recovers
+all streams from their latest valid checkpoints on startup;
+`--idle-timeout SECS` closes connections that send no frame within the
+deadline. `checkpoint` pulls a stream's state over the wire into a local
+file; `restore` re-creates the stream from one. `--retries N` retries
+transport failures with bounded exponential backoff — server refusals
+(ERROR frames) and mutating requests are never retried. The wire protocol
+is specified in docs/PROTOCOL.md and day-two operations (budgeting,
+drain, STATS, the checkpoint/restore runbook) in docs/OPERATIONS.md.
 
 Datasets for `generate`: amazon, dblp, youtube, livejournal, orkut,
 syn-d-regular, hep-th, syn-3-reg.
@@ -577,6 +622,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }
         "serve" => {
             let mut addr = DEFAULT_SERVE_ADDR.to_string();
+            let mut state_dir: Option<PathBuf> = None;
+            let mut checkpoint_every: Option<u64> = None;
+            let mut idle_timeout_secs: Option<u64> = None;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
@@ -584,12 +632,105 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         addr = string_flag("--addr", rest.get(i + 1))?;
                         i += 2;
                     }
+                    "--state-dir" => {
+                        state_dir =
+                            Some(PathBuf::from(string_flag("--state-dir", rest.get(i + 1))?));
+                        i += 2;
+                    }
+                    "--checkpoint-every" => {
+                        checkpoint_every =
+                            Some(parse_flag_value("--checkpoint-every", rest.get(i + 1))?);
+                        i += 2;
+                    }
+                    "--idle-timeout" => {
+                        idle_timeout_secs =
+                            Some(parse_flag_value("--idle-timeout", rest.get(i + 1))?);
+                        i += 2;
+                    }
                     other => return Err(CliError::UnknownFlag(other.to_string())),
                 }
             }
-            Ok(Command::Serve { addr })
+            if checkpoint_every == Some(0) {
+                return Err(CliError::InvalidFlagValue {
+                    flag: "--checkpoint-every",
+                    reason: "the checkpoint cadence must be at least 1 EDGES frame",
+                });
+            }
+            if checkpoint_every.is_some() && state_dir.is_none() {
+                return Err(CliError::InvalidFlagValue {
+                    flag: "--checkpoint-every",
+                    reason: "requires --state-dir (there is nowhere to checkpoint to)",
+                });
+            }
+            if idle_timeout_secs == Some(0) {
+                return Err(CliError::InvalidFlagValue {
+                    flag: "--idle-timeout",
+                    reason: "the idle deadline must be at least 1 second",
+                });
+            }
+            Ok(Command::Serve {
+                addr,
+                state_dir,
+                checkpoint_every,
+                idle_timeout_secs,
+            })
         }
         "client" => parse_client(&rest),
+        "checkpoint" => {
+            let name = positional(&rest, 0, "stream name")?;
+            let mut output: Option<PathBuf> = None;
+            let mut addr = DEFAULT_SERVE_ADDR.to_string();
+            let mut retries = 0u32;
+            let mut i = 1;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--output" | "-o" => {
+                        output = Some(PathBuf::from(string_flag("--output", rest.get(i + 1))?));
+                        i += 2;
+                    }
+                    "--addr" => {
+                        addr = string_flag("--addr", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    "--retries" => {
+                        retries = parse_flag_value("--retries", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    other => return Err(CliError::UnknownFlag(other.to_string())),
+                }
+            }
+            let output = output.ok_or(CliError::MissingArgument("--output FILE"))?;
+            Ok(Command::Checkpoint {
+                name,
+                output,
+                addr,
+                retries,
+            })
+        }
+        "restore" => {
+            let input = positional(&rest, 0, "checkpoint file")?;
+            let mut addr = DEFAULT_SERVE_ADDR.to_string();
+            let mut retries = 0u32;
+            let mut i = 1;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--addr" => {
+                        addr = string_flag("--addr", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    "--retries" => {
+                        retries = parse_flag_value("--retries", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    other => return Err(CliError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Restore {
+                input: PathBuf::from(input),
+                addr,
+                retries,
+            })
+        }
         "generate" => {
             let dataset = positional(&rest, 0, "dataset name")?;
             let mut scale = 1u64;
@@ -629,7 +770,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
 }
 
 /// Parses `tristream-cli client <ACTION> …`. Every action accepts
-/// `--addr`; the per-action flags mirror the CREATE frame's fields.
+/// `--addr` and `--retries`; the per-action flags mirror the CREATE
+/// frame's fields.
 fn parse_client(rest: &[String]) -> Result<Command, CliError> {
     let action = positional(
         rest,
@@ -637,6 +779,7 @@ fn parse_client(rest: &[String]) -> Result<Command, CliError> {
         "client action (create|send|query|stats|delete|shutdown)",
     )?;
     let mut addr = DEFAULT_SERVE_ADDR.to_string();
+    let mut retries = 0u32;
     match action.as_str() {
         "create" => {
             let name = positional(rest, 1, "stream name")?;
@@ -650,6 +793,10 @@ fn parse_client(rest: &[String]) -> Result<Command, CliError> {
                 match rest[i].as_str() {
                     "--addr" => {
                         addr = string_flag("--addr", rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    "--retries" => {
+                        retries = parse_flag_value("--retries", rest.get(i + 1))?;
                         i += 2;
                     }
                     "--algo" | "-a" => {
@@ -683,6 +830,7 @@ fn parse_client(rest: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Client {
                 addr,
+                retries,
                 action: ClientAction::Create {
                     name,
                     algo,
@@ -704,6 +852,10 @@ fn parse_client(rest: &[String]) -> Result<Command, CliError> {
                         addr = string_flag("--addr", rest.get(i + 1))?;
                         i += 2;
                     }
+                    "--retries" => {
+                        retries = parse_flag_value("--retries", rest.get(i + 1))?;
+                        i += 2;
+                    }
                     "--batch" | "-w" => {
                         batch = parse_flag_value("--batch", rest.get(i + 1))?;
                         i += 2;
@@ -719,6 +871,7 @@ fn parse_client(rest: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Client {
                 addr,
+                retries,
                 action: ClientAction::Send {
                     name,
                     input: PathBuf::from(input),
@@ -728,30 +881,40 @@ fn parse_client(rest: &[String]) -> Result<Command, CliError> {
         }
         "query" | "delete" => {
             let name = positional(rest, 1, "stream name")?;
-            addr = client_addr_only(&rest[2..])?;
+            (addr, retries) = client_common_flags(&rest[2..])?;
             let action = if action == "query" {
                 ClientAction::Query { name }
             } else {
                 ClientAction::Delete { name }
             };
-            Ok(Command::Client { addr, action })
+            Ok(Command::Client {
+                addr,
+                retries,
+                action,
+            })
         }
         "stats" | "shutdown" => {
-            addr = client_addr_only(&rest[1..])?;
+            (addr, retries) = client_common_flags(&rest[1..])?;
             let action = if action == "stats" {
                 ClientAction::Stats
             } else {
                 ClientAction::Shutdown
             };
-            Ok(Command::Client { addr, action })
+            Ok(Command::Client {
+                addr,
+                retries,
+                action,
+            })
         }
         other => Err(CliError::UnknownCommand(format!("client {other}"))),
     }
 }
 
-/// Parses the tail of a client action that takes no flags beyond `--addr`.
-fn client_addr_only(rest: &[String]) -> Result<String, CliError> {
+/// Parses the tail of a client action that takes no flags beyond `--addr`
+/// and `--retries`.
+fn client_common_flags(rest: &[String]) -> Result<(String, u32), CliError> {
     let mut addr = DEFAULT_SERVE_ADDR.to_string();
+    let mut retries = 0u32;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -759,10 +922,14 @@ fn client_addr_only(rest: &[String]) -> Result<String, CliError> {
                 addr = string_flag("--addr", rest.get(i + 1))?;
                 i += 2;
             }
+            "--retries" => {
+                retries = parse_flag_value("--retries", rest.get(i + 1))?;
+                i += 2;
+            }
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
     }
-    Ok(addr)
+    Ok((addr, retries))
 }
 
 fn string_flag(flag: &str, value: Option<&String>) -> Result<String, CliError> {
@@ -1191,17 +1358,126 @@ mod tests {
         assert_eq!(
             parse_args(&args(&["serve"])).unwrap(),
             Command::Serve {
-                addr: DEFAULT_SERVE_ADDR.to_string()
+                addr: DEFAULT_SERVE_ADDR.to_string(),
+                state_dir: None,
+                checkpoint_every: None,
+                idle_timeout_secs: None,
             }
         );
         assert_eq!(
             parse_args(&args(&["serve", "--addr", "0.0.0.0:9999"])).unwrap(),
             Command::Serve {
-                addr: "0.0.0.0:9999".to_string()
+                addr: "0.0.0.0:9999".to_string(),
+                state_dir: None,
+                checkpoint_every: None,
+                idle_timeout_secs: None,
             }
         );
         assert!(matches!(
             parse_args(&args(&["serve", "--bogus"])).unwrap_err(),
+            CliError::UnknownFlag(_)
+        ));
+    }
+
+    #[test]
+    fn serve_durability_flags_parse_and_validate() {
+        assert_eq!(
+            parse_args(&args(&[
+                "serve",
+                "--state-dir",
+                "/var/lib/tristream",
+                "--checkpoint-every",
+                "16",
+                "--idle-timeout",
+                "30",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                addr: DEFAULT_SERVE_ADDR.to_string(),
+                state_dir: Some(PathBuf::from("/var/lib/tristream")),
+                checkpoint_every: Some(16),
+                idle_timeout_secs: Some(30),
+            }
+        );
+        // A cadence with nowhere to write to is a usage error, not a
+        // silently ignored flag.
+        let err = parse_args(&args(&["serve", "--checkpoint-every", "4"])).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::InvalidFlagValue {
+                flag: "--checkpoint-every",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("--state-dir"), "{err}");
+        // Zero values are rejected at parse time.
+        assert!(matches!(
+            parse_args(&args(&[
+                "serve",
+                "--state-dir",
+                "d",
+                "--checkpoint-every",
+                "0"
+            ]))
+            .unwrap_err(),
+            CliError::InvalidFlagValue {
+                flag: "--checkpoint-every",
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_args(&args(&["serve", "--idle-timeout", "0"])).unwrap_err(),
+            CliError::InvalidFlagValue {
+                flag: "--idle-timeout",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn checkpoint_and_restore_subcommands_parse() {
+        assert_eq!(
+            parse_args(&args(&[
+                "checkpoint",
+                "prod",
+                "--output",
+                "prod.tsc",
+                "--retries",
+                "3",
+                "--addr",
+                "10.0.0.1:7878",
+            ]))
+            .unwrap(),
+            Command::Checkpoint {
+                name: "prod".to_string(),
+                output: PathBuf::from("prod.tsc"),
+                addr: "10.0.0.1:7878".to_string(),
+                retries: 3,
+            }
+        );
+        // --output is required; the stream name is positional.
+        assert!(matches!(
+            parse_args(&args(&["checkpoint", "prod"])).unwrap_err(),
+            CliError::MissingArgument("--output FILE")
+        ));
+        assert!(matches!(
+            parse_args(&args(&["checkpoint"])).unwrap_err(),
+            CliError::MissingArgument(_)
+        ));
+        assert_eq!(
+            parse_args(&args(&["restore", "prod.tsc"])).unwrap(),
+            Command::Restore {
+                input: PathBuf::from("prod.tsc"),
+                addr: DEFAULT_SERVE_ADDR.to_string(),
+                retries: 0,
+            }
+        );
+        assert!(matches!(
+            parse_args(&args(&["restore"])).unwrap_err(),
+            CliError::MissingArgument(_)
+        ));
+        assert!(matches!(
+            parse_args(&args(&["restore", "prod.tsc", "--bogus"])).unwrap_err(),
             CliError::UnknownFlag(_)
         ));
     }
@@ -1230,6 +1506,7 @@ mod tests {
             c,
             Command::Client {
                 addr: "10.0.0.1:7878".to_string(),
+                retries: 0,
                 action: ClientAction::Create {
                     name: "prod".to_string(),
                     algo: "sliding".to_string(),
@@ -1248,6 +1525,7 @@ mod tests {
             c,
             Command::Client {
                 addr: DEFAULT_SERVE_ADDR.to_string(),
+                retries: 0,
                 action: ClientAction::Send {
                     name: "prod".to_string(),
                     input: PathBuf::from("g.txt"),
@@ -1275,10 +1553,41 @@ mod tests {
                 parse_args(&args(parts)).unwrap(),
                 Command::Client {
                     addr: DEFAULT_SERVE_ADDR.to_string(),
+                    retries: 0,
                     action,
                 }
             );
         }
+    }
+
+    #[test]
+    fn every_client_action_accepts_retries() {
+        for parts in [
+            &["client", "query", "prod", "--retries", "4"][..],
+            &["client", "delete", "prod", "--retries", "4"][..],
+            &["client", "stats", "--retries", "4"][..],
+            &["client", "shutdown", "--retries", "4"][..],
+            &[
+                "client",
+                "create",
+                "prod",
+                "--algo",
+                "exact",
+                "--retries",
+                "4",
+            ][..],
+            &["client", "send", "prod", "g.txt", "--retries", "4"][..],
+        ] {
+            let c = parse_args(&args(parts)).unwrap();
+            assert!(
+                matches!(c, Command::Client { retries: 4, .. }),
+                "{parts:?}: {c:?}"
+            );
+        }
+        assert!(matches!(
+            parse_args(&args(&["client", "stats", "--retries", "lots"])).unwrap_err(),
+            CliError::BadFlagValue(_)
+        ));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use tristream_graph::binary::{
 use tristream_graph::io::{read_edge_list_batched_file, read_edge_list_file, write_edge_list_file};
 use tristream_graph::pipeline::read_edges_binary_pipelined_file;
 use tristream_graph::{Edge, EdgeStream, GraphError, GraphSummary};
-use tristream_serve::{Client, CreateStream, Server};
+use tristream_serve::{Client, CreateStream, RetryPolicy, Server, ServerOptions, StreamCheckpoint};
 
 /// Reads a whole edge-stream file, picking the codec from the extension:
 /// `.tsb` files use the binary reader (duplicates preserved — binary
@@ -403,9 +403,33 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 _ => Err("analyze could not check the workspace".into()),
             }
         }
-        Command::Serve { addr } => {
-            let server = Server::bind(addr.as_str())?;
+        Command::Serve {
+            addr,
+            state_dir,
+            checkpoint_every,
+            idle_timeout_secs,
+        } => {
+            let mut options = ServerOptions {
+                state_dir,
+                ..ServerOptions::default()
+            };
+            if let Some(every) = checkpoint_every {
+                options.checkpoint_interval = every;
+            }
+            options.idle_timeout = idle_timeout_secs.map(std::time::Duration::from_secs);
+            let server = Server::bind_with(addr.as_str(), options)?;
             let local = server.local_addr();
+            // Recovery happened inside `bind_with`; report it before the
+            // accept loop blocks so operators see what came back.
+            for name in server.recovered_streams() {
+                println!("tristream serve: recovered stream {name:?} from its checkpoint");
+            }
+            for path in server.skipped_checkpoints() {
+                println!(
+                    "tristream serve: skipped unreadable checkpoint {}",
+                    path.display()
+                );
+            }
             // Printed (and flushed) before the accept loop blocks, so
             // scripts and tests can read the bound address back —
             // `--addr HOST:0` picks an ephemeral port.
@@ -414,7 +438,46 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             server.run()?;
             Ok(format!("tristream serve: drained and stopped ({local})\n"))
         }
-        Command::Client { addr, action } => run_client(&addr, action),
+        Command::Client {
+            addr,
+            retries,
+            action,
+        } => run_client(&addr, RetryPolicy::new(retries), action),
+        Command::Checkpoint {
+            name,
+            output,
+            addr,
+            retries,
+        } => {
+            let policy = RetryPolicy::new(retries);
+            let mut client = Client::connect_with_retry(addr.as_str(), policy)?;
+            let bytes = client.snapshot_with_retry(&name, policy)?;
+            std::fs::write(&output, &bytes)?;
+            Ok(format!(
+                "checkpointed stream {name:?} to {} ({} bytes)\n",
+                output.display(),
+                bytes.len()
+            ))
+        }
+        Command::Restore {
+            input,
+            addr,
+            retries,
+        } => {
+            let bytes = std::fs::read(&input)?;
+            // Decode locally first: a corrupt file is reported with the
+            // typed snapshot error before any connection is made, and the
+            // report can name the stream being restored.
+            let checkpoint = StreamCheckpoint::decode(&bytes)?;
+            let mut client = Client::connect_with_retry(addr.as_str(), RetryPolicy::new(retries))?;
+            // The RESTORE request itself is deliberately not retried: it
+            // mutates the server, and an ambiguous outcome must surface.
+            client.restore(&bytes)?;
+            Ok(format!(
+                "restored stream {:?} (algo = {}, {} edges replayed into the checkpoint)\n",
+                checkpoint.name, checkpoint.algo, checkpoint.replay_edges
+            ))
+        }
         Command::Generate {
             dataset,
             scale,
@@ -547,8 +610,15 @@ fn run_count_algo(
 /// `client <ACTION>`: one connection, one operation, one report. The
 /// errors are the typed client errors, so a server-side refusal (unknown
 /// stream, draining, …) renders with its protocol error code and detail.
-fn run_client(addr: &str, action: ClientAction) -> Result<String, Box<dyn Error>> {
-    let mut client = Client::connect(addr)?;
+/// `--retries` drives the connect for every action, and the request
+/// itself only for the read-only ones (QUERY, STATS) — mutating requests
+/// are never retried, so a transport failure stays unambiguous.
+fn run_client(
+    addr: &str,
+    policy: RetryPolicy,
+    action: ClientAction,
+) -> Result<String, Box<dyn Error>> {
+    let mut client = Client::connect_with_retry(addr, policy)?;
     match action {
         ClientAction::Create {
             name,
@@ -582,14 +652,14 @@ fn run_client(addr: &str, action: ClientAction) -> Result<String, Box<dyn Error>
             ))
         }
         ClientAction::Query { name } => {
-            let reply = client.query(&name)?;
+            let reply = client.query_with_retry(&name, policy)?;
             Ok(format!(
                 "stream {name:?}: estimate = {:.0} ({} edges, memory = {} words)\n",
                 reply.estimate, reply.edges, reply.memory_words
             ))
         }
         ClientAction::Stats => {
-            let streams = client.stats()?;
+            let streams = client.stats_with_retry(policy)?;
             if streams.is_empty() {
                 return Ok("no live streams\n".to_string());
             }
@@ -1078,6 +1148,7 @@ mod tests {
         let client = |action: ClientAction| {
             run(Command::Client {
                 addr: addr.clone(),
+                retries: 0,
                 action,
             })
         };
@@ -1122,6 +1193,92 @@ mod tests {
         let out = client(ClientAction::Shutdown).unwrap();
         assert!(out.contains("draining"), "{out}");
         daemon.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_and_restore_round_trip_through_a_live_daemon() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+        let daemon = std::thread::spawn(move || server.run());
+
+        let path = sample_graph_path();
+        let client = |action: ClientAction| {
+            run(Command::Client {
+                addr: addr.clone(),
+                retries: 0,
+                action,
+            })
+        };
+        client(ClientAction::Create {
+            name: "prod".into(),
+            algo: "neighborhood-bulk".into(),
+            seed: 11,
+            budget_words: 1 << 14,
+            shards: 2,
+            window: 0,
+        })
+        .unwrap();
+        client(ClientAction::Send {
+            name: "prod".into(),
+            input: path,
+            batch: 1_024,
+        })
+        .unwrap();
+        let estimate_line = client(ClientAction::Query {
+            name: "prod".into(),
+        })
+        .unwrap();
+
+        let dir = std::env::temp_dir().join("tristream-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join(format!("prod-{}.tsc", std::process::id()));
+        let out = run(Command::Checkpoint {
+            name: "prod".into(),
+            output: file.clone(),
+            addr: addr.clone(),
+            retries: 0,
+        })
+        .unwrap();
+        assert!(out.contains("checkpointed stream \"prod\""), "{out}");
+
+        // Delete the live stream, then resurrect it from the file: the
+        // estimate must come back bit-identical.
+        client(ClientAction::Delete {
+            name: "prod".into(),
+        })
+        .unwrap();
+        let out = run(Command::Restore {
+            input: file.clone(),
+            addr: addr.clone(),
+            retries: 0,
+        })
+        .unwrap();
+        assert!(out.contains("restored stream \"prod\""), "{out}");
+        assert!(out.contains("neighborhood-bulk"), "{out}");
+        assert_eq!(
+            client(ClientAction::Query {
+                name: "prod".into(),
+            })
+            .unwrap(),
+            estimate_line
+        );
+
+        // A corrupt checkpoint file fails locally with the typed snapshot
+        // error, before touching the daemon.
+        let bogus = dir.join(format!("bogus-{}.tsc", std::process::id()));
+        std::fs::write(&bogus, b"definitely not a checkpoint").unwrap();
+        let err = run(Command::Restore {
+            input: bogus.clone(),
+            addr: addr.clone(),
+            retries: 0,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        client(ClientAction::Shutdown).unwrap();
+        daemon.join().unwrap().unwrap();
+        std::fs::remove_file(&file).ok();
+        std::fs::remove_file(&bogus).ok();
     }
 
     #[test]

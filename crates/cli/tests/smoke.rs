@@ -492,7 +492,11 @@ fn bench_smoke_emits_machine_readable_json() {
     let json = std::fs::read_to_string(&json_path).expect("bench wrote the report");
     for field in [
         "\"schema\": \"tristream-bench\"",
-        "\"schema_version\": 5",
+        "\"schema_version\": 6",
+        "\"snapshot-encode\"",
+        "\"snapshot-restore\"",
+        "\"kind\": \"snapshot\"",
+        "\"snapshot_words\"",
         "\"ingest-text\"",
         "\"ingest-binary\"",
         "\"ingest-binary-parallel\"",

@@ -64,8 +64,9 @@ use crate::estimator::EstimatorState;
 use crate::fastmap::FastMap;
 use crate::lanes::{lemire4, LANES};
 
-use crate::pool::{BufferedRng, EstimatorPool};
+use crate::pool::{BufferedRng, EstimatorPool, POOL_COLUMNS, RNG_BUFFER_LEN};
 use rand::Rng;
+use tristream_graph::snapshot::{put_u64s, SnapshotError, SnapshotReader, SnapshotWriter};
 use tristream_graph::Edge;
 use tristream_sample::{mean, median_of_means, salted_seed, splitmix64, GeometricSkip};
 
@@ -441,6 +442,9 @@ pub struct BulkTriangleCounter {
     scratch: BatchScratch,
     edges_seen: u64,
     rng: BufferedRng,
+    /// Construction seed, kept so snapshots can rebuild the scratch-table
+    /// hash seeds (a pure SplitMix64 derivation of it) on restore.
+    seed: u64,
     aggregation: Aggregation,
     level1_strategy: Level1Strategy,
     kernel: BulkKernel,
@@ -472,16 +476,23 @@ impl BulkTriangleCounter {
         if let Aggregation::MedianOfMeans { groups } = aggregation {
             assert!(groups > 0, "median-of-means needs at least one group");
         }
-        let hash_seed = splitmix64(salted_seed(seed, 0xB0_1D_FA_CE_0F_F1_CE_5E));
+        let hash_seed = Self::hash_seed(seed);
         Self {
             pool: EstimatorPool::new(r),
             scratch: BatchScratch::new(r, hash_seed),
             edges_seen: 0,
             rng: BufferedRng::seed_from_u64(seed),
+            seed,
             aggregation,
             level1_strategy: Level1Strategy::default(),
             kernel: BulkKernel::default(),
         }
+    }
+
+    /// The scratch-table hash seed: a SplitMix64 derivation of the
+    /// construction seed, shared by the constructor and snapshot restore.
+    fn hash_seed(seed: u64) -> u64 {
+        splitmix64(salted_seed(seed, 0xB0_1D_FA_CE_0F_F1_CE_5E))
     }
 
     /// Selects which hot-path kernel [`process_batch`](Self::process_batch)
@@ -1011,6 +1022,160 @@ impl BulkTriangleCounter {
     }
 }
 
+impl BulkTriangleCounter {
+    /// Serialize the complete counter state into a `TSS\0` snapshot
+    /// container (layout documented in [`crate::snapshot`]): pool columns,
+    /// presence bitsets, RNG state (inner generator + refill buffer +
+    /// cursor), stream position, and configuration. Restoring the bytes
+    /// and continuing the stream is bit-identical to never having stopped.
+    pub fn to_snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        let r = self.pool.len();
+        let mut meta = Vec::with_capacity(35);
+        meta.push(crate::snapshot::KIND_BULK);
+        put_u64s(&mut meta, &[r as u64, self.seed, self.edges_seen]);
+        match self.aggregation {
+            Aggregation::Mean => {
+                meta.push(0);
+                put_u64s(&mut meta, &[0]);
+            }
+            Aggregation::MedianOfMeans { groups } => {
+                meta.push(1);
+                put_u64s(&mut meta, &[groups as u64]);
+            }
+        }
+        meta.push(match self.level1_strategy {
+            Level1Strategy::PerEstimator => 0,
+            Level1Strategy::GeometricSkip => 1,
+        });
+
+        let mut columns = Vec::with_capacity(POOL_COLUMNS * r * 8);
+        for col in self.pool.snapshot_columns() {
+            put_u64s(&mut columns, col);
+        }
+
+        let word_count = r.div_ceil(64);
+        let mut bitsets = Vec::with_capacity(3 * word_count * 8);
+        put_u64s(&mut bitsets, self.pool.r1_set.words());
+        put_u64s(&mut bitsets, self.pool.r2_set.words());
+        put_u64s(&mut bitsets, self.pool.closer_set.words());
+
+        let (state, buf, pos) = self.rng.snapshot_state();
+        let mut rng = Vec::with_capacity((4 + 1 + buf.len()) * 8);
+        put_u64s(&mut rng, &state);
+        put_u64s(&mut rng, &[pos as u64]);
+        put_u64s(&mut rng, buf);
+
+        let mut writer = SnapshotWriter::new();
+        writer.section(crate::snapshot::SEC_META, &meta)?;
+        writer.section(crate::snapshot::SEC_COLUMNS, &columns)?;
+        writer.section(crate::snapshot::SEC_BITSETS, &bitsets)?;
+        writer.section(crate::snapshot::SEC_RNG, &rng)?;
+        Ok(writer.finish())
+    }
+
+    /// Rebuild a counter from [`to_snapshot`](Self::to_snapshot) bytes.
+    ///
+    /// Structural damage (bad magic, truncation, checksum mismatch,
+    /// trailing bytes) surfaces as [`SnapshotError::Corrupt`]; bytes that
+    /// decode but describe an impossible counter — zero estimators, a
+    /// broken presence-subset chain, an all-zero RNG state, a bad enum tag
+    /// — as [`SnapshotError::Incompatible`]. Never panics. The hot-path
+    /// kernel is not part of the state: the restored counter uses this
+    /// build's default (both kernels are bit-identical).
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let incompatible = |reason: String| SnapshotError::Incompatible { reason };
+        let reader = SnapshotReader::parse(bytes)?;
+
+        let mut meta = reader.section(crate::snapshot::SEC_META)?;
+        let kind = meta.u8("snapshot kind tag")?;
+        if kind != crate::snapshot::KIND_BULK {
+            return Err(incompatible(format!(
+                "expected a bulk-counter snapshot (kind {}), found kind {kind}",
+                crate::snapshot::KIND_BULK
+            )));
+        }
+        let r64 = meta.u64("estimator count")?;
+        let seed = meta.u64("construction seed")?;
+        let edges_seen = meta.u64("edges seen")?;
+        let agg_tag = meta.u8("aggregation tag")?;
+        let groups = meta.u64("aggregation group count")?;
+        let strategy_tag = meta.u8("level-1 strategy tag")?;
+        meta.finish()?;
+
+        let r = usize::try_from(r64)
+            .ok()
+            .filter(|&r| r > 0)
+            .ok_or_else(|| incompatible(format!("estimator count {r64} is not usable")))?;
+        let aggregation = match agg_tag {
+            0 => Aggregation::Mean,
+            1 => {
+                let groups = usize::try_from(groups)
+                    .ok()
+                    .filter(|&g| g > 0)
+                    .ok_or_else(|| {
+                        incompatible(format!(
+                            "median-of-means group count {groups} is not usable"
+                        ))
+                    })?;
+                Aggregation::MedianOfMeans { groups }
+            }
+            other => return Err(incompatible(format!("unknown aggregation tag {other}"))),
+        };
+        let level1_strategy = match strategy_tag {
+            0 => Level1Strategy::PerEstimator,
+            1 => Level1Strategy::GeometricSkip,
+            other => {
+                return Err(incompatible(format!(
+                    "unknown level-1 strategy tag {other}"
+                )))
+            }
+        };
+
+        let mut columns_section = reader.section(crate::snapshot::SEC_COLUMNS)?;
+        let mut columns: [Vec<u64>; POOL_COLUMNS] = Default::default();
+        for col in &mut columns {
+            *col = columns_section.u64_vec(r, "pool column")?;
+        }
+        columns_section.finish()?;
+
+        let word_count = r.div_ceil(64);
+        let mut bitset_section = reader.section(crate::snapshot::SEC_BITSETS)?;
+        let r1_words = bitset_section.u64_vec(word_count, "r1 presence bitset")?;
+        let r2_words = bitset_section.u64_vec(word_count, "r2 presence bitset")?;
+        let closer_words = bitset_section.u64_vec(word_count, "closer presence bitset")?;
+        bitset_section.finish()?;
+        let pool = EstimatorPool::from_snapshot_parts(r, columns, r1_words, r2_words, closer_words)
+            .ok_or_else(|| {
+                incompatible("pool state violates the structural invariants".to_owned())
+            })?;
+
+        let mut rng_section = reader.section(crate::snapshot::SEC_RNG)?;
+        let state_words = rng_section.u64_vec(4, "rng generator state")?;
+        let mut state = [0u64; 4];
+        state.copy_from_slice(&state_words);
+        let pos = rng_section.u64("rng consume cursor")?;
+        let buf = rng_section.u64_vec(RNG_BUFFER_LEN, "rng refill buffer")?;
+        rng_section.finish()?;
+        let rng = usize::try_from(pos)
+            .ok()
+            .and_then(|pos| BufferedRng::from_snapshot_state(state, buf, pos))
+            .ok_or_else(|| {
+                incompatible("rng state is not a reachable generator state".to_owned())
+            })?;
+
+        Ok(Self {
+            pool,
+            scratch: BatchScratch::new(r, Self::hash_seed(seed)),
+            edges_seen,
+            rng,
+            seed,
+            aggregation,
+            level1_strategy,
+            kernel: BulkKernel::default(),
+        })
+    }
+}
+
 impl crate::traits::TriangleEstimator for BulkTriangleCounter {
     /// A single edge is a batch of one — distributionally identical to the
     /// one-at-a-time counter (the property `bulk::tests` checks).
@@ -1039,6 +1204,23 @@ impl crate::traits::TriangleEstimator for BulkTriangleCounter {
     /// maps.
     fn memory_words(&self) -> usize {
         crate::traits::words_for_bytes(self.estimator_memory_bytes())
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        self.to_snapshot()
+    }
+
+    /// Restores state while keeping the receiver's kernel choice — the
+    /// kernel is a memory schedule, not state, and both produce
+    /// bit-identical results.
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), SnapshotError> {
+        let restored = Self::from_snapshot(snapshot)?.with_kernel(self.kernel);
+        *self = restored;
+        Ok(())
     }
 }
 

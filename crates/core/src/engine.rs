@@ -306,6 +306,24 @@ impl<C: TriangleEstimator + Send + 'static> ShardedEngine<C> {
             .map(|shard| f(&self.lock_shard(shard)))
             .collect()
     }
+
+    /// Synchronises, then applies `f` to every shard's counter *mutably*
+    /// in shard order — the snapshot-restore hook. Requires `&mut self`,
+    /// so no batch can be submitted while shard state is being replaced;
+    /// the sync barrier guarantees no worker still holds an earlier batch.
+    pub fn map_shards_mut<T>(&mut self, mut f: impl FnMut(&mut C) -> T) -> Vec<T> {
+        self.sync();
+        (0..self.num_shards())
+            .map(|shard| {
+                #[allow(clippy::expect_used)]
+                let mut guard = self.shared.counters[shard]
+                    .lock()
+                    // analyze: allow(P1, reason = "poisoning is only reachable after a worker panicked; resurfacing that panic beats writing into a corrupt shard")
+                    .expect("shard poisoned by a worker panic");
+                f(&mut guard)
+            })
+            .collect()
+    }
 }
 
 impl<C: TriangleEstimator + Send + Clone + 'static> ShardedEngine<C> {

@@ -62,6 +62,7 @@ pub mod pool;
 pub mod reference;
 pub mod sampler;
 pub mod sliding;
+pub mod snapshot;
 pub mod theory;
 pub mod traits;
 pub mod transitivity;
@@ -79,6 +80,7 @@ pub use pool::{BitSet, BufferedRng, EstimatorPool};
 pub use reference::ReferenceBulkCounter;
 pub use sampler::TriangleSampler;
 pub use sliding::SlidingWindowTriangleCounter;
+pub use snapshot::SnapshotError;
 pub use theory::{
     error_bound_for_estimators, sufficient_estimators_mean, sufficient_estimators_tangle,
     sufficient_sampler_copies,

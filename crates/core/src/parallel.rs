@@ -22,6 +22,7 @@ use crate::bulk::{BulkTriangleCounter, Level1Strategy};
 use crate::counter::Aggregation;
 use crate::engine::ShardedEngine;
 use crate::traits::TriangleEstimator;
+use tristream_graph::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use tristream_graph::Edge;
 use tristream_sample::{mean, median_of_means};
 
@@ -311,6 +312,91 @@ impl<C: TriangleEstimator + Send + 'static> ShardedEstimator<C> {
     pub fn shard_estimates(&self) -> Vec<f64> {
         self.engine.map_shards(|shard| shard.estimate())
     }
+
+    /// Per-shard snapshots, in shard order — the building blocks the
+    /// [`TriangleEstimator::snapshot`] container nests, exposed so callers
+    /// can also ship shard state to independent processes.
+    pub fn shard_snapshots(&self) -> Result<Vec<Vec<u8>>, SnapshotError> {
+        self.engine
+            .map_shards(|shard| shard.snapshot())
+            .into_iter()
+            .collect()
+    }
+
+    /// Merge snapshots taken by `N` *independent* single-process
+    /// estimators into this `N`-shard estimator, under the shard-seed
+    /// contract: process `i` must have been seeded `shard_seed(seed, i)`
+    /// (the seed [`from_factory`](Self::from_factory) hands shard `i`) and
+    /// fed the same stream as its peers. Because every shard sees the
+    /// whole stream and the combined estimate is the shard mean, the
+    /// merged estimator's `estimate()` is bit-identical to the
+    /// single-process `N`-shard run over that stream.
+    ///
+    /// Snapshot `i` replaces shard `i`'s state. All snapshots must agree
+    /// on `edges_seen` (they claim to describe the same stream) and the
+    /// count must match [`num_shards`](Self::num_shards); mismatches are
+    /// [`SnapshotError::Incompatible`] and leave earlier shards already
+    /// restored — callers treat a failed merge as fatal for the receiver,
+    /// exactly as a failed [`TriangleEstimator::restore`] would be.
+    pub fn merge_shard_snapshots(&mut self, snapshots: &[Vec<u8>]) -> Result<(), SnapshotError> {
+        if snapshots.len() != self.num_shards() {
+            return Err(SnapshotError::Incompatible {
+                reason: format!(
+                    "merging {} snapshots into {} shards",
+                    snapshots.len(),
+                    self.num_shards()
+                ),
+            });
+        }
+        let mut edges = None;
+        for (i, bytes) in snapshots.iter().enumerate() {
+            let claimed = snapshot_edges_seen(bytes)?;
+            match edges {
+                None => edges = Some(claimed),
+                Some(prev) if prev != claimed => {
+                    return Err(SnapshotError::Incompatible {
+                        reason: format!(
+                            "snapshot {i} claims {claimed} edges seen but its peers claim {prev}; \
+                             merged shards must describe the same stream"
+                        ),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        let mut results = Vec::with_capacity(snapshots.len());
+        self.engine.map_shards_mut(|shard| {
+            let i = results.len();
+            results.push(shard.restore(&snapshots[i]));
+            results.len()
+        });
+        for result in results {
+            result?;
+        }
+        self.edges_seen = edges.unwrap_or(0);
+        Ok(())
+    }
+}
+
+/// Decode the `edges_seen` a (bulk or sharded) estimator snapshot claims.
+fn snapshot_edges_seen(bytes: &[u8]) -> Result<u64, SnapshotError> {
+    let reader = SnapshotReader::parse(bytes)?;
+    let mut meta = reader.section(crate::snapshot::SEC_META)?;
+    let kind = meta.u8("snapshot kind tag")?;
+    match kind {
+        crate::snapshot::KIND_BULK => {
+            let _r = meta.u64("estimator count")?;
+            let _seed = meta.u64("construction seed")?;
+            meta.u64("edges seen")
+        }
+        crate::snapshot::KIND_SHARDED => {
+            let _shards = meta.u64("shard count")?;
+            meta.u64("edges seen")
+        }
+        other => Err(SnapshotError::Incompatible {
+            reason: format!("unknown snapshot kind {other}"),
+        }),
+    }
 }
 
 impl<C: TriangleEstimator + Send + 'static> TriangleEstimator for ShardedEstimator<C> {
@@ -340,6 +426,85 @@ impl<C: TriangleEstimator + Send + 'static> TriangleEstimator for ShardedEstimat
             .map_shards(|shard| shard.memory_words())
             .iter()
             .sum()
+    }
+
+    /// Snapshots are supported exactly when every shard supports them.
+    fn supports_snapshot(&self) -> bool {
+        self.engine
+            .map_shards(|shard| shard.supports_snapshot())
+            .iter()
+            .all(|&s| s)
+    }
+
+    /// A `KIND_SHARDED` container nesting each shard's own snapshot (see
+    /// [`crate::snapshot`] for the layout).
+    fn snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        let shard_bytes = self.shard_snapshots()?;
+        let mut meta = Vec::with_capacity(17);
+        meta.push(crate::snapshot::KIND_SHARDED);
+        tristream_graph::snapshot::put_u64s(
+            &mut meta,
+            &[shard_bytes.len() as u64, self.edges_seen],
+        );
+        let mut writer = SnapshotWriter::new();
+        writer.section(crate::snapshot::SEC_META, &meta)?;
+        for (i, bytes) in shard_bytes.iter().enumerate() {
+            let Ok(offset) = u16::try_from(i) else {
+                return Err(SnapshotError::Incompatible {
+                    reason: format!("{} shards exceed the section id space", shard_bytes.len()),
+                });
+            };
+            writer.section(crate::snapshot::SEC_SHARD_BASE + offset, bytes)?;
+        }
+        Ok(writer.finish())
+    }
+
+    /// Restore from a `KIND_SHARDED` snapshot with a matching shard
+    /// count: shard `i` is handed nested snapshot `i`, and `edges_seen`
+    /// is adopted from the container.
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), SnapshotError> {
+        let reader = SnapshotReader::parse(snapshot)?;
+        let mut meta = reader.section(crate::snapshot::SEC_META)?;
+        let kind = meta.u8("snapshot kind tag")?;
+        if kind != crate::snapshot::KIND_SHARDED {
+            return Err(SnapshotError::Incompatible {
+                reason: format!(
+                    "expected a sharded snapshot (kind {}), found kind {kind}",
+                    crate::snapshot::KIND_SHARDED
+                ),
+            });
+        }
+        let shards = meta.u64("shard count")?;
+        let edges_seen = meta.u64("edges seen")?;
+        meta.finish()?;
+        if shards != self.num_shards() as u64 {
+            return Err(SnapshotError::Incompatible {
+                reason: format!(
+                    "snapshot holds {shards} shards but this estimator runs {}",
+                    self.num_shards()
+                ),
+            });
+        }
+        let mut nested = Vec::with_capacity(self.num_shards());
+        for i in 0..self.num_shards() {
+            let Ok(offset) = u16::try_from(i) else {
+                return Err(SnapshotError::Incompatible {
+                    reason: format!("{} shards exceed the section id space", self.num_shards()),
+                });
+            };
+            let mut section = reader.section(crate::snapshot::SEC_SHARD_BASE + offset)?;
+            nested.push(section.rest().to_vec());
+        }
+        let mut results = Vec::with_capacity(self.num_shards());
+        self.engine.map_shards_mut(|shard| {
+            let i = results.len();
+            results.push(shard.restore(&nested[i]));
+        });
+        for result in results {
+            result?;
+        }
+        self.edges_seen = edges_seen;
+        Ok(())
     }
 }
 

@@ -99,6 +99,25 @@ impl BitSet {
     pub fn resident_bytes(&self) -> usize {
         self.words.len() * std::mem::size_of::<u64>()
     }
+
+    /// Rebuild a set from serialized backing words (snapshot restore).
+    ///
+    /// Returns `None` unless the word count is exactly right for `bits`
+    /// and every bit past `bits` in the final word is zero — the same
+    /// ghost-bit invariant [`validate`](EstimatorPool::validate) sweeps,
+    /// enforced here so a corrupted snapshot cannot smuggle one in.
+    pub(crate) fn from_words(words: Vec<u64>, bits: usize) -> Option<Self> {
+        if words.len() != bits.div_ceil(64) {
+            return None;
+        }
+        if !bits.is_multiple_of(64) {
+            let ghost_mask = !0u64 << (bits % 64);
+            if words.last().is_some_and(|&w| w & ghost_mask != 0) {
+                return None;
+            }
+        }
+        Some(Self { words, bits })
+    }
 }
 
 /// The `r` estimators of a bulk counter stored as flat parallel arrays.
@@ -408,9 +427,79 @@ impl EstimatorPool {
     }
 }
 
+impl EstimatorPool {
+    /// Rebuild a pool from serialized state (snapshot restore): the ten
+    /// `u64` columns in declaration order followed by the three presence
+    /// bitsets' backing words.
+    ///
+    /// Returns `None` unless every column is exactly `len` long, every
+    /// bitset reconstructs cleanly ([`BitSet::from_words`]), and the
+    /// word-level subset chain `closer ⊆ r2 ⊆ r1` holds — the structural
+    /// invariants a live pool maintains by construction, re-checked here
+    /// because snapshot bytes arrive from outside the process.
+    pub(crate) fn from_snapshot_parts(
+        len: usize,
+        columns: [Vec<u64>; POOL_COLUMNS],
+        r1_words: Vec<u64>,
+        r2_words: Vec<u64>,
+        closer_words: Vec<u64>,
+    ) -> Option<Self> {
+        if len == 0 || columns.iter().any(|c| c.len() != len) {
+            return None;
+        }
+        let r1_set = BitSet::from_words(r1_words, len)?;
+        let r2_set = BitSet::from_words(r2_words, len)?;
+        let closer_set = BitSet::from_words(closer_words, len)?;
+        let chain_holds = r1_set
+            .words()
+            .iter()
+            .zip(r2_set.words())
+            .zip(closer_set.words())
+            .all(|((&w1, &w2), &wc)| w2 & !w1 == 0 && wc & !w2 == 0);
+        if !chain_holds {
+            return None;
+        }
+        let [r1_u, r1_v, r1_pos, r2_u, r2_v, r2_pos, c, closer_u, closer_v, closer_pos] = columns;
+        Some(Self {
+            len,
+            r1_u,
+            r1_v,
+            r1_pos,
+            r2_u,
+            r2_v,
+            r2_pos,
+            c,
+            closer_u,
+            closer_v,
+            closer_pos,
+            r1_set,
+            r2_set,
+            closer_set,
+        })
+    }
+
+    /// The ten `u64` columns in the order
+    /// [`from_snapshot_parts`](Self::from_snapshot_parts) expects them —
+    /// the single place that pins the serialization column order.
+    pub(crate) fn snapshot_columns(&self) -> [&[u64]; POOL_COLUMNS] {
+        [
+            &self.r1_u,
+            &self.r1_v,
+            &self.r1_pos,
+            &self.r2_u,
+            &self.r2_v,
+            &self.r2_pos,
+            &self.c,
+            &self.closer_u,
+            &self.closer_v,
+            &self.closer_pos,
+        ]
+    }
+}
+
 /// How many `u64` values [`BufferedRng`] draws from its inner generator per
 /// refill.
-const RNG_BUFFER_LEN: usize = 256;
+pub(crate) const RNG_BUFFER_LEN: usize = 256;
 
 /// A [`SmallRng`] behind a refill buffer: raw `u64`s are drawn one buffer
 /// at a time and consumed in order, so the *consumed* stream is
@@ -436,6 +525,27 @@ impl BufferedRng {
             buf: vec![0; RNG_BUFFER_LEN],
             pos: RNG_BUFFER_LEN,
         }
+    }
+
+    /// The full generator state for a snapshot: the inner xoshiro state,
+    /// the refill buffer, and the consume cursor. Capturing the whole
+    /// buffer (not just the unconsumed tail) keeps restore bit-trivial:
+    /// the restored generator resumes mid-buffer exactly where the
+    /// original stood.
+    pub(crate) fn snapshot_state(&self) -> ([u64; 4], &[u64], usize) {
+        (self.inner.state(), &self.buf, self.pos)
+    }
+
+    /// Rebuild a generator from [`snapshot_state`](Self::snapshot_state)
+    /// parts. Returns `None` for shapes a live generator can never have:
+    /// a buffer not exactly [`RNG_BUFFER_LEN`] long, a cursor past its
+    /// end, or the all-zero xoshiro state.
+    pub(crate) fn from_snapshot_state(state: [u64; 4], buf: Vec<u64>, pos: usize) -> Option<Self> {
+        if buf.len() != RNG_BUFFER_LEN || pos > RNG_BUFFER_LEN {
+            return None;
+        }
+        let inner = SmallRng::from_state(state)?;
+        Some(Self { inner, buf, pos })
     }
 
     // analyze: region(no-alloc)

@@ -34,6 +34,7 @@
 //! Jowhari–Ghodsi reports `O(r·Δ)` and the exact counter `O(m)` — exactly
 //! the contrast of the paper's Table 1/2 discussion.
 
+use tristream_graph::snapshot::SnapshotError;
 use tristream_graph::Edge;
 
 /// Bytes per accounting word (one `u64` / one vertex id).
@@ -90,6 +91,38 @@ pub trait TriangleEstimator {
     /// Resident sketch state in 8-byte words, under the convention
     /// documented at [module level](self).
     fn memory_words(&self) -> usize;
+
+    /// Whether [`snapshot`](Self::snapshot) / [`restore`](Self::restore)
+    /// are implemented. Defaults to `false`; the algorithm registry's
+    /// `snapshotable` capability flag must agree with this answer (pinned
+    /// by a registry test), so callers can refuse checkpoint
+    /// configurations up front instead of failing at the first snapshot.
+    fn supports_snapshot(&self) -> bool {
+        false
+    }
+
+    /// Serialize the full estimator state into a versioned `TSS\0`
+    /// snapshot container (`tristream_graph::snapshot`). The contract is
+    /// bit-exactness: restoring the bytes into a fresh instance and
+    /// continuing the stream produces estimates whose `f64` bits equal
+    /// the uninterrupted run's. Defaults to
+    /// [`SnapshotError::Unsupported`].
+    fn snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        Err(SnapshotError::Unsupported {
+            what: "this estimator".to_owned(),
+        })
+    }
+
+    /// Replace this estimator's state with a previously captured
+    /// snapshot. On error the receiver is left unchanged (decode and
+    /// validation happen before any state is swapped in). Defaults to
+    /// [`SnapshotError::Unsupported`].
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), SnapshotError> {
+        let _ = snapshot;
+        Err(SnapshotError::Unsupported {
+            what: "this estimator".to_owned(),
+        })
+    }
 }
 
 impl<T: TriangleEstimator + ?Sized> TriangleEstimator for Box<T> {
@@ -111,6 +144,18 @@ impl<T: TriangleEstimator + ?Sized> TriangleEstimator for Box<T> {
 
     fn memory_words(&self) -> usize {
         (**self).memory_words()
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        (**self).supports_snapshot()
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        (**self).snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), SnapshotError> {
+        (**self).restore(snapshot)
     }
 }
 

@@ -29,6 +29,12 @@
 //! * [`frame`] — length-prefixed frame transport over any `Read`/`Write`
 //!   pair, the wire substrate of the `tristream serve` protocol
 //!   (`docs/PROTOCOL.md`).
+//! * [`snapshot`] — the versioned `TSS\0` sectioned snapshot container
+//!   (per-section checksums, typed [`SnapshotError`]) that estimator
+//!   checkpoints serialize into.
+//! * [`fault`] — scripted I/O fault injection (`FaultyReader`/`FaultyWriter`)
+//!   used by the snapshot, `.tsb`, frame and serve test suites to prove
+//!   the whole I/O surface degrades with errors instead of panics.
 //! * [`stats`] — one-call graph summaries (the left-hand panel of Figure 3).
 
 pub mod adjacency;
@@ -37,10 +43,12 @@ pub mod degree;
 pub mod edge;
 pub mod error;
 pub mod exact;
+pub mod fault;
 pub mod frame;
 pub mod io;
 pub mod pipeline;
 mod ring;
+pub mod snapshot;
 pub mod stats;
 pub mod stream;
 #[cfg(test)]
@@ -51,6 +59,8 @@ pub use adjacency::Adjacency;
 pub use degree::{DegreeHistogram, DegreeTable};
 pub use edge::Edge;
 pub use error::GraphError;
+pub use fault::{FaultyReader, FaultyWriter};
+pub use snapshot::SnapshotError;
 pub use stats::GraphSummary;
 pub use stream::{EdgeBatches, EdgeStream, StreamOrder};
 pub use vertex::VertexId;

@@ -16,8 +16,12 @@
 //!   built by the *same* recipe as the offline `count --algo --parallel`
 //!   path, so served estimates are bit-identical to offline runs with the
 //!   same seed, budget and batch boundaries.
+//! * [`checkpoint`] — stream checkpoints (`TSS\0` containers nesting the
+//!   engine's estimator snapshot) and the `--state-dir` file layout behind
+//!   crash recovery: atomic writes, corrupt files skipped and reported.
 //! * [`server`] — accept loop, per-connection handler threads, graceful
-//!   drain (see `docs/OPERATIONS.md`).
+//!   drain, periodic checkpoints and startup recovery (see
+//!   `docs/OPERATIONS.md`).
 //! * [`client`] — a typed blocking client, used by the CLI, the bench
 //!   suite, and the integration tests.
 //! * [`metrics`] — ingest/query latency counters (the only clock reads in
@@ -31,16 +35,18 @@
 //!
 //! [`ShardedEstimator`]: tristream_core::ShardedEstimator
 
+pub mod checkpoint;
 pub mod client;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod table;
 
-pub use client::{Client, ClientError, CreateStream, EstimateReply};
+pub use checkpoint::{StateDirScan, StreamCheckpoint};
+pub use client::{Client, ClientError, CreateStream, EstimateReply, RetryPolicy};
 pub use protocol::{
-    ErrorCode, FrameType, Request, Response, StreamStats, WireError, PROTOCOL_MAGIC,
-    PROTOCOL_VERSION,
+    ErrorCode, FrameType, Request, Response, StreamStats, WireError, MIN_PROTOCOL_VERSION,
+    PROTOCOL_MAGIC, PROTOCOL_VERSION,
 };
-pub use server::Server;
+pub use server::{Server, ServerOptions};
 pub use table::{StreamTable, DEFAULT_STREAM_SHARDS, SERVE_STREAM_HINT};

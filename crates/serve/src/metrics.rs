@@ -23,6 +23,16 @@ impl LatencyCounter {
         Self::default()
     }
 
+    /// A counter resuming from a recovered operation count (latency totals
+    /// restart at zero — wall-clock history does not survive a restart,
+    /// but the op count drives the checkpoint cadence, which must).
+    pub fn with_ops(ops: u64) -> Self {
+        Self {
+            ops,
+            total_nanos: 0,
+        }
+    }
+
     /// Records one operation that took `nanos` nanoseconds. Saturates
     /// instead of wrapping: after ~584 years of accumulated latency the
     /// counter pins at the maximum rather than lying small.

@@ -26,7 +26,17 @@ pub const PROTOCOL_MAGIC: [u8; 4] = *b"TSP\0";
 /// The protocol version this module speaks. Versioning follows the `.tsb`
 /// discipline: a server refuses versions it does not know with an
 /// [`ErrorCode::UnsupportedVersion`] error frame rather than guessing.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version 2 added the SNAPSHOT / RESTORE / SNAPSHOT_DATA frames and the
+/// SNAPSHOT_UNSUPPORTED / BAD_SNAPSHOT error codes — a purely additive
+/// change, so servers keep speaking to version-1 clients (see
+/// [`MIN_PROTOCOL_VERSION`] and `docs/PROTOCOL.md` §versioning).
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// The oldest protocol version a server still accepts in HELLO. Version 2
+/// is additive over version 1 (new frames, no changed ones), so a v1
+/// client that never sends the new frames sees identical behaviour.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// Every frame type on the wire. Requests (client → server) use the low
 /// range `0x00–0x7F`; responses (server → client) set the high bit.
@@ -47,12 +57,18 @@ pub enum FrameType {
     Stats = 0x05,
     /// Begin a graceful drain of the whole server.
     Shutdown = 0x06,
+    /// Ask for a stream's checkpoint (a `TSS\0` container; v2).
+    Snapshot = 0x07,
+    /// Recreate a stream from a checkpoint taken with SNAPSHOT (v2).
+    Restore = 0x08,
     /// Success, nothing to report.
     Ok = 0x81,
     /// A live estimate (reply to [`FrameType::Query`]).
     Estimate = 0x82,
     /// Per-stream counters (reply to [`FrameType::Stats`]).
     StatsReport = 0x83,
+    /// A stream checkpoint (reply to [`FrameType::Snapshot`]; v2).
+    SnapshotData = 0x84,
     /// The request failed; carries an [`ErrorCode`] and a message.
     Error = 0x8F,
 }
@@ -60,7 +76,7 @@ pub enum FrameType {
 impl FrameType {
     /// Every frame type, in wire-value order — what the doc-drift test
     /// iterates to hold `docs/PROTOCOL.md` to the implementation.
-    pub const ALL: [FrameType; 11] = [
+    pub const ALL: [FrameType; 14] = [
         FrameType::Hello,
         FrameType::Create,
         FrameType::Delete,
@@ -68,9 +84,12 @@ impl FrameType {
         FrameType::Query,
         FrameType::Stats,
         FrameType::Shutdown,
+        FrameType::Snapshot,
+        FrameType::Restore,
         FrameType::Ok,
         FrameType::Estimate,
         FrameType::StatsReport,
+        FrameType::SnapshotData,
         FrameType::Error,
     ];
 
@@ -94,9 +113,12 @@ impl FrameType {
             FrameType::Query => "QUERY",
             FrameType::Stats => "STATS",
             FrameType::Shutdown => "SHUTDOWN",
+            FrameType::Snapshot => "SNAPSHOT",
+            FrameType::Restore => "RESTORE",
             FrameType::Ok => "OK",
             FrameType::Estimate => "ESTIMATE",
             FrameType::StatsReport => "STATS_REPORT",
+            FrameType::SnapshotData => "SNAPSHOT_DATA",
             FrameType::Error => "ERROR",
         }
     }
@@ -122,11 +144,18 @@ pub enum ErrorCode {
     Draining = 6,
     /// HELLO carried a protocol version this server does not speak.
     UnsupportedVersion = 7,
+    /// SNAPSHOT named a stream whose algorithm does not support
+    /// checkpoints, or CREATE asked a checkpointing server (`--state-dir`)
+    /// for such an algorithm (v2).
+    SnapshotUnsupported = 8,
+    /// A RESTORE payload failed `TSS\0` checkpoint validation (bad magic,
+    /// truncation, checksum mismatch, incompatible parameters) (v2).
+    BadSnapshot = 9,
 }
 
 impl ErrorCode {
     /// Every error code, in wire-value order (doc-drift test input).
-    pub const ALL: [ErrorCode; 7] = [
+    pub const ALL: [ErrorCode; 9] = [
         ErrorCode::MalformedFrame,
         ErrorCode::UnknownStream,
         ErrorCode::DuplicateStream,
@@ -134,6 +163,8 @@ impl ErrorCode {
         ErrorCode::BadEdgePayload,
         ErrorCode::Draining,
         ErrorCode::UnsupportedVersion,
+        ErrorCode::SnapshotUnsupported,
+        ErrorCode::BadSnapshot,
     ];
 
     /// The wire byte.
@@ -156,6 +187,8 @@ impl ErrorCode {
             ErrorCode::BadEdgePayload => "BAD_EDGE_PAYLOAD",
             ErrorCode::Draining => "DRAINING",
             ErrorCode::UnsupportedVersion => "UNSUPPORTED_VERSION",
+            ErrorCode::SnapshotUnsupported => "SNAPSHOT_UNSUPPORTED",
+            ErrorCode::BadSnapshot => "BAD_SNAPSHOT",
         }
     }
 }
@@ -244,6 +277,20 @@ pub enum Request {
     Stats,
     /// Begin a graceful drain.
     Shutdown,
+    /// Ask for a stream's checkpoint (v2): the stream's CREATE parameters,
+    /// its replay offset, and its engine state, as one `TSS\0` container
+    /// the server can later recreate the stream from.
+    Snapshot {
+        /// Stream name.
+        name: String,
+    },
+    /// Recreate a stream from a checkpoint (v2). The payload is the raw
+    /// container from a SNAPSHOT_DATA reply — self-delimiting, so it
+    /// occupies the rest of the frame with no extra framing.
+    Restore {
+        /// The checkpoint container, verbatim.
+        checkpoint: Vec<u8>,
+    },
 }
 
 /// Per-stream counters in a [`Response::StatsReport`].
@@ -287,6 +334,8 @@ pub enum Response {
     },
     /// Reply to STATS: one record per live stream, in creation order.
     StatsReport(Vec<StreamStats>),
+    /// Reply to SNAPSHOT: the stream's checkpoint container, verbatim (v2).
+    SnapshotData(Vec<u8>),
     /// The request failed.
     Error(WireError),
 }
@@ -316,6 +365,8 @@ impl Request {
             Request::Query { .. } => FrameType::Query,
             Request::Stats => FrameType::Stats,
             Request::Shutdown => FrameType::Shutdown,
+            Request::Snapshot { .. } => FrameType::Snapshot,
+            Request::Restore { .. } => FrameType::Restore,
         }
     }
 
@@ -342,8 +393,11 @@ impl Request {
                 push_str(&mut out, name)?;
                 push_str(&mut out, algo)?;
             }
-            Request::Delete { name } | Request::Query { name } => {
+            Request::Delete { name } | Request::Query { name } | Request::Snapshot { name } => {
                 push_str(&mut out, name)?;
+            }
+            Request::Restore { checkpoint } => {
+                out.extend_from_slice(checkpoint);
             }
             Request::Edges { name, edges } => {
                 push_str(&mut out, name)?;
@@ -421,7 +475,20 @@ impl Request {
             },
             FrameType::Stats => Request::Stats,
             FrameType::Shutdown => Request::Shutdown,
-            FrameType::Ok | FrameType::Estimate | FrameType::StatsReport | FrameType::Error => {
+            FrameType::Snapshot => Request::Snapshot {
+                name: cur.string()?,
+            },
+            // The checkpoint container validates itself (magic, checksums,
+            // trailing bytes) when the server applies it; the wire layer
+            // only carries the bytes.
+            FrameType::Restore => Request::Restore {
+                checkpoint: cur.rest().to_vec(),
+            },
+            FrameType::Ok
+            | FrameType::Estimate
+            | FrameType::StatsReport
+            | FrameType::SnapshotData
+            | FrameType::Error => {
                 return Err(malformed(format!(
                     "response frame {} sent as a request",
                     frame_type.name()
@@ -440,6 +507,7 @@ impl Response {
             Response::Ok => FrameType::Ok,
             Response::Estimate { .. } => FrameType::Estimate,
             Response::StatsReport(_) => FrameType::StatsReport,
+            Response::SnapshotData(_) => FrameType::SnapshotData,
             Response::Error(_) => FrameType::Error,
         }
     }
@@ -473,6 +541,9 @@ impl Response {
                     out.extend_from_slice(&s.queries.to_le_bytes());
                     out.extend_from_slice(&s.query_nanos.to_le_bytes());
                 }
+            }
+            Response::SnapshotData(checkpoint) => {
+                out.extend_from_slice(checkpoint);
             }
             Response::Error(err) => {
                 out.push(err.code.byte());
@@ -524,6 +595,7 @@ impl Response {
                 }
                 Response::StatsReport(streams)
             }
+            FrameType::SnapshotData => Response::SnapshotData(cur.rest().to_vec()),
             FrameType::Error => {
                 let code = cur.u8()?;
                 let code = ErrorCode::from_byte(code)
@@ -671,6 +743,15 @@ mod tests {
         });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Shutdown);
+        round_trip_request(Request::Snapshot {
+            name: "clicks".into(),
+        });
+        round_trip_request(Request::Restore {
+            checkpoint: vec![0x54, 0x53, 0x53, 0x00, 1, 0, 0, 0],
+        });
+        round_trip_request(Request::Restore {
+            checkpoint: Vec::new(),
+        });
     }
 
     #[test]
@@ -693,10 +774,31 @@ mod tests {
             query_nanos: 5_000,
         }]));
         round_trip_response(Response::StatsReport(Vec::new()));
+        round_trip_response(Response::SnapshotData(vec![0xAA; 64]));
+        round_trip_response(Response::SnapshotData(Vec::new()));
         round_trip_response(Response::Error(WireError::new(
             ErrorCode::UnknownStream,
             "no stream named \"nope\"",
         )));
+        round_trip_response(Response::Error(WireError::new(
+            ErrorCode::BadSnapshot,
+            "corrupt snapshot at byte 12: bad section checksum",
+        )));
+    }
+
+    #[test]
+    fn version_two_is_additive_over_version_one() {
+        // The v1 wire bytes are untouched: every v1 frame type keeps its
+        // byte, and the new v2 bytes were previously unassigned.
+        assert_eq!(PROTOCOL_VERSION, 2);
+        assert_eq!(MIN_PROTOCOL_VERSION, 1);
+        assert_eq!(FrameType::Shutdown.byte(), 0x06);
+        assert_eq!(FrameType::Snapshot.byte(), 0x07);
+        assert_eq!(FrameType::Restore.byte(), 0x08);
+        assert_eq!(FrameType::SnapshotData.byte(), 0x84);
+        assert_eq!(FrameType::Error.byte(), 0x8F);
+        assert_eq!(ErrorCode::SnapshotUnsupported.byte(), 8);
+        assert_eq!(ErrorCode::BadSnapshot.byte(), 9);
     }
 
     #[test]

@@ -22,10 +22,15 @@
 //!   supervisor's stop command at `tristream-cli client shutdown` (std has
 //!   no portable signal handling; see `docs/OPERATIONS.md`).
 
-use crate::protocol::{transport_error, ErrorCode, Request, Response, WireError, PROTOCOL_VERSION};
-use crate::table::{ingest_batch, query_stream, StreamTable};
+use crate::checkpoint::{scan_state_dir, write_checkpoint, StreamCheckpoint};
+use crate::protocol::{
+    transport_error, ErrorCode, Request, Response, WireError, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+};
+use crate::table::{checkpoint_stream, ingest_batch, query_stream, StreamEntry, StreamTable};
 use std::io::Write;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -34,13 +39,55 @@ use tristream_graph::{frame, GraphError};
 
 /// How often an idle connection handler re-checks the draining flag. Reads
 /// time out at this interval *only* while waiting for a frame-type byte —
-/// never mid-frame — so polling can't desynchronise the stream.
+/// never mid-frame — so polling can't desynchronise the stream. The idle
+/// deadline ([`ServerOptions::idle_timeout`]) is counted in these polls,
+/// so connection lifetime decisions stay count-based and clock-free.
 const DRAIN_POLL: Duration = Duration::from_millis(50);
+
+/// Configuration for [`Server::bind_with`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Directory for per-stream checkpoints. `Some` turns on periodic
+    /// checkpoints and startup recovery, and makes CREATE refuse
+    /// algorithms the registry does not flag as snapshotable
+    /// ([`ErrorCode::SnapshotUnsupported`]) rather than silently running
+    /// them unprotected.
+    pub state_dir: Option<PathBuf>,
+    /// Checkpoint every N EDGES frames per stream (clamped to ≥ 1). The
+    /// cadence is frame-count-based, never clock-based, so the set of
+    /// checkpoints a stream produces is a pure function of its ingest
+    /// history — which is what makes crash-recovery tests exact.
+    pub checkpoint_interval: u64,
+    /// Close a connection after this long without receiving a frame
+    /// (rounded up to the drain-poll granularity). `None` keeps idle
+    /// connections forever. Draining never waits on an idle connection
+    /// either way — idle handlers notice the flag within one poll.
+    pub idle_timeout: Option<Duration>,
+    /// Socket write deadline, so a handler blocked on a stalled peer's
+    /// full TCP window errors out instead of hanging a drain.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self {
+            state_dir: None,
+            checkpoint_interval: 8,
+            idle_timeout: None,
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
 
 /// State shared between the accept loop and every connection handler.
 struct Shared {
     table: StreamTable,
     draining: AtomicBool,
+    state_dir: Option<PathBuf>,
+    checkpoint_interval: u64,
+    /// Idle deadline in whole [`DRAIN_POLL`] ticks; `None` = never.
+    idle_polls: Option<u64>,
+    write_timeout: Option<Duration>,
 }
 
 impl Shared {
@@ -54,35 +101,103 @@ pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
     shared: Arc<Shared>,
+    recovered: Vec<String>,
+    skipped: Vec<PathBuf>,
 }
 
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("local_addr", &self.local_addr)
+            .field("recovered", &self.recovered)
             .finish_non_exhaustive()
     }
 }
 
 impl Server {
     /// Binds the daemon to `addr` (e.g. `"127.0.0.1:7878"`; port 0 picks an
-    /// ephemeral port — read it back with [`Server::local_addr`]).
+    /// ephemeral port — read it back with [`Server::local_addr`]) with
+    /// default options: no state directory, no idle deadline.
     pub fn bind<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        Self::bind_with(addr, ServerOptions::default())
+    }
+
+    /// Binds with explicit [`ServerOptions`]. When a state directory is
+    /// configured, every valid checkpoint in it is restored before the
+    /// first connection is accepted — so by the time [`Server::run`]
+    /// answers a QUERY, recovered streams are already at their
+    /// checkpointed state, waiting for the client to replay the remainder
+    /// of the stream from each checkpoint's recorded edge offset. Corrupt
+    /// or unrestorable checkpoints are skipped and logged, never fatal:
+    /// one bad file must not keep every healthy stream down.
+    pub fn bind_with<A: ToSocketAddrs>(addr: A, options: ServerOptions) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let idle_polls = options
+            .idle_timeout
+            .map(|t| (t.as_millis() / DRAIN_POLL.as_millis().max(1)).max(1) as u64);
+        let shared = Arc::new(Shared {
+            table: StreamTable::new(),
+            draining: AtomicBool::new(false),
+            state_dir: options.state_dir,
+            checkpoint_interval: options.checkpoint_interval.max(1),
+            idle_polls,
+            write_timeout: options.write_timeout,
+        });
+        let mut recovered = Vec::new();
+        let mut skipped = Vec::new();
+        if let Some(dir) = shared.state_dir.as_deref() {
+            let scan = scan_state_dir(dir)?;
+            for (path, err) in scan.skipped {
+                log_event(&format!(
+                    "skipping corrupt checkpoint {}: {err}",
+                    path.display()
+                ));
+                skipped.push(path);
+            }
+            for cp in scan.checkpoints {
+                match shared.table.create_restored(&cp) {
+                    Ok(()) => {
+                        log_event(&format!(
+                            "recovered stream {:?} at {} edges ({} batches)",
+                            cp.name, cp.replay_edges, cp.ingest_batches
+                        ));
+                        recovered.push(cp.name);
+                    }
+                    Err(err) => {
+                        log_event(&format!(
+                            "skipping unrestorable checkpoint for stream {:?}: {err}",
+                            cp.name
+                        ));
+                        skipped.push(crate::checkpoint::checkpoint_path(dir, &cp.name));
+                    }
+                }
+            }
+        }
         Ok(Self {
             listener,
             local_addr,
-            shared: Arc::new(Shared {
-                table: StreamTable::new(),
-                draining: AtomicBool::new(false),
-            }),
+            shared,
+            recovered,
+            skipped,
         })
     }
 
     /// The address the daemon is listening on.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Streams restored from the state directory at bind time, in
+    /// checkpoint-file order.
+    pub fn recovered_streams(&self) -> &[String] {
+        &self.recovered
+    }
+
+    /// Checkpoint files present at bind time that could not be restored
+    /// (corrupt container or failed rebuild), each already logged.
+    pub fn skipped_checkpoints(&self) -> &[PathBuf] {
+        &self.skipped
     }
 
     /// Runs the accept loop until a SHUTDOWN frame drains the server.
@@ -172,7 +287,12 @@ fn drive_connection(
 ) -> Result<(), GraphError> {
     conn.set_read_timeout(Some(DRAIN_POLL))
         .map_err(GraphError::Io)?;
+    conn.set_write_timeout(shared.write_timeout)
+        .map_err(GraphError::Io)?;
     let mut hello_done = false;
+    // Consecutive boundary-poll timeouts with no frame: the idle deadline,
+    // measured in polls so the decision is a count, not a clock read.
+    let mut idle_polls = 0u64;
     loop {
         let frame_type = match frame::read_frame_type(&mut &*conn) {
             Ok(None) => return Ok(()), // clean EOF at a frame boundary
@@ -181,10 +301,20 @@ fn drive_connection(
                 if shared.draining() {
                     return Ok(()); // idle connection during drain
                 }
+                idle_polls += 1;
+                if shared.idle_polls.is_some_and(|limit| idle_polls >= limit) {
+                    log_event(&format!(
+                        "closing idle connection{}: no frame within the idle deadline \
+                         ({idle_polls} polls)",
+                        peer_label(conn)
+                    ));
+                    return Ok(());
+                }
                 continue;
             }
             Err(e) => return Err(e),
         };
+        idle_polls = 0;
         // Mid-frame reads run blocking, so a poll timeout can never split
         // a frame; the boundary poll above is the only timeout site.
         conn.set_read_timeout(None).map_err(GraphError::Io)?;
@@ -240,11 +370,14 @@ fn handle_request(
     }
     match request {
         Request::Hello { version } => {
-            if version != PROTOCOL_VERSION {
+            if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
                 return (
                     Response::Error(WireError::new(
                         ErrorCode::UnsupportedVersion,
-                        format!("server speaks version {PROTOCOL_VERSION}, client sent {version}"),
+                        format!(
+                            "server speaks versions \
+                             {MIN_PROTOCOL_VERSION}–{PROTOCOL_VERSION}, client sent {version}"
+                        ),
                     )),
                     Flow::Close,
                 );
@@ -262,6 +395,25 @@ fn handle_request(
         } => {
             if shared.draining() {
                 return (draining_error(), Flow::Continue);
+            }
+            // A checkpointing server only accepts streams it can actually
+            // checkpoint: refusing here, with a typed error, beats
+            // accepting the stream and silently never persisting it.
+            if shared.state_dir.is_some() {
+                let snapshotable = tristream_baselines::registry::find_algo(&algo)
+                    .is_none_or(|spec| spec.snapshotable);
+                if !snapshotable {
+                    return (
+                        Response::Error(WireError::new(
+                            ErrorCode::SnapshotUnsupported,
+                            format!(
+                                "algorithm {algo:?} does not support snapshots; a server \
+                                 running with --state-dir cannot checkpoint it"
+                            ),
+                        )),
+                        Flow::Continue,
+                    );
+                }
             }
             let result = shared
                 .table
@@ -293,7 +445,8 @@ fn handle_request(
             (
                 match shared.table.require(&name) {
                     Ok(entry) => {
-                        ingest_batch(&entry, &edges);
+                        let batches = ingest_batch(&entry, &edges);
+                        maybe_checkpoint(shared, &entry, batches);
                         Response::Ok
                     }
                     Err(err) => Response::Error(err),
@@ -318,6 +471,52 @@ fn handle_request(
             Flow::Continue,
         ),
         Request::Stats => (Response::StatsReport(shared.table.stats()), Flow::Continue),
+        // Like QUERY, SNAPSHOT stays answerable during a drain: taking a
+        // final checkpoint is exactly what an operator wants on the way
+        // down.
+        Request::Snapshot { name } => (
+            match shared
+                .table
+                .require(&name)
+                .and_then(|entry| checkpoint_stream(&entry))
+                .and_then(|cp| {
+                    cp.encode()
+                        .map_err(|e| WireError::new(ErrorCode::BadSnapshot, e.to_string()))
+                }) {
+                Ok(bytes) => Response::SnapshotData(bytes),
+                Err(err) => Response::Error(err),
+            },
+            Flow::Continue,
+        ),
+        Request::Restore { checkpoint } => {
+            if shared.draining() {
+                return (draining_error(), Flow::Continue);
+            }
+            let result = StreamCheckpoint::decode(&checkpoint)
+                .map_err(|e| WireError::new(ErrorCode::BadSnapshot, e.to_string()))
+                .and_then(|cp| {
+                    shared.table.create_restored(&cp)?;
+                    // A restored stream is immediately durable on a
+                    // checkpointing server; failure to persist is logged,
+                    // not fatal — the stream itself is live.
+                    if let Some(dir) = shared.state_dir.as_deref() {
+                        if let Err(e) = write_checkpoint(dir, &cp) {
+                            log_event(&format!(
+                                "failed to persist restored stream {:?}: {e}",
+                                cp.name
+                            ));
+                        }
+                    }
+                    Ok(())
+                });
+            (
+                match result {
+                    Ok(()) => Response::Ok,
+                    Err(err) => Response::Error(err),
+                },
+                Flow::Continue,
+            )
+        }
         Request::Shutdown => {
             shared.draining.store(true, Ordering::SeqCst);
             // Wake the accept loop out of `accept()`; the connection is
@@ -334,4 +533,42 @@ fn draining_error() -> Response {
         ErrorCode::Draining,
         "server is draining; no new streams or edges accepted",
     ))
+}
+
+/// Writes the stream's checkpoint if the server persists state and the
+/// stream just crossed a checkpoint-interval boundary. Persistence
+/// failures are logged and absorbed: losing one checkpoint widens the
+/// replay window, it must not fail the ingest that triggered it.
+fn maybe_checkpoint(shared: &Shared, entry: &StreamEntry, batches: u64) {
+    let Some(dir) = shared.state_dir.as_deref() else {
+        return;
+    };
+    if !entry.snapshotable() || !batches.is_multiple_of(shared.checkpoint_interval) {
+        return;
+    }
+    let written = checkpoint_stream(entry).and_then(|cp| {
+        write_checkpoint(dir, &cp)
+            .map_err(|e| WireError::new(ErrorCode::BadSnapshot, e.to_string()))
+    });
+    if let Err(e) = written {
+        log_event(&format!(
+            "failed to checkpoint stream {:?}: {e}",
+            entry.name()
+        ));
+    }
+}
+
+/// One operational log line on stderr, prefixed so supervisor logs are
+/// greppable. The serving layer logs only operational events (recovery,
+/// skipped checkpoints, closed connections) — stream state never depends
+/// on them.
+fn log_event(message: &str) {
+    eprintln!("tristream-serve: {message}");
+}
+
+/// `" from <peer>"` when the peer address is known, for log lines.
+fn peer_label(conn: &TcpStream) -> String {
+    conn.peer_addr()
+        .map(|addr| format!(" from {addr}"))
+        .unwrap_or_default()
 }

@@ -20,6 +20,7 @@
 //! engine's worker threads are joined when the last `Arc` drops (for a
 //! stream nobody else is touching, that is inside the `DELETE` handler).
 
+use crate::checkpoint::StreamCheckpoint;
 use crate::metrics::LatencyCounter;
 use crate::protocol::{ErrorCode, StreamStats, WireError};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -61,6 +62,16 @@ pub struct StreamEntry {
     /// The resolved space parameter (from the CREATE budget), recorded for
     /// observability.
     space: usize,
+    /// The raw CREATE parameters, kept verbatim (zeros meaning "default"
+    /// and all) so a checkpoint can recreate the stream by replaying the
+    /// exact CREATE recipe.
+    seed: u64,
+    budget_words: u64,
+    shards: u16,
+    window: u64,
+    /// Whether the registry flags this stream's algorithm as supporting
+    /// snapshots (see `AlgoSpec::snapshotable`).
+    snapshotable: bool,
     state: Mutex<StreamState>,
 }
 
@@ -88,6 +99,11 @@ impl StreamEntry {
     /// The space parameter resolved from the CREATE budget.
     pub fn space(&self) -> usize {
         self.space
+    }
+
+    /// Whether this stream's algorithm supports checkpoints.
+    pub fn snapshotable(&self) -> bool {
+        self.snapshotable
     }
 
     /// Locks the stream's state. Poisoning (an engine panic on another
@@ -211,31 +227,91 @@ impl StreamTable {
                 format!("stream {name:?} already exists"),
             ));
         }
-        let shards = if shards == 0 {
+        let resolved_shards = if shards == 0 {
             DEFAULT_STREAM_SHARDS
         } else {
             shards as usize
         };
-        let window = (window > 0).then_some(window);
-        let (engine, space) = build_stream_engine(algo, seed, budget_words, shards, window)?;
+        let window_opt = (window > 0).then_some(window);
+        let (engine, space) =
+            build_stream_engine(algo, seed, budget_words, resolved_shards, window_opt)?;
+        // `find_algo` succeeded inside `build_stream_engine`; re-resolve
+        // for the 'static spec rather than threading it back out.
+        let spec = find_algo(algo);
         let entry = Arc::new(StreamEntry {
             name: name.to_string(),
-            // `find_algo` succeeded inside `build_stream_engine`; re-resolve
-            // for the 'static name rather than threading it back out.
-            algo: find_algo(algo).map_or("?", |spec| spec.name),
+            algo: spec.map_or("?", |spec| spec.name),
             space,
+            seed,
+            budget_words,
+            shards,
+            window,
+            snapshotable: spec.is_some_and(|spec| spec.snapshotable),
             state: Mutex::new(StreamState {
                 engine,
                 ingest: LatencyCounter::new(),
                 query: LatencyCounter::new(),
             }),
         });
-        let mut streams = self.lock();
-        // Re-check under the lock: two concurrent CREATEs must not both win.
-        if streams.iter().any(|s| s.name() == name) {
+        self.insert(entry)
+    }
+
+    /// Recreates a stream from a checkpoint: replays the recorded CREATE
+    /// recipe (same algorithm, seed, budget, shards, window — so the
+    /// engine is built bit-identically), then restores the engine state.
+    /// Engine-level validation failures surface as
+    /// [`ErrorCode::BadSnapshot`].
+    pub fn create_restored(&self, cp: &StreamCheckpoint) -> Result<(), WireError> {
+        if self.get(&cp.name).is_some() {
             return Err(WireError::new(
                 ErrorCode::DuplicateStream,
-                format!("stream {name:?} already exists"),
+                format!("stream {:?} already exists", cp.name),
+            ));
+        }
+        let resolved_shards = if cp.shards == 0 {
+            DEFAULT_STREAM_SHARDS
+        } else {
+            cp.shards as usize
+        };
+        let window_opt = (cp.window > 0).then_some(cp.window);
+        let (mut engine, space) = build_stream_engine(
+            &cp.algo,
+            cp.seed,
+            cp.budget_words,
+            resolved_shards,
+            window_opt,
+        )?;
+        engine
+            .restore(&cp.engine)
+            .map_err(|e| WireError::new(ErrorCode::BadSnapshot, e.to_string()))?;
+        let spec = find_algo(&cp.algo);
+        let entry = Arc::new(StreamEntry {
+            name: cp.name.clone(),
+            algo: spec.map_or("?", |spec| spec.name),
+            space,
+            seed: cp.seed,
+            budget_words: cp.budget_words,
+            shards: cp.shards,
+            window: cp.window,
+            snapshotable: spec.is_some_and(|spec| spec.snapshotable),
+            state: Mutex::new(StreamState {
+                engine,
+                // The recovered batch count keeps the checkpoint cadence
+                // counting from where the lost process left off.
+                ingest: LatencyCounter::with_ops(cp.ingest_batches),
+                query: LatencyCounter::new(),
+            }),
+        });
+        self.insert(entry)
+    }
+
+    fn insert(&self, entry: Arc<StreamEntry>) -> Result<(), WireError> {
+        let mut streams = self.lock();
+        // Re-check under the lock: two concurrent CREATEs must not both win.
+        if streams.iter().any(|s| s.name() == entry.name()) {
+            return Err(WireError::new(
+                ErrorCode::DuplicateStream,
+                format!("stream {:?} already exists", entry.name()),
             ));
         }
         streams.push(entry);
@@ -299,11 +375,14 @@ impl StreamTable {
 
 /// Ingests one batch into an entry, recording enqueue latency. The batch is
 /// enqueued on the engine's bounded queues and this returns without waiting
-/// for processing (backpressure applies when the queues are full).
-pub fn ingest_batch(entry: &StreamEntry, batch: &[Edge]) {
+/// for processing (backpressure applies when the queues are full). Returns
+/// the stream's total EDGES-frame count — what the server's count-based
+/// checkpoint cadence keys on.
+pub fn ingest_batch(entry: &StreamEntry, batch: &[Edge]) -> u64 {
     let mut state = entry.lock();
     let (_, nanos) = crate::metrics::timed(|| state.engine.process_batch(batch));
     state.ingest.record(nanos);
+    state.ingest.ops()
 }
 
 /// Answers a query against an entry, recording query latency (which
@@ -319,6 +398,41 @@ pub fn query_stream(entry: &StreamEntry) -> (f64, u64, u64) {
     });
     state.query.record(nanos);
     (estimate, edges, words)
+}
+
+/// Takes a checkpoint of a stream: CREATE parameters, replay offset, and
+/// engine snapshot, consistent at one instant (the entry lock is held and
+/// the engine snapshot synchronises in-flight batches). Streams whose
+/// algorithm is not [`snapshotable`](StreamEntry::snapshotable) are
+/// refused with [`ErrorCode::SnapshotUnsupported`] — the typed honesty the
+/// registry flag exists for.
+pub fn checkpoint_stream(entry: &StreamEntry) -> Result<StreamCheckpoint, WireError> {
+    if !entry.snapshotable() {
+        return Err(WireError::new(
+            ErrorCode::SnapshotUnsupported,
+            format!(
+                "stream {:?} runs {:?}, which does not support snapshots",
+                entry.name(),
+                entry.algo()
+            ),
+        ));
+    }
+    let state = entry.lock();
+    let engine = state
+        .engine
+        .snapshot()
+        .map_err(|e| WireError::new(ErrorCode::SnapshotUnsupported, e.to_string()))?;
+    Ok(StreamCheckpoint {
+        name: entry.name.clone(),
+        algo: entry.algo.to_string(),
+        seed: entry.seed,
+        budget_words: entry.budget_words,
+        shards: entry.shards,
+        window: entry.window,
+        replay_edges: state.engine.edges_seen(),
+        ingest_batches: state.ingest.ops(),
+        engine,
+    })
 }
 
 #[cfg(test)]
@@ -454,6 +568,84 @@ mod tests {
         ingest_batch(&entry, &batch(8));
         let (_, edges, _) = query_stream(&entry);
         assert_eq!(edges, 8);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_bit_identically() {
+        let table = StreamTable::new();
+        table
+            .create("clicks", "neighborhood-bulk", 21, 1 << 14, 2, 0)
+            .unwrap();
+        let entry = table.require("clicks").unwrap();
+        for chunk in batch(300).chunks(50) {
+            ingest_batch(&entry, chunk);
+        }
+        let cp = checkpoint_stream(&entry).unwrap();
+        assert_eq!(cp.replay_edges, 300);
+        assert_eq!(cp.ingest_batches, 6);
+        assert_eq!((cp.seed, cp.shards), (21, 2));
+
+        // More edges flow into the original after the checkpoint; the
+        // restored stream replays the same suffix and must agree in bits.
+        let suffix = batch(140);
+        for chunk in suffix.chunks(50) {
+            ingest_batch(&entry, chunk);
+        }
+        let (want, want_edges, _) = query_stream(&entry);
+
+        let other = StreamTable::new();
+        other.create_restored(&cp).unwrap();
+        let restored = other.require("clicks").unwrap();
+        assert!(restored.snapshotable());
+        for chunk in suffix.chunks(50) {
+            ingest_batch(&restored, chunk);
+        }
+        let (got, got_edges, _) = query_stream(&restored);
+        assert_eq!(got_edges, want_edges);
+        assert_eq!(got.to_bits(), want.to_bits());
+        // The recovered cadence counter resumes from the checkpoint.
+        assert_eq!(other.stats()[0].ingest_batches, 6 + 3);
+    }
+
+    #[test]
+    fn non_snapshotable_streams_are_refused_with_a_typed_error() {
+        let table = StreamTable::new();
+        table.create("s", "exact", 0, 1 << 10, 1, 0).unwrap();
+        let entry = table.require("s").unwrap();
+        assert!(!entry.snapshotable());
+        let err = checkpoint_stream(&entry).unwrap_err();
+        assert_eq!(err.code, ErrorCode::SnapshotUnsupported);
+        assert!(err.message.contains("exact"), "{err}");
+    }
+
+    #[test]
+    fn restoring_a_corrupt_or_duplicate_checkpoint_fails_typed() {
+        let table = StreamTable::new();
+        table
+            .create("s", "neighborhood-bulk", 3, 1 << 12, 1, 0)
+            .unwrap();
+        let entry = table.require("s").unwrap();
+        ingest_batch(&entry, &batch(64));
+        let cp = checkpoint_stream(&entry).unwrap();
+
+        // Same table: the name is taken.
+        let err = table.create_restored(&cp).unwrap_err();
+        assert_eq!(err.code, ErrorCode::DuplicateStream);
+
+        // Corrupt engine bytes: BAD_SNAPSHOT, and no stream appears.
+        let fresh = StreamTable::new();
+        let mut bent = cp.clone();
+        let mid = bent.engine.len() / 2;
+        bent.engine[mid] ^= 0xFF;
+        let err = fresh.create_restored(&bent).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadSnapshot);
+        assert!(fresh.is_empty());
+
+        // Unknown algorithm in the checkpoint: the CREATE-side error.
+        let mut alien = cp.clone();
+        alien.algo = "no-such-algo".to_string();
+        let err = fresh.create_restored(&alien).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownAlgorithm);
     }
 
     #[test]

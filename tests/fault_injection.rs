@@ -1,0 +1,194 @@
+//! Fault-injected I/O over every byte-level codec in the workspace.
+//!
+//! `tristream_graph::fault` scripts failures at exact byte offsets; these
+//! tests drive the `.tsb` edge codec, the frame transport, and the `TSS\0`
+//! snapshot container through short reads/writes, injected errors, and
+//! truncation, asserting the documented degradation: a typed error (or a
+//! clean retry for `Interrupted`), never a panic, never a hang, and
+//! bit-identical results when the faults are merely *short* transfers.
+
+// Test harness: helper fns may abort on setup failure (clippy's
+// allow-expect-in-tests only covers `#[test]` bodies, not helpers).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::{self, Cursor, Read};
+use tristream::graph::binary::{read_edges_binary, read_edges_binary_batched, write_edges_binary};
+use tristream::graph::fault::{FaultyReader, FaultyWriter};
+use tristream::graph::frame::{read_frame, write_frame};
+use tristream::graph::snapshot::SnapshotReader;
+use tristream::graph::GraphError;
+use tristream::prelude::*;
+
+fn sample_edges(n: u64) -> Vec<Edge> {
+    (0..n).map(|i| Edge::new(i, i + 1)).collect()
+}
+
+fn tsb_bytes(edges: &[Edge]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_edges_binary(edges, &mut buf).expect("encode");
+    buf
+}
+
+// --- .tsb codec -----------------------------------------------------------
+
+#[test]
+fn tsb_decodes_identically_under_short_reads() {
+    let edges = sample_edges(500);
+    let bytes = tsb_bytes(&edges);
+    for cap in [1, 3, 7, 64] {
+        let reader = FaultyReader::new(Cursor::new(bytes.clone())).short_reads(cap);
+        let stream = read_edges_binary(reader).expect("short reads are not errors");
+        assert_eq!(stream.edges(), &edges[..], "cap {cap} changed the decode");
+    }
+}
+
+#[test]
+fn tsb_surfaces_injected_errors_as_io_never_panics() {
+    let edges = sample_edges(100);
+    let bytes = tsb_bytes(&edges);
+    // An error scripted at every offset: header, record boundary, mid-record.
+    for offset in [0, 4, 15, 16, 17, 40, bytes.len() as u64 - 1] {
+        let reader = FaultyReader::new(Cursor::new(bytes.clone()))
+            .fail_at(offset, io::ErrorKind::ConnectionReset);
+        let err = read_edges_binary(reader).expect_err("scripted fault must surface");
+        assert!(
+            matches!(err, GraphError::Io(_)),
+            "offset {offset} gave {err:?}"
+        );
+    }
+}
+
+#[test]
+fn tsb_truncation_is_a_binary_error_with_an_offset() {
+    let edges = sample_edges(100);
+    let bytes = tsb_bytes(&edges);
+    for cut in [0, 7, 16, 24, bytes.len() as u64 - 3] {
+        let reader = FaultyReader::new(Cursor::new(bytes.clone())).truncate_at(cut);
+        match read_edges_binary(reader) {
+            Err(GraphError::Binary { offset, .. }) => {
+                assert!(offset <= cut, "reported offset {offset} past the cut {cut}");
+            }
+            other => panic!("cut at {cut} gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn tsb_batched_reader_stops_cleanly_on_mid_stream_fault() {
+    let edges = sample_edges(1_000);
+    let bytes = tsb_bytes(&edges);
+    let reader = FaultyReader::new(Cursor::new(bytes)).fail_at(4_096, io::ErrorKind::Other);
+    let mut decoded = 0usize;
+    let mut saw_error = false;
+    for batch in read_edges_binary_batched(reader, 128).expect("header precedes the fault") {
+        match batch {
+            Ok(edges) => decoded += edges.len(),
+            Err(e) => {
+                assert!(matches!(e, GraphError::Io(_)), "got {e:?}");
+                saw_error = true;
+                break;
+            }
+        }
+    }
+    assert!(saw_error, "the scripted fault must surface");
+    assert!(decoded < edges.len(), "decode cannot claim completeness");
+}
+
+#[test]
+fn tsb_writer_faults_surface_and_short_writes_do_not() {
+    let edges = sample_edges(200);
+    let want = tsb_bytes(&edges);
+    // Short writes: identical output.
+    let mut short = FaultyWriter::new(Vec::new()).short_writes(5);
+    write_edges_binary(&edges, &mut short).expect("short writes succeed");
+    assert_eq!(short.into_inner(), want);
+    // Injected error: typed Io error.
+    let mut failing = FaultyWriter::new(Vec::new()).fail_at(100, io::ErrorKind::StorageFull);
+    let err = write_edges_binary(&edges, &mut failing).expect_err("fault must surface");
+    assert!(matches!(err, GraphError::Io(_)), "got {err:?}");
+}
+
+// --- frame transport ------------------------------------------------------
+
+#[test]
+fn frames_survive_short_reads_and_interrupted_retries() {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, 0x03, &[9u8; 300]).expect("encode");
+    write_frame(&mut wire, 0x04, b"").expect("encode");
+    // Interrupted once at the type byte, once mid-payload: both retried.
+    let mut reader = FaultyReader::new(Cursor::new(wire))
+        .short_reads(7)
+        .fail_at(0, io::ErrorKind::Interrupted)
+        .fail_at(9, io::ErrorKind::Interrupted);
+    let (ty, payload) = read_frame(&mut reader)
+        .expect("interrupted reads are retried")
+        .expect("frame present");
+    assert_eq!((ty, payload.len()), (0x03, 300));
+    let (ty, payload) = read_frame(&mut reader)
+        .expect("read")
+        .expect("frame present");
+    assert_eq!((ty, payload.len()), (0x04, 0));
+    assert!(read_frame(&mut reader).expect("clean EOF").is_none());
+}
+
+#[test]
+fn frame_truncation_mid_payload_is_a_binary_error() {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, 0x03, &[1u8; 64]).expect("encode");
+    let mut reader = FaultyReader::new(Cursor::new(wire)).truncate_at(20);
+    let err = read_frame(&mut reader).expect_err("truncated frame");
+    assert!(matches!(err, GraphError::Binary { .. }), "got {err:?}");
+}
+
+#[test]
+fn frame_hard_errors_pass_through_typed() {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, 0x05, &[2u8; 32]).expect("encode");
+    let mut reader =
+        FaultyReader::new(Cursor::new(wire)).fail_at(3, io::ErrorKind::ConnectionAborted);
+    let err = read_frame(&mut reader).expect_err("aborted connection");
+    assert!(matches!(err, GraphError::Io(_)), "got {err:?}");
+}
+
+#[test]
+fn frame_writes_survive_short_writes_and_surface_disk_full() {
+    let mut short = FaultyWriter::new(Vec::new()).short_writes(3);
+    write_frame(&mut short, 0x03, &[7u8; 100]).expect("short writes succeed");
+    let mut want = Vec::new();
+    write_frame(&mut want, 0x03, &[7u8; 100]).expect("encode");
+    assert_eq!(short.into_inner(), want);
+
+    let mut full = FaultyWriter::new(Vec::new()).full_at(40);
+    let err = write_frame(&mut full, 0x03, &[7u8; 100]).expect_err("disk full");
+    assert!(matches!(err, GraphError::Io(_)), "got {err:?}");
+}
+
+// --- TSS snapshot container ----------------------------------------------
+
+#[test]
+fn snapshot_read_through_faulty_reader_degrades_typed() {
+    let counter = BulkTriangleCounter::new(32, 5);
+    let bytes = counter.to_snapshot().expect("snapshot");
+
+    // Short reads deliver the identical container.
+    let mut short = FaultyReader::new(Cursor::new(bytes.clone())).short_reads(4);
+    let mut collected = Vec::new();
+    short.read_to_end(&mut collected).expect("read");
+    assert_eq!(collected, bytes);
+    assert!(SnapshotReader::parse(&collected).is_ok());
+
+    // A truncated read parses as Corrupt, not a panic.
+    let mut torn = FaultyReader::new(Cursor::new(bytes.clone())).truncate_at(50);
+    let mut collected = Vec::new();
+    torn.read_to_end(&mut collected).expect("read");
+    assert!(matches!(
+        SnapshotReader::parse(&collected),
+        Err(tristream::graph::SnapshotError::Corrupt { .. })
+    ));
+
+    // A hard mid-read error surfaces as io::Error to the caller.
+    let mut failing = FaultyReader::new(Cursor::new(bytes)).fail_at(10, io::ErrorKind::TimedOut);
+    let mut collected = Vec::new();
+    let err = failing.read_to_end(&mut collected).expect_err("fault");
+    assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+}

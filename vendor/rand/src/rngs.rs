@@ -11,6 +11,27 @@ pub struct SmallRng {
     s: [u64; 4],
 }
 
+impl SmallRng {
+    /// Expose the raw xoshiro256++ state, so callers can serialize the
+    /// generator and later resume the exact stream via [`SmallRng::from_state`].
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a state captured by [`SmallRng::state`].
+    ///
+    /// Returns `None` for the all-zero state, which xoshiro can never
+    /// reach from a valid seed (the zero state is a fixed point that
+    /// [`SeedableRng::from_seed`] remaps away), so it can only describe a
+    /// corrupted capture.
+    pub fn from_state(s: [u64; 4]) -> Option<Self> {
+        if s == [0; 4] {
+            return None;
+        }
+        Some(Self { s })
+    }
+}
+
 impl RngCore for SmallRng {
     fn next_u64(&mut self) -> u64 {
         let result = self.s[0]
